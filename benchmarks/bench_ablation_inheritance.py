@@ -1,0 +1,41 @@
+"""Ablation: Algorithm 1's "benefit of the doubt" hotness inheritance.
+
+DESIGN.md decision #2: when space-saving evicts a tracked key, the
+newcomer inherits the victim's hotness. This is what gives every new key
+a chance to survive immediate re-eviction — but it also means cold keys
+enter the tracker with inflated scores. This bench quantifies the choice
+on a moderately skewed workload where the tracker is under pressure
+(key space ≫ tracker).
+
+Space-saving's guarantees *require* inheritance; disabling it degrades
+the tracker toward frequency-counting with random resets. The bench
+asserts inheritance never hurts and records both hit rates.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import CoTCache
+from repro.experiments.common import run_policy_stream
+from repro.workloads.zipfian import ZipfianGenerator
+
+
+def _hit_rate(inherit: bool, accesses: int) -> float:
+    cache = CoTCache(32, tracker_capacity=256, inherit_hotness=inherit)
+    generator = ZipfianGenerator(50_000, theta=0.9, seed=77)
+    return run_policy_stream(cache, generator, accesses)
+
+
+def bench_ablation_hotness_inheritance(benchmark):
+    accesses = 120_000
+
+    def run_both() -> tuple[float, float]:
+        return _hit_rate(True, accesses), _hit_rate(False, accesses)
+
+    with_inherit, without_inherit = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    benchmark.extra_info["hit_rate_inherit"] = round(with_inherit, 4)
+    benchmark.extra_info["hit_rate_no_inherit"] = round(without_inherit, 4)
+    # Inheritance must not hurt on skewed workloads (it is what lets a
+    # genuinely hot newcomer out-live the tracker churn).
+    assert with_inherit >= without_inherit - 0.01

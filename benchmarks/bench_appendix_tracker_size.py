@@ -1,0 +1,29 @@
+"""Benchmark + regeneration of the appendix tracker-size figure.
+
+Asserts the saturation shape: growing the tracker at a fixed cache size
+raises the hit rate sharply at first and then plateaus — the property
+CoT's phase-1 ratio discovery exploits.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import appendix_tracker_size
+
+
+def bench_appendix_tracker_size(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: appendix_tracker_size.run(bench_scale, sizes=[3, 15, 63]),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    for row in result.rows:
+        rates = row[1:]
+        # Early doubling gains dominate late ones (saturation).
+        early_gain = rates[1] - rates[0]   # 2C -> 4C
+        late_gain = rates[-1] - rates[-2]  # 16C -> 32C
+        assert early_gain > late_gain
+        # And the curve is (noise-tolerantly) non-decreasing.
+        for earlier, later in zip(rates, rates[1:]):
+            assert later >= earlier - 1.0

@@ -1,0 +1,33 @@
+"""Benchmark + regeneration of the decay extension experiment.
+
+Asserts the extension's claim: under hot-set rotation, enabling decay
+(half-life or exponential) never hurts and typically recovers hit rate
+faster after each trend change than the no-decay configuration.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import extension_decay
+from repro.experiments.common import Scale
+
+
+def bench_extension_decay(benchmark, record_result):
+    scale = Scale("bench", key_space=20_000, accesses=120_000,
+                  num_clients=1, num_servers=8)
+    result = benchmark.pedantic(
+        lambda: extension_decay.run(scale, rotations=4),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    rates = dict(zip(result.column("decay"), result.column("hit_rate_%")))
+    post = dict(
+        zip(result.column("decay"), result.column("post_rotation_hit_rate_%"))
+    )
+    benchmark.extra_info["hit_rates"] = rates
+    # Decay variants must not lose to no-decay under rotation...
+    assert rates["half_life"] >= rates["none"] - 0.5
+    assert rates["exponential"] >= rates["none"] - 0.5
+    # ...and at least one must win the post-rotation recovery window.
+    assert max(post["half_life"], post["exponential"]) >= post["none"]

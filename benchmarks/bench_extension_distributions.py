@@ -1,0 +1,37 @@
+"""Benchmark + regeneration of the non-Zipfian distributions extension.
+
+Asserts the cross-distribution shapes: CoT wins clearly on Gaussian
+hotness, everything saturates on a hotspot cliff smaller than the cache,
+and on drifting recency (CoT's hardest case) the decay extension
+recovers the gap to the recency-adaptive policies.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import extension_distributions
+from repro.experiments.common import Scale
+
+
+def bench_extension_distributions(benchmark, record_result):
+    scale = Scale("bench", key_space=20_000, accesses=60_000,
+                  num_clients=1, num_servers=8)
+    result = benchmark.pedantic(
+        lambda: extension_distributions.run(scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    rows = {row[0]: row for row in result.rows}
+    headers = result.headers
+    cot = headers.index("cot")
+    lru = headers.index("lru")
+    decay = headers.index("cot+decay")
+    # Gaussian: the tracker filter dominates recency.
+    assert rows["gaussian"][cot] > rows["gaussian"][lru] + 5
+    # Hotspot cliff under cache size: all policies near the ceiling.
+    assert min(rows["hotspot"][1:6]) > 85.0
+    # Drifting recency: decay recovers CoT's stale-hotness weakness.
+    assert rows["latest"][decay] > rows["latest"][cot] + 5
+    benchmark.extra_info["latest_cot"] = rows["latest"][cot]
+    benchmark.extra_info["latest_cot_decay"] = rows["latest"][decay]

@@ -1,0 +1,31 @@
+"""Benchmark + regeneration of the edge-RTT sensitivity extension.
+
+Asserts the paper's deployment claim quantitatively: the absolute
+runtime saving from a front-end CoT cache grows monotonically as the
+front-end↔back-end RTT stretches from same-cluster (244 µs) to
+edge-datacenter (tens of ms) distances.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import extension_edge_rtt
+from repro.experiments.common import Scale
+
+
+def bench_extension_edge_rtt(benchmark, record_result):
+    scale = Scale("bench", key_space=20_000, accesses=60_000,
+                  num_clients=4, num_servers=8)
+    result = benchmark.pedantic(
+        lambda: extension_edge_rtt.run(scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    savings = result.column("absolute_saving_s")
+    assert savings == sorted(savings), "absolute gain must grow with RTT"
+    assert savings[-1] > 20 * savings[0]
+    reductions = result.column("reduction_%")
+    assert min(reductions) > 10.0
+    benchmark.extra_info["saving_at_paper_rtt_s"] = savings[0]
+    benchmark.extra_info["saving_at_40ms_s"] = savings[-1]

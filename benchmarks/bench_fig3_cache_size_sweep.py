@@ -1,0 +1,31 @@
+"""Benchmark + regeneration of Figure 3 (cache-size sweep).
+
+Regenerates the load-imbalance and relative-server-load series as the
+front-end CoT cache grows, and asserts the paper's shape: imbalance
+collapses within the first few doublings while further doublings buy
+little extra load reduction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_cache_size_sweep
+
+
+def bench_fig3_cache_size_sweep(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: fig3_cache_size_sweep.run(bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    imbalance = result.column("load_imbalance")
+    relative = result.column("relative_server_load")
+    # Paper shape 1: imbalance drops by an order of magnitude with a
+    # small cache (16.26 -> 1.44 by 64 lines in the paper).
+    assert imbalance[0] > 5 * imbalance[-1]
+    # Paper shape 2: diminishing returns — the last doubling reduces
+    # relative load far less than the first one did.
+    first_gain = relative[0] - relative[1]
+    last_gain = relative[-2] - relative[-1]
+    assert first_gain > 3 * last_gain

@@ -1,0 +1,59 @@
+"""Benchmark + regeneration of Figure 4 (hit rate vs cache size).
+
+One bench per skew panel (s = 0.90 / 0.99 / 1.2). Asserts the paper's
+shape: CoT tracks the theoretical perfect cache (TPC), beats LRU/LFU/ARC/
+LRU-2 at every size, and its edge narrows as skew grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4_hit_rates
+
+
+def _check_shape(result):
+    cot = result.column("cot")
+    tpc = result.column("tpc")
+    for name in ("lru", "lfu", "arc", "lru2"):
+        other = result.column(name)
+        wins = sum(1 for c, o in zip(cot, other) if c >= o)
+        assert wins >= len(cot) - 1, f"cot should dominate {name}"
+    for c, t in zip(cot, tpc):
+        assert c == pytest.approx(t, abs=8.0)
+
+
+@pytest.mark.parametrize("theta", [0.90, 0.99, 1.2])
+def bench_fig4_hit_rates(benchmark, bench_scale, record_result, theta):
+    sizes = [2, 8, 32, 128]
+    result = benchmark.pedantic(
+        lambda: fig4_hit_rates.run(theta=theta, scale=bench_scale, sizes=sizes),
+        rounds=1,
+        iterations=1,
+    )
+    result.experiment_id = f"fig4-zipf-{theta:g}"
+    record_result(benchmark, result)
+    _check_shape(result)
+
+
+def bench_fig4_cot_advantage_narrows_with_skew(benchmark, bench_scale, record_result):
+    """The paper's cross-panel observation: CoT's margin over LRU shrinks
+    as the workload gets more skewed."""
+
+    def margins():
+        sizes = [8, 32]
+        per_theta = {}
+        for theta in (0.90, 1.2):
+            result = fig4_hit_rates.run(theta=theta, scale=bench_scale, sizes=sizes)
+            cot = result.column("cot")
+            lru = result.column("lru")
+            per_theta[theta] = sum(c / max(l, 1e-9) for c, l in zip(cot, lru)) / len(
+                sizes
+            )
+        return per_theta
+
+    per_theta = benchmark.pedantic(margins, rounds=1, iterations=1)
+    benchmark.extra_info["relative_margin"] = {
+        str(k): round(v, 3) for k, v in per_theta.items()
+    }
+    assert per_theta[0.90] > per_theta[1.2]

@@ -1,0 +1,39 @@
+"""Benchmark + regeneration of Figure 6 (single-client end-to-end runtime).
+
+Asserts the paper's two observations: (1) without a front-end cache the
+skewed workloads are slower than uniform even with no queueing; (2) with
+a small front-end cache, skewed workloads become *faster* than uniform —
+the cache both removes the hot-shard slowdown and serves lookups locally.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_single_client
+
+
+def _runtime(cell: str) -> float:
+    return float(cell.split("±")[0])
+
+
+def bench_fig6_single_client(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: fig6_single_client.run(bench_scale, repetitions=2),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    rows = {row[0]: row for row in result.rows}
+    uniform_idx = result.headers.index("uniform")
+    z99_idx = result.headers.index("zipf-0.99")
+    z12_idx = result.headers.index("zipf-1.2")
+
+    # Observation 1: no-cache skew ordering holds with a single client.
+    assert (
+        _runtime(rows["none"][uniform_idx])
+        < _runtime(rows["none"][z99_idx])
+        < _runtime(rows["none"][z12_idx])
+    )
+    # Observation 2: with a front-end cache, skewed beats uniform.
+    assert _runtime(rows["cot"][z12_idx]) < _runtime(rows["cot"][uniform_idx])
+    assert _runtime(rows["cot"][z99_idx]) < _runtime(rows["cot"][uniform_idx])

@@ -1,0 +1,46 @@
+"""Benchmark + regeneration of Figure 7 (elastic expansion).
+
+Runs the elastic front end from the paper's deliberately tiny start
+(C=2/K=4) against a Zipfian 1.2 workload and asserts the two-phase
+behaviour: tracker ratio discovered first, then cache doubled until the
+load-imbalance target holds, with alpha_t captured at convergence.
+
+At the ``default`` CLI scale this reproduces the paper's exact endpoint
+(C=512, K=2048, alpha_t ≈ 7.8); the bench scale checks the shape.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig78_adaptive_resizing
+from repro.experiments.common import Scale
+
+
+def bench_fig7_expand(benchmark, record_result):
+    # Enough accesses for both phases to complete at a small key space.
+    scale = Scale(
+        "bench", key_space=20_000, accesses=400_000, num_clients=1, num_servers=8
+    )
+    result = benchmark.pedantic(
+        lambda: fig78_adaptive_resizing.run_expand(scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    caches = result.column("cache")
+    trackers = result.column("tracker")
+    decisions = result.column("decision")
+    # Phase 1 ran: the tracker was probed at fixed cache size.
+    assert "double_tracker" in decisions
+    # Phase 2 ran: the cache expanded from its tiny start.
+    assert result.extras["final_cache"] > 2
+    # K >= 2C is maintained throughout.
+    for cache, tracker in zip(caches, trackers):
+        assert tracker >= 2 * cache
+    # alpha_t was captured once the target held.
+    assert "target_reached" in decisions
+    benchmark.extra_info["final_sizes"] = (
+        result.extras["final_cache"],
+        result.extras["final_tracker"],
+    )
+    benchmark.extra_info["alpha_target"] = round(result.extras["alpha_target"], 2)

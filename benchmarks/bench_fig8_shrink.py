@@ -1,0 +1,32 @@
+"""Benchmark + regeneration of Figure 8 (elastic shrinking).
+
+After converging on Zipfian 1.2 the workload flips to uniform; the front
+end must detect the quality collapse, reset the tracker ratio, and halve
+its way down to negligible sizes without violating the target.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig78_adaptive_resizing
+from repro.experiments.common import Scale
+
+
+def bench_fig8_shrink(benchmark, record_result):
+    scale = Scale(
+        "bench", key_space=20_000, accesses=400_000, num_clients=1, num_servers=8
+    )
+    result = benchmark.pedantic(
+        lambda: fig78_adaptive_resizing.run_shrink(scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    caches = result.column("cache")
+    decisions = result.column("decision")
+    # The cache shrank substantially from its converged size...
+    assert result.extras["final_cache"] <= max(caches) // 4
+    # ...via the shrink path (ratio reset and/or halving decisions).
+    assert "shrink" in decisions or "reset_ratio" in decisions
+    benchmark.extra_info["peak_cache"] = max(caches)
+    benchmark.extra_info["final_cache"] = result.extras["final_cache"]

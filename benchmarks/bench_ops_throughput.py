@@ -1,0 +1,110 @@
+"""Micro-benchmarks: per-operation cost of every data-plane component.
+
+These are true multi-round pytest-benchmark measurements (unlike the
+experiment benches, which time one full harness run). They back the
+paper's overhead argument — Section 5.3 shows heap-based front-end
+caches add no measurable cost against a 244 µs RTT; here the absolute
+per-op costs are pinned so regressions are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.core.cache import CoTCache
+from repro.core.spacesaving import SpaceSaving
+from repro.policies.base import MISSING
+from repro.policies.registry import make_policy
+from repro.workloads.scrambled import ScrambledZipfianGenerator
+from repro.workloads.zipfian import ZipfianGenerator
+
+KEYS = 10_000
+OPS_PER_ROUND = 2_000
+
+
+@pytest.fixture(scope="module")
+def key_stream():
+    generator = ZipfianGenerator(KEYS, theta=0.99, seed=42)
+    return list(generator.keys(100_000))
+
+
+@pytest.mark.parametrize("name", ["lru", "lfu", "arc", "lru2", "cot"])
+def bench_policy_lookup_admit(benchmark, key_stream, name):
+    policy = make_policy(name, 512, tracker_capacity=2048)
+    # Warm the policy so steady-state (mixed hit/miss) cost is measured.
+    for key in key_stream[:20_000]:
+        if policy.lookup(key) is MISSING:
+            policy.admit(key, key)
+    cursor = [20_000]
+
+    def run():
+        start = cursor[0] % (len(key_stream) - OPS_PER_ROUND)
+        for key in key_stream[start:start + OPS_PER_ROUND]:
+            if policy.lookup(key) is MISSING:
+                policy.admit(key, key)
+        cursor[0] += OPS_PER_ROUND
+
+    benchmark(run)
+    benchmark.extra_info["ops_per_round"] = OPS_PER_ROUND
+    benchmark.extra_info["hit_rate"] = round(policy.stats.hit_rate, 4)
+
+
+def bench_spacesaving_offer(benchmark, key_stream):
+    sketch: SpaceSaving[int] = SpaceSaving(2048)
+    cursor = [0]
+
+    def run():
+        start = cursor[0] % (len(key_stream) - OPS_PER_ROUND)
+        for key in key_stream[start:start + OPS_PER_ROUND]:
+            sketch.offer(key)
+        cursor[0] += OPS_PER_ROUND
+
+    benchmark(run)
+    benchmark.extra_info["ops_per_round"] = OPS_PER_ROUND
+
+
+def bench_hash_ring_lookup(benchmark, key_stream):
+    ring = ConsistentHashRing([f"cache-{i}" for i in range(8)], virtual_nodes=2048)
+    keys = [f"usertable:{k}" for k in key_stream[:OPS_PER_ROUND]]
+
+    def run():
+        for key in keys:
+            ring.server_for(key)
+
+    benchmark(run)
+    benchmark.extra_info["ops_per_round"] = OPS_PER_ROUND
+
+
+def bench_zipfian_generation(benchmark):
+    generator = ZipfianGenerator(1_000_000, theta=0.99, seed=1)
+
+    def run():
+        for _ in range(OPS_PER_ROUND):
+            generator.next_key()
+
+    benchmark(run)
+
+
+def bench_scrambled_zipfian_generation(benchmark):
+    generator = ScrambledZipfianGenerator(1_000_000, seed=1)
+
+    def run():
+        for _ in range(OPS_PER_ROUND):
+            generator.next_key()
+
+    benchmark(run)
+
+
+def bench_cot_resize_cycle(benchmark, key_stream):
+    """Cost of a full double-then-halve resize at a realistic size."""
+    cache = CoTCache(512, tracker_capacity=2048)
+    for key in key_stream[:30_000]:
+        if cache.lookup(key) is MISSING:
+            cache.admit(key, key)
+
+    def run():
+        cache.set_sizes(1024, 4096)
+        cache.set_sizes(512, 2048)
+
+    benchmark(run)

@@ -1,0 +1,31 @@
+"""Benchmark + regeneration of Table 2 (minimum lines to balance).
+
+The slowest harness (many full-cluster trials); runs at the tiny bench
+scale and asserts the paper's qualitative result: CoT reaches the target
+with no more cache-lines than any other policy on every distribution,
+and strictly fewer than LRU somewhere.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2_min_cache
+
+
+def bench_table2_min_cache(benchmark, tiny_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: table2_min_cache.run(tiny_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    header = result.headers
+    lru_idx, cot_idx = header.index("lru"), header.index("cot")
+    strictly_better_somewhere = False
+    for row in result.rows:
+        lru, cot = row[lru_idx], row[cot_idx]
+        if isinstance(lru, int) and isinstance(cot, int):
+            assert cot <= lru
+            if cot < lru:
+                strictly_better_somewhere = True
+    assert strictly_better_somewhere

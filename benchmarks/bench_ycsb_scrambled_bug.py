@@ -1,0 +1,29 @@
+"""Benchmark + regeneration of the ScrambledZipfian bug finding.
+
+Asserts both halves of the paper's report: the scrambled generator's
+delivered skew is far below the honest Zipfian's, and it ignores the
+requested skew parameter entirely.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ycsb_bug
+
+
+def bench_ycsb_scrambled_bug(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: ycsb_bug.run(bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    honest_fits = result.column("fitted_s_zipfian")
+    scrambled_fits = result.column("fitted_s_scrambled")
+    # Honest fits move with the requested skew; scrambled fits do not.
+    assert honest_fits == sorted(honest_fits)
+    assert max(honest_fits) - min(honest_fits) > 0.2
+    assert max(scrambled_fits) - min(scrambled_fits) < 0.01
+    # And scrambled is always less skewed than honest.
+    for honest, scrambled in zip(honest_fits, scrambled_fits):
+        assert scrambled < honest

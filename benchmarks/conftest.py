@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure in the paper has a ``bench_*`` module here. Each bench
+runs its experiment once under pytest-benchmark timing (``pedantic`` with
+a single round — experiments are second-scale, not microsecond-scale),
+stores the regenerated rows in ``benchmark.extra_info`` and writes the
+rendered table to ``benchmarks/output/<experiment>.txt`` so the artifact
+survives the run. Micro-benchmarks (``bench_ops_throughput``) use normal
+multi-round timing.
+
+Scales: benches default to a benchmark-friendly scale so
+``pytest benchmarks/ --benchmark-only`` completes in minutes. Regenerate
+publication-scale numbers with ``python -m repro.experiments all``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Scale
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    """The sizing used across benches (seconds-scale per experiment)."""
+    return Scale(
+        "bench", key_space=20_000, accesses=60_000, num_clients=4, num_servers=8
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_scale() -> Scale:
+    """For the slowest sweeps (table2's many trials)."""
+    return Scale(
+        "bench-tiny", key_space=10_000, accesses=30_000, num_clients=2,
+        num_servers=8,
+    )
+
+
+@pytest.fixture()
+def record_result():
+    """Persist an ExperimentResult next to the benchmark timings."""
+
+    def _record(benchmark, result: ExperimentResult) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n", encoding="utf-8")
+        benchmark.extra_info["experiment"] = result.experiment_id
+        benchmark.extra_info["rows"] = len(result.rows)
+        benchmark.extra_info["table_path"] = str(path)
+
+    return _record

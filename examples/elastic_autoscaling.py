@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Scenario: one front end riding a workload change (Figures 7-8 live).
+
+Phase 1: a Zipfian 1.2 workload — the front end starts with a 2-line
+cache and grows until its back-end load-imbalance target holds.
+Phase 2: the workload turns uniform — caching is now worthless, and the
+front end shrinks its memory footprint back to almost nothing, releasing
+the cloud resources it no longer needs.
+
+The epoch-by-epoch series (cache size, tracker size, I_c, alpha_c) is
+printed as sparklines plus a decision log — the same data as the paper's
+Figures 7 and 8.
+
+Run:  python examples/elastic_autoscaling.py
+"""
+
+from repro import CacheCluster, ElasticCoTClient, UniformGenerator, ZipfianGenerator
+from repro.metrics import SeriesRecorder
+from repro.workloads import format_key
+
+KEY_SPACE = 100_000
+PHASE_ACCESSES = 400_000
+TARGET_IMBALANCE = 1.1
+
+
+def drive(client: ElasticCoTClient, generator, accesses: int) -> None:
+    for key in generator.keys(accesses):
+        client.get(format_key(key))
+
+
+def main() -> None:
+    print(__doc__.split("Run:")[0])
+    cluster = CacheCluster(num_servers=8, capacity_bytes=1 << 40, value_size=1)
+    client = ElasticCoTClient(
+        cluster,
+        target_imbalance=TARGET_IMBALANCE,
+        initial_cache=2,
+        initial_tracker=4,
+        base_epoch=5000,
+    )
+
+    drive(client, ZipfianGenerator(KEY_SPACE, theta=1.2, seed=3), PHASE_ACCESSES)
+    grown_cache, grown_tracker = client.converged_sizes()
+    switch_epoch = client.epoch_index
+    print(f"phase 1 (Zipf 1.2): converged to C={grown_cache}, "
+          f"K={grown_tracker}, alpha_t={client.controller.alpha_target:.2f} "
+          f"after {switch_epoch} epochs")
+
+    drive(client, UniformGenerator(KEY_SPACE, seed=4), PHASE_ACCESSES)
+    final_cache, final_tracker = client.converged_sizes()
+    print(f"phase 2 (uniform):  shrank to C={final_cache}, K={final_tracker} "
+          f"after {client.epoch_index - switch_epoch} more epochs\n")
+
+    recorder = SeriesRecorder()
+    for record in client.history:
+        recorder.add_point(
+            record.index,
+            cache=record.snapshot.cache_capacity,
+            tracker=record.snapshot.tracker_capacity,
+            I_c=round(record.snapshot.imbalance, 3),
+            alpha_c=round(record.snapshot.alpha_c, 2),
+        )
+    print("epoch series (full run; workload switches at epoch "
+          f"{switch_epoch}):")
+    print(recorder.to_sparklines(width=70))
+    print()
+
+    print("resizing decisions:")
+    for record in client.history:
+        if record.decision in ("warmup", "none"):
+            continue
+        print(
+            f"  epoch {record.index:>4}  {record.decision:<14} "
+            f"C {record.snapshot.cache_capacity:>5} -> "
+            f"{record.new_cache_capacity:<5} "
+            f"K {record.snapshot.tracker_capacity:>5} -> "
+            f"{record.new_tracker_capacity:<5} "
+            f"(I_c={record.snapshot.imbalance:.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The YCSB ScrambledZipfian bug, reproduced (paper contribution #5).
+
+The paper reports: "YCSB's ScrambledZipfian workload generator ...
+generates workloads that are significantly less-skewed than the promised
+Zipfian distribution." This example draws from the honest Zipfian
+generator and the bug-faithful scrambled one at three requested skews and
+prints the delivered skew each actually produced.
+
+Run:  python examples/ycsb_scrambled_bug.py
+"""
+
+from repro import ScrambledZipfianGenerator, ZipfianGenerator
+from repro.metrics import render_table
+from repro.workloads import estimate_zipf_exponent, head_mass
+
+KEY_SPACE = 50_000
+DRAWS = 200_000
+
+
+def main() -> None:
+    print(__doc__.split("Run:")[0])
+    rows = []
+    for requested in (0.9, 0.99, 1.2):
+        honest = ZipfianGenerator(KEY_SPACE, theta=requested, seed=11)
+        scrambled = ScrambledZipfianGenerator(
+            KEY_SPACE, requested_theta=requested, seed=11
+        )
+        honest_keys = list(honest.keys(DRAWS))
+        scrambled_keys = list(scrambled.keys(DRAWS))
+        rows.append(
+            [
+                f"{requested:g}",
+                f"{estimate_zipf_exponent(honest_keys, max_rank=1000):.3f}",
+                f"{estimate_zipf_exponent(scrambled_keys, max_rank=1000):.3f}",
+                f"{head_mass(honest_keys, 50):.1%}",
+                f"{head_mass(scrambled_keys, 50):.1%}",
+            ]
+        )
+    print(render_table(
+        [
+            "requested s",
+            "delivered s (Zipfian)",
+            "delivered s (Scrambled)",
+            "top-50 mass (Zipfian)",
+            "top-50 mass (Scrambled)",
+        ],
+        rows,
+        title="Promised vs delivered skew",
+    ))
+    print()
+    print("Why: ScrambledZipfian always draws from a fixed Zipfian(0.99)")
+    print("over 10,000,000,000 items — the requested constant is ignored —")
+    print("and FNV-scrambles those ranks onto the key space, folding the")
+    print("long tail uniformly onto every key and crushing the head mass.")
+    print("The paper therefore switched to the plain ZipfianGenerator, as")
+    print("does every experiment in this reproduction.")
+
+
+if __name__ == "__main__":
+    main()

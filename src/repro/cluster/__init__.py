@@ -1,0 +1,29 @@
+"""The back-end substrate: consistent hashing, cache shards, storage, and
+the client-driven front-end protocol (paper Section 2's system model)."""
+
+from repro.cluster.backend import BackendCacheServer, BackendStats
+from repro.cluster.client import FrontEndClient
+from repro.cluster.cluster import CacheCluster
+from repro.cluster.hashring import ConsistentHashRing
+from repro.cluster.invalidation import (
+    CoherentFrontEndClient,
+    InvalidationBus,
+    InvalidationStats,
+)
+from repro.cluster.loadmonitor import LoadMonitor, load_imbalance
+from repro.cluster.storage import PersistentStore, StorageStats
+
+__all__ = [
+    "BackendCacheServer",
+    "BackendStats",
+    "FrontEndClient",
+    "CacheCluster",
+    "CoherentFrontEndClient",
+    "ConsistentHashRing",
+    "InvalidationBus",
+    "InvalidationStats",
+    "LoadMonitor",
+    "load_imbalance",
+    "PersistentStore",
+    "StorageStats",
+]

@@ -1,0 +1,152 @@
+"""The front-end cache client (the paper's modified spymemcached role).
+
+:class:`FrontEndClient` implements the client-driven protocol of Section 2
+end to end:
+
+* **get** — try the local front-end cache; on a miss, route to the owning
+  shard via consistent hashing (recording the lookup in the local load
+  monitor); on a caching-layer miss, read from persistent storage and
+  *populate both* the shard and (subject to the policy's admission filter)
+  the local cache.
+* **set** — write to persistent storage, invalidate the local copy
+  (penalizing hotness under CoT's dual-cost model via
+  ``policy.record_update``), and send a delete to the caching layer.
+* **delete** — delete from storage, invalidate locally, delete in the
+  caching layer.
+
+The client is policy-agnostic: any :class:`~repro.policies.base.CachePolicy`
+(including :class:`~repro.core.cache.CoTCache`) plugs in unchanged, which
+is how all the comparison experiments share one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.cluster.cluster import CacheCluster
+from repro.cluster.loadmonitor import LoadMonitor
+from repro.policies.base import MISSING, CachePolicy
+from repro.workloads.request import OpType, Request
+
+__all__ = ["FrontEndClient"]
+
+
+class FrontEndClient:
+    """One stateless front-end server's caching client.
+
+    Parameters
+    ----------
+    cluster:
+        the shared back-end cluster.
+    policy:
+        this front end's local cache replacement policy.
+    client_id:
+        identity used in experiment output.
+    """
+
+    def __init__(
+        self,
+        cluster: CacheCluster,
+        policy: CachePolicy,
+        client_id: str = "front-0",
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy
+        self.client_id = client_id
+        self.monitor = LoadMonitor(cluster.server_ids)
+
+    # ------------------------------------------------------------- protocol
+
+    def get(self, key: Hashable) -> Any:
+        """Read path of the client-driven protocol."""
+        value = self.policy.lookup(key)
+        if value is not MISSING:
+            return value
+        server = self.cluster.server_for(key)
+        self.monitor.record_lookup(server.server_id)
+        value = server.get(key)
+        if value is MISSING:
+            value = self.cluster.storage.get(key)
+            server.set(key, value)
+        self.policy.admit(key, value)
+        return value
+
+    def get_many(self, keys: list[Hashable]) -> dict[Hashable, Any]:
+        """Batched read path (spymemcached's getMulti).
+
+        A single page load fetches hundreds of objects (the paper's
+        motivating workload); this path serves what it can from the local
+        cache, groups the misses by owning shard, issues one batched
+        lookup per shard, and backfills layer misses from storage. Every
+        key still counts as one lookup toward that shard's load.
+        """
+        results: dict[Hashable, Any] = {}
+        misses_by_server: dict[str, list[Hashable]] = {}
+        for key in keys:
+            value = self.policy.lookup(key)
+            if value is not MISSING:
+                results[key] = value
+                continue
+            server_id = self.cluster.ring.server_for(key)
+            misses_by_server.setdefault(server_id, []).append(key)
+        for server_id, missed in misses_by_server.items():
+            server = self.cluster.server(server_id)
+            for _ in missed:
+                self.monitor.record_lookup(server_id)
+            found = server.get_many(missed)
+            for key in missed:
+                value = found.get(key, MISSING)
+                if value is MISSING:
+                    value = self.cluster.storage.get(key)
+                    server.set(key, value)
+                self.policy.admit(key, value)
+                results[key] = value
+        return results
+
+    def set(self, key: Hashable, value: Any) -> None:
+        """Write path: storage write + local and layer invalidation."""
+        self.cluster.storage.set(key, value)
+        self.policy.record_update(key)
+        self.cluster.server_for(key).delete(key)
+
+    def delete(self, key: Hashable) -> None:
+        """Delete path: authoritative delete + invalidations."""
+        self.cluster.storage.delete(key)
+        self.policy.invalidate(key)
+        self.cluster.server_for(key).delete(key)
+
+    def execute(self, request: Any) -> Any:
+        """Dispatch one workload operation.
+
+        Accepts :class:`Request` (get/set/delete) and the YCSB
+        :class:`~repro.workloads.ycsb.ScanRequest` (mapped onto
+        :meth:`get_many` over the scan's key range).
+        """
+        from repro.workloads.ycsb import ScanRequest  # cycle-free local import
+
+        if isinstance(request, ScanRequest):
+            return self.get_many(request.keys())
+        if request.op is OpType.GET:
+            return self.get(request.key)
+        if request.op is OpType.SET:
+            self.set(request.key, request.value)
+            return None
+        self.delete(request.key)
+        return None
+
+    # -------------------------------------------------------------- metrics
+
+    def local_hit_rate(self) -> float:
+        """Lifetime front-end cache hit rate."""
+        return self.policy.stats.hit_rate
+
+    def local_imbalance(self) -> float:
+        """This front end's lifetime contribution to back-end imbalance."""
+        return self.monitor.imbalance()
+
+    def __repr__(self) -> str:
+        return (
+            f"FrontEndClient(id={self.client_id!r}, "
+            f"policy={type(self.policy).__name__}, "
+            f"hit_rate={self.local_hit_rate():.3f})"
+        )

@@ -1,0 +1,151 @@
+"""Assembly of the back-end storage layer: shards + ring + storage.
+
+One :class:`CacheCluster` is shared by all front ends in an experiment,
+mirroring the paper's testbed of 8 memcached shards over 4 machines plus a
+persistent layer. Front ends talk to it through the server objects the
+ring resolves; the cluster also offers whole-layer views (aggregate load,
+imbalance) used by the harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.cluster.backend import BackendCacheServer
+from repro.cluster.hashring import ConsistentHashRing
+from repro.cluster.loadmonitor import load_imbalance
+from repro.cluster.storage import PersistentStore
+from repro.errors import ClusterError, ConfigurationError
+
+__all__ = ["CacheCluster"]
+
+
+class CacheCluster:
+    """A consistent-hashed fleet of back-end cache shards over storage.
+
+    Parameters
+    ----------
+    num_servers:
+        number of shards (the paper deploys 8).
+    capacity_bytes:
+        per-shard memory budget (paper: 4 GB).
+    virtual_nodes:
+        ring points per shard. The default (8192) is much higher than
+        ketama's 160 so the ring's *key-count* shares are near-even
+        (max/min share ratio ≈ 1.02 for 8 shards) and measured
+        load-imbalance reflects workload skew rather than hashing
+        artifacts — matching the paper's premise that consistent hashing
+        "ensures a fair distribution of the number of keys" while skew
+        drives the load problem.
+    value_size:
+        default accounting size of values (paper: 750 KB).
+    storage:
+        the persistent layer; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        num_servers: int = 8,
+        capacity_bytes: int = 4 * 1024**3,
+        virtual_nodes: int = 8192,
+        value_size: int = 750 * 1024,
+        storage: PersistentStore | None = None,
+    ) -> None:
+        if num_servers < 1:
+            raise ConfigurationError("num_servers must be >= 1")
+        self._value_size = value_size
+        self._servers: dict[str, BackendCacheServer] = {}
+        server_ids = [f"cache-{i}" for i in range(num_servers)]
+        for server_id in server_ids:
+            self._servers[server_id] = BackendCacheServer(
+                server_id,
+                capacity_bytes=capacity_bytes,
+                default_value_size=value_size,
+            )
+        self.ring = ConsistentHashRing(server_ids, virtual_nodes=virtual_nodes)
+        self.storage = storage if storage is not None else PersistentStore()
+
+    # ----------------------------------------------------------- inspection
+
+    @property
+    def server_ids(self) -> tuple[str, ...]:
+        """Shard identifiers, in creation order."""
+        return tuple(self._servers)
+
+    @property
+    def value_size(self) -> int:
+        """Default accounting size for stored values."""
+        return self._value_size
+
+    def server(self, server_id: str) -> BackendCacheServer:
+        """Resolve a shard object by id."""
+        try:
+            return self._servers[server_id]
+        except KeyError:
+            raise ClusterError(f"unknown server: {server_id}") from None
+
+    def server_for(self, key: Hashable) -> BackendCacheServer:
+        """The shard responsible for ``key`` per the ring."""
+        return self._servers[self.ring.server_for(key)]
+
+    # ------------------------------------------------------ elastic topology
+
+    def add_server(
+        self, capacity_bytes: int | None = None
+    ) -> BackendCacheServer:
+        """Scale out by one shard (cloud elasticity hook)."""
+        server_id = f"cache-{len(self._servers)}"
+        while server_id in self._servers:
+            server_id += "x"
+        template = next(iter(self._servers.values()))
+        server = BackendCacheServer(
+            server_id,
+            capacity_bytes=capacity_bytes or template.capacity_bytes,
+            default_value_size=self._value_size,
+        )
+        self._servers[server_id] = server
+        self.ring.add_server(server_id)
+        return server
+
+    def remove_server(self, server_id: str) -> None:
+        """Scale in: remove a shard (its keys redistribute via the ring)."""
+        if server_id not in self._servers:
+            raise ClusterError(f"unknown server: {server_id}")
+        if len(self._servers) == 1:
+            raise ClusterError("cannot remove the last server")
+        self.ring.remove_server(server_id)
+        del self._servers[server_id]
+
+    # ------------------------------------------------------------ aggregate
+
+    def loads(self) -> dict[str, int]:
+        """Lifetime lookup counts per shard (server-side view)."""
+        return {sid: s.stats.gets for sid, s in self._servers.items()}
+
+    def epoch_loads(self) -> dict[str, int]:
+        """Per-epoch lookup counts per shard."""
+        return {sid: s.stats.epoch_gets for sid, s in self._servers.items()}
+
+    def imbalance(self) -> float:
+        """Server-side lifetime load-imbalance (max/min of shard gets)."""
+        return load_imbalance(self.loads())
+
+    def total_lookups(self) -> int:
+        """All lookups that reached the caching layer."""
+        return sum(s.stats.gets for s in self._servers.values())
+
+    def reset_epoch(self) -> None:
+        """Start a new epoch window on every shard."""
+        for server in self._servers.values():
+            server.stats.reset_epoch()
+
+    def flush(self) -> None:
+        """Flush every shard's contents."""
+        for server in self._servers.values():
+            server.flush()
+
+    def expected_assignment(self, keys: Iterable[Hashable]) -> Mapping[str, int]:
+        """Key-count ownership per shard (analysis helper)."""
+        return {
+            sid: len(bucket) for sid, bucket in self.ring.assignment(keys).items()
+        }

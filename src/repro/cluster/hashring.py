@@ -1,0 +1,122 @@
+"""Consistent hashing (Karger et al. 1997), spymemcached-style.
+
+Front ends locate keys in the caching layer with a ketama-like consistent
+hash ring: each back-end server owns many virtual points on a 32-bit ring
+(MD5-derived), and a key maps to the first server point at or after the
+key's hash. This solves key discovery and minimizes churn when servers
+join or leave — and, as the paper stresses, it balances *key counts* but
+not *key workloads*, which is exactly the load-imbalance CoT attacks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import ClusterError, ConfigurationError
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _hash32(data: str) -> int:
+    """First 4 bytes of MD5 as an unsigned 32-bit ring position."""
+    digest = hashlib.md5(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class ConsistentHashRing:
+    """MD5-based consistent hash ring with virtual nodes.
+
+    Parameters
+    ----------
+    servers:
+        initial server identifiers (any strings).
+    virtual_nodes:
+        points per server on the ring. 160 mirrors ketama's 40×4 layout;
+        more points smooth key-count balance at the cost of memory.
+    """
+
+    def __init__(
+        self,
+        servers: Iterable[str] = (),
+        virtual_nodes: int = 160,
+    ) -> None:
+        if virtual_nodes < 1:
+            raise ConfigurationError("virtual_nodes must be >= 1")
+        self._virtual_nodes = virtual_nodes
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        self._servers: set[str] = set()
+        for server in servers:
+            self.add_server(server)
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def servers(self) -> frozenset[str]:
+        """The current server set."""
+        return frozenset(self._servers)
+
+    @property
+    def virtual_nodes(self) -> int:
+        """Ring points per server."""
+        return self._virtual_nodes
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __contains__(self, server: str) -> bool:
+        return server in self._servers
+
+    def add_server(self, server: str) -> None:
+        """Place ``server``'s virtual points on the ring."""
+        if server in self._servers:
+            raise ClusterError(f"server already on ring: {server}")
+        self._servers.add(server)
+        pairs = list(zip(self._points, self._owners))
+        pairs.extend(
+            (_hash32(f"{server}#{replica}"), server)
+            for replica in range(self._virtual_nodes)
+        )
+        pairs.sort(key=lambda po: po[0])
+        self._points = [p for p, _ in pairs]
+        self._owners = [o for _, o in pairs]
+
+    def remove_server(self, server: str) -> None:
+        """Remove all of ``server``'s points (its keys redistribute)."""
+        if server not in self._servers:
+            raise ClusterError(f"server not on ring: {server}")
+        self._servers.remove(server)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != server
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def server_for(self, key: Hashable) -> str:
+        """The server responsible for ``key``."""
+        if not self._points:
+            raise ClusterError("hash ring is empty")
+        point = _hash32(str(key))
+        idx = bisect.bisect(self._points, point)
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+    def assignment(self, keys: Iterable[Hashable]) -> dict[str, list[Hashable]]:
+        """Group ``keys`` by owning server (analysis helper)."""
+        result: dict[str, list[Hashable]] = {server: [] for server in self._servers}
+        for key in keys:
+            result[self.server_for(key)].append(key)
+        return result
+
+    def key_count_balance(self, keys: Sequence[Hashable]) -> float:
+        """max/min of per-server *key counts* — the balance consistent
+        hashing does provide (contrast with workload imbalance)."""
+        assignment = self.assignment(keys)
+        counts = [len(bucket) for bucket in assignment.values()]
+        low = min(counts)
+        return max(counts) / max(low, 1)

@@ -1,0 +1,154 @@
+"""Cross-front-end invalidation fan-out (consistency extension).
+
+The paper's protocol invalidates only the *writer's* local cache; other
+front ends may serve stale values until their copies age out — and the
+paper argues at length that the **cost** of keeping many front-end caches
+coherent is exactly why front-end caches must stay small (Section 1's
+consistency-pipeline costs: tracking key incarnations and propagating
+updates).
+
+This module implements that pipeline so the cost argument is measurable:
+an :class:`InvalidationBus` tracks which front ends hold which keys (the
+"key incarnations" directory) and fans out invalidations on writes. The
+counters expose precisely the two costs the paper names — directory size
+and invalidation messages — as a function of front-end cache size, which
+``tests/test_invalidation.py`` pins down: bigger front-end caches ⇒
+more incarnations ⇒ more fan-out traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.cluster.client import FrontEndClient
+
+__all__ = ["InvalidationBus", "InvalidationStats", "CoherentFrontEndClient"]
+
+
+@dataclass
+class InvalidationStats:
+    """The consistency-pipeline costs the paper enumerates."""
+
+    #: invalidation messages delivered to remote front ends
+    messages: int = 0
+    #: writes that triggered at least one remote invalidation
+    fanout_writes: int = 0
+    #: high-water mark of directory entries (key incarnations tracked)
+    peak_directory: int = 0
+    #: stale local copies actually removed by fan-out
+    stale_dropped: int = 0
+    directory_size: int = field(default=0)
+
+
+class InvalidationBus:
+    """Directory-based invalidation fan-out across front ends.
+
+    Front ends register; the bus learns which of them cache which keys
+    (via :meth:`note_cached` / :meth:`note_dropped`, called by
+    :class:`CoherentFrontEndClient`), and on a write it invalidates every
+    *other* front end's copy synchronously — the strong-consistency end
+    of the spectrum the paper's model permits.
+    """
+
+    def __init__(self) -> None:
+        self._clients: dict[str, CoherentFrontEndClient] = {}
+        self._directory: dict[Hashable, set[str]] = {}
+        self.stats = InvalidationStats()
+
+    # ------------------------------------------------------------ directory
+
+    def register(self, client: "CoherentFrontEndClient") -> None:
+        """Attach a front end to the bus."""
+        self._clients[client.client_id] = client
+
+    def note_cached(self, client_id: str, key: Hashable) -> None:
+        """Record that ``client_id`` now holds a copy of ``key``."""
+        holders = self._directory.setdefault(key, set())
+        holders.add(client_id)
+        self.stats.directory_size = sum(
+            len(h) for h in self._directory.values()
+        )
+        self.stats.peak_directory = max(
+            self.stats.peak_directory, self.stats.directory_size
+        )
+
+    def note_dropped(self, client_id: str, key: Hashable) -> None:
+        """Record that ``client_id`` no longer holds ``key``."""
+        holders = self._directory.get(key)
+        if holders is None:
+            return
+        holders.discard(client_id)
+        if not holders:
+            del self._directory[key]
+        self.stats.directory_size = sum(
+            len(h) for h in self._directory.values()
+        )
+
+    def holders_of(self, key: Hashable) -> frozenset[str]:
+        """Front ends currently holding ``key`` (test/analysis hook)."""
+        return frozenset(self._directory.get(key, frozenset()))
+
+    # -------------------------------------------------------------- fan-out
+
+    def broadcast_invalidation(self, writer_id: str, key: Hashable) -> int:
+        """Invalidate every remote copy of ``key``; returns messages sent."""
+        holders = list(self._directory.get(key, ()))
+        sent = 0
+        for client_id in holders:
+            if client_id == writer_id:
+                continue
+            client = self._clients.get(client_id)
+            if client is None:
+                continue
+            client.remote_invalidate(key)
+            sent += 1
+        if sent:
+            self.stats.messages += sent
+            self.stats.fanout_writes += 1
+        return sent
+
+
+class CoherentFrontEndClient(FrontEndClient):
+    """A front end whose local cache participates in invalidation fan-out.
+
+    Wraps the base protocol: admissions/evictions are reported to the
+    bus, and writes broadcast invalidations to the other registered front
+    ends *before* the write completes (strong ordering: no front end can
+    serve the old value after the writer's set returns).
+    """
+
+    def __init__(self, cluster, policy, bus: InvalidationBus, client_id: str) -> None:
+        super().__init__(cluster, policy, client_id=client_id)
+        self.bus = bus
+        bus.register(self)
+        # Keep the directory honest about capacity evictions: when the
+        # policy drops a key on its own, the incarnation disappears.
+        policy.eviction_listeners.append(
+            lambda key: bus.note_dropped(self.client_id, key)
+        )
+
+    # The base read path calls ``policy.admit``; intercept around it so
+    # the directory reflects what this front end actually holds.
+    def get(self, key: Hashable):
+        value = super().get(key)
+        if key in self.policy:
+            self.bus.note_cached(self.client_id, key)
+        return value
+
+    def set(self, key: Hashable, value) -> None:
+        self.bus.broadcast_invalidation(self.client_id, key)
+        super().set(key, value)
+        self.bus.note_dropped(self.client_id, key)
+
+    def delete(self, key: Hashable) -> None:
+        self.bus.broadcast_invalidation(self.client_id, key)
+        super().delete(key)
+        self.bus.note_dropped(self.client_id, key)
+
+    def remote_invalidate(self, key: Hashable) -> None:
+        """Handle an invalidation pushed by another front end's write."""
+        if key in self.policy:
+            self.policy.invalidate(key)
+            self.bus.stats.stale_dropped += 1
+        self.bus.note_dropped(self.client_id, key)

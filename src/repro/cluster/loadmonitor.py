@@ -1,0 +1,106 @@
+"""Front-end-local back-end load monitoring.
+
+CoT is decentralized: each front end measures *its own contribution* to
+back-end load-imbalance from the lookups it sends (Section 4.1 defines
+``I_c`` as the ratio between the most and least loaded back-end server *as
+observed at this front end* during an epoch). The paper's testbed patches
+spymemcached to do this; here the front-end client records every lookup it
+routes.
+
+Both lifetime and per-epoch windows are kept: lifetime counters feed the
+whole-experiment imbalance numbers of Figure 3 / Table 2, the epoch window
+feeds Algorithm 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import ClusterError
+
+__all__ = ["LoadMonitor", "load_imbalance"]
+
+
+def load_imbalance(loads: Mapping[str, int] | Iterable[int]) -> float:
+    """The paper's load-imbalance metric: max load / min load.
+
+    A server that received zero lookups is floored at 1 lookup so the
+    ratio stays finite (an idle server is "infinitely" imbalanced only in
+    the limit; the floor keeps epochs with tiny traffic comparable).
+    Returns 1.0 for empty input — a vacuously balanced system.
+    """
+    values = list(loads.values()) if isinstance(loads, Mapping) else list(loads)
+    if not values:
+        return 1.0
+    highest = max(values)
+    if highest <= 0:
+        return 1.0
+    lowest = max(min(values), 1)
+    return highest / lowest
+
+
+class LoadMonitor:
+    """Per-back-end lookup counters with lifetime and epoch windows."""
+
+    def __init__(self, servers: Iterable[str]) -> None:
+        server_list = list(servers)
+        if not server_list:
+            raise ClusterError("load monitor needs at least one server")
+        self._total: dict[str, int] = {s: 0 for s in server_list}
+        self._epoch: dict[str, int] = {s: 0 for s in server_list}
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def servers(self) -> tuple[str, ...]:
+        """Monitored server ids."""
+        return tuple(self._total)
+
+    def record_lookup(self, server: str) -> None:
+        """Count one lookup routed to ``server``.
+
+        Servers unknown at construction are registered on first sight —
+        the caching layer's topology changes under the front end when the
+        cluster scales out, and consistent hashing will route lookups to
+        the new shard before any reconfiguration notice.
+        """
+        if server not in self._total:
+            self._total[server] = 0
+            self._epoch[server] = 0
+        self._total[server] += 1
+        self._epoch[server] += 1
+
+    def total_loads(self) -> dict[str, int]:
+        """Lifetime lookup counts per server."""
+        return dict(self._total)
+
+    def epoch_loads(self) -> dict[str, int]:
+        """Lookup counts per server since the last epoch reset."""
+        return dict(self._epoch)
+
+    def total_lookups(self) -> int:
+        """Lifetime lookups across all servers."""
+        return sum(self._total.values())
+
+    def epoch_lookups(self) -> int:
+        """Epoch-window lookups across all servers."""
+        return sum(self._epoch.values())
+
+    def imbalance(self) -> float:
+        """Lifetime ``I`` = max/min over per-server lookup counts."""
+        return load_imbalance(self._total)
+
+    def epoch_imbalance(self) -> float:
+        """``I_c`` over the current epoch window (Algorithm 3 input)."""
+        return load_imbalance(self._epoch)
+
+    def reset_epoch(self) -> None:
+        """Start a new epoch window."""
+        for server in self._epoch:
+            self._epoch[server] = 0
+
+    def reset(self) -> None:
+        """Zero everything."""
+        for server in self._total:
+            self._total[server] = 0
+        self.reset_epoch()

@@ -1,0 +1,77 @@
+"""The persistent storage layer beneath the caching layer.
+
+In the paper's architecture (Figure 1) every key always exists in
+persistent storage; the caching layer and front-end caches hold copies.
+:class:`PersistentStore` models that: reads always succeed (values are
+synthesized lazily for never-written keys, so a million-key universe costs
+no memory up front), writes are authoritative, and read/write counters
+expose how much load leaks past both cache tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+__all__ = ["PersistentStore", "StorageStats"]
+
+
+@dataclass
+class StorageStats:
+    """Operation counters for the persistent layer."""
+
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+
+
+def _default_value_factory(key: Hashable) -> Any:
+    """Synthesize a deterministic placeholder value for an unwritten key."""
+    return ("value-of", key, 0)
+
+
+class PersistentStore:
+    """Authoritative key/value store with lazy default values.
+
+    Parameters
+    ----------
+    value_factory:
+        called to synthesize the value of a key that has never been
+        written (the pre-loaded dataset of the paper's experiments).
+        Deleted keys also revert to factory values on the next read,
+        matching a store where the loader re-creates records on demand.
+    """
+
+    def __init__(
+        self, value_factory: Callable[[Hashable], Any] = _default_value_factory
+    ) -> None:
+        self._written: dict[Hashable, Any] = {}
+        self._deleted: set[Hashable] = set()
+        self._value_factory = value_factory
+        self.stats = StorageStats()
+
+    def get(self, key: Hashable) -> Any:
+        """Read a key (never misses; synthesizes unwritten values)."""
+        self.stats.reads += 1
+        if key in self._written:
+            return self._written[key]
+        return self._value_factory(key)
+
+    def set(self, key: Hashable, value: Any) -> None:
+        """Authoritative write."""
+        self.stats.writes += 1
+        self._deleted.discard(key)
+        self._written[key] = value
+
+    def delete(self, key: Hashable) -> bool:
+        """Delete a written value; returns whether one existed."""
+        self.stats.deletes += 1
+        self._deleted.add(key)
+        return self._written.pop(key, None) is not None
+
+    def was_written(self, key: Hashable) -> bool:
+        """Whether ``key`` currently holds an explicitly written value."""
+        return key in self._written
+
+    def __len__(self) -> int:
+        return len(self._written)

@@ -1,0 +1,208 @@
+"""An indexed binary min-heap with O(log n) arbitrary updates.
+
+Both the space-saving tracker and CoT's cache (Section 4 of the paper) are
+described as min-heaps ordered by key hotness, paired with a hashmap so any
+key can be located in O(1) and re-prioritized in O(log n). This module
+provides that structure once, so the tracker heap (``S_{k-c}``) and the cache
+heap (``S_c``) share a single battle-tested implementation.
+
+Ties in priority are broken by insertion sequence number, which makes heap
+behaviour fully deterministic — important both for reproducible experiments
+and for property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+__all__ = ["IndexedMinHeap"]
+
+
+class IndexedMinHeap(Generic[K]):
+    """Binary min-heap over ``(priority, seq)`` pairs with a key→slot index.
+
+    Supports the operations CoT needs:
+
+    * ``push(key, priority)`` — insert a new key.
+    * ``peek()`` / ``pop()`` — inspect / remove the minimum-priority key.
+    * ``update(key, priority)`` — change a key's priority in place.
+    * ``remove(key)`` — delete an arbitrary key.
+    * ``min_priority()`` — the paper's ``h_min`` when used as the cache heap.
+
+    The heap intentionally has no built-in capacity: CoT's resizing algorithm
+    (Algorithm 3) changes capacities dynamically, so capacity policy lives in
+    the callers (:mod:`repro.core.tracker`, :mod:`repro.core.cache`).
+    """
+
+    __slots__ = ("_keys", "_priorities", "_seqs", "_pos", "_next_seq")
+
+    def __init__(self) -> None:
+        self._keys: list[K] = []
+        self._priorities: list[float] = []
+        self._seqs: list[int] = []
+        self._pos: dict[K, int] = {}
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------ api
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._pos
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate keys in arbitrary (heap array) order."""
+        return iter(list(self._keys))
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def push(self, key: K, priority: float) -> None:
+        """Insert ``key`` with ``priority``. Raises if already present."""
+        if key in self._pos:
+            raise ValueError(f"key already in heap: {key!r}")
+        self._keys.append(key)
+        self._priorities.append(priority)
+        self._seqs.append(self._next_seq)
+        self._next_seq += 1
+        idx = len(self._keys) - 1
+        self._pos[key] = idx
+        self._sift_up(idx)
+
+    def peek(self) -> tuple[K, float]:
+        """Return ``(key, priority)`` of the minimum without removing it."""
+        if not self._keys:
+            raise IndexError("peek on empty heap")
+        return self._keys[0], self._priorities[0]
+
+    def pop(self) -> tuple[K, float]:
+        """Remove and return ``(key, priority)`` of the minimum."""
+        if not self._keys:
+            raise IndexError("pop on empty heap")
+        key, priority = self._keys[0], self._priorities[0]
+        self._delete_at(0)
+        return key, priority
+
+    def remove(self, key: K) -> float:
+        """Remove an arbitrary ``key``; returns its priority."""
+        idx = self._pos[key]
+        priority = self._priorities[idx]
+        self._delete_at(idx)
+        return priority
+
+    def update(self, key: K, priority: float) -> None:
+        """Set ``key``'s priority and restore heap order."""
+        idx = self._pos[key]
+        old = self._priorities[idx]
+        self._priorities[idx] = priority
+        if priority < old:
+            self._sift_up(idx)
+        elif priority > old:
+            self._sift_down(idx)
+
+    def priority_of(self, key: K) -> float:
+        """Return the current priority of ``key``."""
+        return self._priorities[self._pos[key]]
+
+    def min_priority(self) -> float:
+        """Priority of the heap minimum (``h_min`` for a CoT cache heap)."""
+        if not self._keys:
+            raise IndexError("min_priority on empty heap")
+        return self._priorities[0]
+
+    def items(self) -> Iterator[tuple[K, float]]:
+        """Iterate ``(key, priority)`` pairs in arbitrary order."""
+        for i, key in enumerate(list(self._keys)):
+            yield key, self._priorities[i]
+
+    def clear(self) -> None:
+        """Remove every key."""
+        self._keys.clear()
+        self._priorities.clear()
+        self._seqs.clear()
+        self._pos.clear()
+
+    def scale_priorities(self, factor: float) -> None:
+        """Multiply every priority by ``factor`` (heap order is preserved).
+
+        Used by the half-life decay algorithm, which halves all hotness
+        values at once; a uniform positive scaling never reorders the heap.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        for i in range(len(self._priorities)):
+            self._priorities[i] *= factor
+
+    def nsmallest(self, n: int) -> list[tuple[K, float]]:
+        """Return the ``n`` smallest ``(key, priority)`` pairs, ascending."""
+        ordered = sorted(self.items(), key=lambda kv: kv[1])
+        return ordered[:n]
+
+    # ------------------------------------------------------------ internals
+
+    def _less(self, i: int, j: int) -> bool:
+        pi, pj = self._priorities[i], self._priorities[j]
+        if pi != pj:
+            return pi < pj
+        return self._seqs[i] < self._seqs[j]
+
+    def _swap(self, i: int, j: int) -> None:
+        keys, prios, seqs = self._keys, self._priorities, self._seqs
+        keys[i], keys[j] = keys[j], keys[i]
+        prios[i], prios[j] = prios[j], prios[i]
+        seqs[i], seqs[j] = seqs[j], seqs[i]
+        self._pos[keys[i]] = i
+        self._pos[keys[j]] = j
+
+    def _sift_up(self, idx: int) -> None:
+        while idx > 0:
+            parent = (idx - 1) >> 1
+            if self._less(idx, parent):
+                self._swap(idx, parent)
+                idx = parent
+            else:
+                break
+
+    def _sift_down(self, idx: int) -> None:
+        n = len(self._keys)
+        while True:
+            left = 2 * idx + 1
+            right = left + 1
+            smallest = idx
+            if left < n and self._less(left, smallest):
+                smallest = left
+            if right < n and self._less(right, smallest):
+                smallest = right
+            if smallest == idx:
+                return
+            self._swap(idx, smallest)
+            idx = smallest
+
+    def _delete_at(self, idx: int) -> None:
+        last = len(self._keys) - 1
+        key = self._keys[idx]
+        if idx != last:
+            self._swap(idx, last)
+        self._keys.pop()
+        self._priorities.pop()
+        self._seqs.pop()
+        del self._pos[key]
+        if idx < len(self._keys):
+            # The element swapped into ``idx`` may violate order either way.
+            moved = self._keys[idx]
+            self._sift_up(idx)
+            self._sift_down(self._pos[moved])
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (used by tests, not hot paths)."""
+        n = len(self._keys)
+        assert len(self._priorities) == n and len(self._seqs) == n
+        assert len(self._pos) == n
+        for key, idx in self._pos.items():
+            assert self._keys[idx] == key, "position map out of sync"
+        for i in range(1, n):
+            parent = (i - 1) >> 1
+            assert not self._less(i, parent), f"heap order violated at {i}"

@@ -1,0 +1,109 @@
+"""The dual-cost hotness model of Equation 1.
+
+The paper (Section 4.1) scores each tracked key with
+
+    h_k = k.r_c * r_w  -  k.u_c * u_w
+
+where ``r_c``/``u_c`` count read and update accesses and ``r_w``/``u_w``
+weight them. Updates *subtract* hotness because an update invalidates the
+key in every front-end cache: a frequently-updated key is a poor caching
+candidate no matter how often it is read.
+
+:class:`HotnessModel` holds the weights; :class:`KeyStats` holds the per-key
+counters that the tracker stores for each tracked key (8 bytes per node in
+the paper's accounting — two counters).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AccessType", "HotnessModel", "KeyStats"]
+
+
+class AccessType(enum.Enum):
+    """The two access classes the hotness model distinguishes."""
+
+    READ = "read"
+    UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class HotnessModel:
+    """Weights for the dual-cost hotness formula (Equation 1).
+
+    Parameters
+    ----------
+    read_weight:
+        ``r_w`` — hotness gained per read access. Must be positive.
+    update_weight:
+        ``u_w`` — hotness lost per update access. Must be non-negative.
+        ``0`` degenerates to a pure read-frequency model (the ablation
+        baseline in ``benchmarks/bench_ablation_hotness.py``).
+    """
+
+    read_weight: float = 1.0
+    update_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.read_weight <= 0:
+            raise ConfigurationError("read_weight must be > 0")
+        if self.update_weight < 0:
+            raise ConfigurationError("update_weight must be >= 0")
+
+    def hotness(self, read_count: float, update_count: float) -> float:
+        """Evaluate Equation 1 for raw counters."""
+        return read_count * self.read_weight - update_count * self.update_weight
+
+    def delta(self, access: AccessType) -> float:
+        """Hotness change contributed by one access of type ``access``."""
+        if access is AccessType.READ:
+            return self.read_weight
+        return -self.update_weight
+
+
+class KeyStats:
+    """Per-key tracking metadata: a read counter and an update counter.
+
+    Counters are floats so the half-life decay algorithm (which halves all
+    counters) keeps hotness exactly halved as well.
+    """
+
+    __slots__ = ("read_count", "update_count")
+
+    def __init__(self, read_count: float = 0.0, update_count: float = 0.0) -> None:
+        self.read_count = read_count
+        self.update_count = update_count
+
+    def record(self, access: AccessType) -> None:
+        """Bump the counter matching ``access``."""
+        if access is AccessType.READ:
+            self.read_count += 1.0
+        else:
+            self.update_count += 1.0
+
+    def hotness(self, model: HotnessModel) -> float:
+        """Current hotness of this key under ``model``."""
+        return model.hotness(self.read_count, self.update_count)
+
+    def decay(self, factor: float) -> None:
+        """Scale both counters by ``factor`` (0 < factor <= 1)."""
+        self.read_count *= factor
+        self.update_count *= factor
+
+    def seed_from_hotness(self, hotness: float, model: HotnessModel) -> None:
+        """Initialize counters so the key's hotness equals ``hotness``.
+
+        Implements the "benefit of the doubt" of Algorithm 1 line 4: a key
+        newly admitted to the tracker inherits the evicted key's hotness.
+        We express the inherited hotness purely as reads, which reproduces
+        the same ``h_k`` under Equation 1.
+        """
+        self.read_count = max(hotness, 0.0) / model.read_weight
+        self.update_count = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyStats(read_count={self.read_count}, update_count={self.update_count})"

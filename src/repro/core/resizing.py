@@ -1,0 +1,403 @@
+"""CoT's elastic resizing controller (paper Algorithm 3 + Section 5.4).
+
+The controller is **pure decision logic**: it consumes one
+:class:`~repro.core.epoch.EpochSnapshot` per epoch and emits a
+:class:`ResizeDecision`; applying decisions (actually resizing the cache,
+running decay, resetting counters) is the front end's job
+(:mod:`repro.core.elastic`). This separation makes the state machine
+directly unit-testable with synthetic epoch streams.
+
+The state machine reproduces the behaviour narrated in the paper's
+adaptive-resizing evaluation (Figures 7-8):
+
+``RATIO_SEARCH``
+    Phase 1 of auto-configuration: the cache size is held fixed while the
+    tracker doubles each (post-warm-up) epoch until the observed hit rate
+    per cache-line stops improving significantly; the tracker then steps
+    back to the last beneficial size (the paper's 16 → 8 dip at epoch 16).
+``SIZE_SEARCH``
+    Phase 2: cache and tracker double together (binary search, Algorithm 3
+    lines 1-5) until ``I_c ≤ I_t``; on success ``alpha_t`` is captured as
+    the quality of the cached keys at the moment the target was first met.
+``STEADY``
+    Algorithm 3's else-branch. Case 1 (both ``alpha_c`` and ``alpha_k_c``
+    below ``(1-ε)·alpha_t``): the cached-key quality collapsed — reset the
+    ratio to 2:1 and start shrinking. Case 2 (``alpha_c`` low but
+    ``alpha_k_c`` healthy): the hot set is rotating — trigger half-life
+    decay. Case 3: do nothing. A violated ``I_c > I_t`` re-enters
+    ``SIZE_SEARCH`` (doubling), resetting ``alpha_t``.
+``SHRINKING``
+    Figure 8's path: halve cache and tracker each epoch while the quality
+    stays below target and ``I_t`` holds, down to the configured minimum
+    sizes; recovery of quality or an ``I_t`` violation exits to ``STEADY``
+    / ``SIZE_SEARCH`` respectively.
+
+Every resize is followed by ``warmup_epochs`` observation-only epochs (the
+paper uses 5) so decisions are made on settled statistics, and no resize
+triggers while ``I_c`` is within ``imbalance_tolerance`` of ``I_t`` (the
+paper uses 2%).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.epoch import EpochSnapshot
+from repro.errors import ConfigurationError
+
+__all__ = ["Phase", "DecisionKind", "ResizeDecision", "ResizingController"]
+
+
+class Phase(enum.Enum):
+    """Controller state-machine phases."""
+
+    RATIO_SEARCH = "ratio_search"
+    SIZE_SEARCH = "size_search"
+    STEADY = "steady"
+    SHRINKING = "shrinking"
+
+
+class DecisionKind(enum.Enum):
+    """What the controller decided this epoch."""
+
+    NONE = "none"
+    WARMUP = "warmup"
+    DOUBLE_TRACKER = "double_tracker"
+    SETTLE_RATIO = "settle_ratio"
+    EXPAND = "expand"
+    TARGET_REACHED = "target_reached"
+    SHRINK = "shrink"
+    RESET_RATIO = "reset_ratio"
+    DECAY = "decay"
+
+
+@dataclass(frozen=True)
+class ResizeDecision:
+    """The controller's output for one epoch.
+
+    ``cache_capacity``/``tracker_capacity`` are the sizes to use from the
+    next epoch on (unchanged values mean "keep"); ``decay`` asks the front
+    end to run half-life decay over the tracker.
+    """
+
+    kind: DecisionKind
+    cache_capacity: int
+    tracker_capacity: int
+    decay: bool = False
+    note: str = ""
+
+    @property
+    def resized(self) -> bool:
+        """Whether this decision changes any capacity."""
+        return self.kind in (
+            DecisionKind.DOUBLE_TRACKER,
+            DecisionKind.SETTLE_RATIO,
+            DecisionKind.EXPAND,
+            DecisionKind.SHRINK,
+            DecisionKind.RESET_RATIO,
+        )
+
+
+class ResizingController:
+    """Decision logic for CoT's elastic cache/tracker sizing.
+
+    Parameters
+    ----------
+    target_imbalance:
+        ``I_t`` — the administrator's only input (paper Section 4.1).
+    epsilon:
+        the hysteresis constant of Algorithm 3 (``ε <<< 1``): quality is
+        "below target" only under ``(1 - epsilon) * alpha_t``.
+    imbalance_tolerance:
+        no resizing triggers while ``I_c <= I_t * (1 + tolerance)``
+        (the paper's "within 2% of I_t").
+    warmup_epochs:
+        observation-only epochs after every resize (paper: 5).
+    ratio_gain_threshold:
+        phase-1 significance: doubling the tracker must improve
+        ``alpha_c`` by this relative fraction to keep doubling.
+    min_alpha_gain:
+        absolute floor on "significant" improvement, so near-zero hit
+        rates (uniform workloads) don't chase noise.
+    min_cache / min_tracker:
+        smallest sizes the shrink path may reach (a minimal cache is kept
+        alive to detect future workload changes, per the paper).
+    max_cache / max_ratio:
+        safety rails for the doubling paths.
+    """
+
+    def __init__(
+        self,
+        target_imbalance: float = 1.1,
+        epsilon: float = 0.05,
+        imbalance_tolerance: float = 0.02,
+        warmup_epochs: int = 5,
+        ratio_gain_threshold: float = 0.10,
+        min_alpha_gain: float = 0.05,
+        min_cache: int = 1,
+        min_tracker: int = 2,
+        max_cache: int = 1 << 20,
+        max_ratio: int = 32,
+        futility_threshold: float = 0.02,
+        futility_rounds: int = 2,
+        min_imbalance_sample: int = 0,
+    ) -> None:
+        if target_imbalance < 1.0:
+            raise ConfigurationError("target imbalance must be >= 1.0")
+        if not 0 <= epsilon < 1:
+            raise ConfigurationError("epsilon must be in [0, 1)")
+        if warmup_epochs < 0:
+            raise ConfigurationError("warmup_epochs must be >= 0")
+        if min_cache < 1 or min_tracker <= min_cache:
+            raise ConfigurationError("need min_tracker > min_cache >= 1")
+        if max_ratio < 2:
+            raise ConfigurationError("max_ratio must be >= 2")
+        self.target_imbalance = target_imbalance
+        self.epsilon = epsilon
+        self.imbalance_tolerance = imbalance_tolerance
+        self.warmup_epochs = warmup_epochs
+        self.ratio_gain_threshold = ratio_gain_threshold
+        self.min_alpha_gain = min_alpha_gain
+        self.min_cache = min_cache
+        self.min_tracker = min_tracker
+        self.max_cache = max_cache
+        self.max_ratio = max_ratio
+        self.futility_threshold = futility_threshold
+        self.futility_rounds = futility_rounds
+        self.min_imbalance_sample = min_imbalance_sample
+
+        self.phase = Phase.RATIO_SEARCH
+        self.alpha_target = 0.0
+        self._warmup_remaining = warmup_epochs
+        self._ratio_baseline: float | None = None
+        self._ratio_prev_tracker: int | None = None
+        self._imbalance_before_expand: float | None = None
+        self._futile_expands = 0
+
+    # ----------------------------------------------------------- public api
+
+    @property
+    def effective_target(self) -> float:
+        """``I_t`` with the no-churn tolerance applied."""
+        return self.target_imbalance * (1.0 + self.imbalance_tolerance)
+
+    def observe(self, snapshot: EpochSnapshot) -> ResizeDecision:
+        """Consume one epoch summary and decide (the Algorithm 3 step)."""
+        if self._warmup_remaining > 0:
+            self._warmup_remaining -= 1
+            return self._keep(snapshot, DecisionKind.WARMUP, "warming up")
+        if self.phase is Phase.RATIO_SEARCH:
+            return self._observe_ratio_search(snapshot)
+        if self.phase is Phase.SIZE_SEARCH:
+            return self._observe_size_search(snapshot)
+        if self.phase is Phase.SHRINKING:
+            return self._observe_shrinking(snapshot)
+        return self._observe_steady(snapshot)
+
+    # ------------------------------------------------------------ internals
+
+    def _keep(
+        self, snapshot: EpochSnapshot, kind: DecisionKind, note: str
+    ) -> ResizeDecision:
+        return ResizeDecision(
+            kind, snapshot.cache_capacity, snapshot.tracker_capacity, note=note
+        )
+
+    def _resize(
+        self,
+        kind: DecisionKind,
+        cache: int,
+        tracker: int,
+        note: str,
+        decay: bool = False,
+    ) -> ResizeDecision:
+        cache = max(self.min_cache, min(cache, self.max_cache))
+        tracker = max(self.min_tracker, max(tracker, cache * 2))
+        self._warmup_remaining = self.warmup_epochs
+        return ResizeDecision(kind, cache, tracker, decay=decay, note=note)
+
+    def _quality_below_target(self, alpha: float) -> bool:
+        return alpha < (1.0 - self.epsilon) * self.alpha_target
+
+    def _violation(self, snapshot: EpochSnapshot) -> bool:
+        """``I_c > I_t`` beyond what sampling noise alone would produce.
+
+        Two guards (both default-off, both vanish at paper scale):
+
+        * the snapshot's ``noise_allowance`` scales the target up by the
+          max/min ratio a *perfectly balanced* system would show on the
+          same finite lookup sample;
+        * ``min_imbalance_sample`` (opt-in) hard-ignores violations
+          measured over fewer lookups than that.
+        """
+        threshold = self.effective_target * max(snapshot.noise_allowance, 1.0)
+        if snapshot.imbalance <= threshold:
+            return False
+        if self.min_imbalance_sample and 0 < snapshot.imbalance_sample < (
+            self.min_imbalance_sample
+        ):
+            return False
+        return True
+
+    # Phase 1: discover the tracker:cache ratio for this workload.
+
+    def _observe_ratio_search(self, snapshot: EpochSnapshot) -> ResizeDecision:
+        cache, tracker = snapshot.cache_capacity, snapshot.tracker_capacity
+        if self._ratio_baseline is None:
+            # First settled epoch at the initial ratio: record and double.
+            self._ratio_baseline = snapshot.alpha_c
+            self._ratio_prev_tracker = tracker
+            return self._resize(
+                DecisionKind.DOUBLE_TRACKER,
+                cache,
+                tracker * 2,
+                f"ratio probe: K {tracker} -> {tracker * 2}",
+            )
+        gain = snapshot.alpha_c - self._ratio_baseline
+        significant = gain > max(
+            self.ratio_gain_threshold * self._ratio_baseline, self.min_alpha_gain
+        )
+        at_cap = tracker * 2 > self.max_ratio * max(cache, 1)
+        if significant and not at_cap:
+            self._ratio_baseline = snapshot.alpha_c
+            self._ratio_prev_tracker = tracker
+            return self._resize(
+                DecisionKind.DOUBLE_TRACKER,
+                cache,
+                tracker * 2,
+                f"ratio probe: K {tracker} -> {tracker * 2}",
+            )
+        # No significant benefit from the last doubling: settle on the
+        # previous tracker size (the paper's dip back from 16 to 8).
+        settled = self._ratio_prev_tracker or tracker
+        self.phase = Phase.SIZE_SEARCH
+        self._ratio_baseline = None
+        self._ratio_prev_tracker = None
+        if settled != tracker:
+            return self._resize(
+                DecisionKind.SETTLE_RATIO,
+                cache,
+                settled,
+                f"ratio settled at {settled // max(cache, 1)}:1",
+            )
+        return self._keep(
+            snapshot, DecisionKind.SETTLE_RATIO, "ratio settled in place"
+        )
+
+    # Phase 2: binary-search the cache size that achieves I_t.
+
+    def _observe_size_search(self, snapshot: EpochSnapshot) -> ResizeDecision:
+        if not self._violation(snapshot):
+            self.alpha_target = snapshot.alpha_c
+            self.phase = Phase.STEADY
+            self._imbalance_before_expand = None
+            self._futile_expands = 0
+            return self._keep(
+                snapshot,
+                DecisionKind.TARGET_REACHED,
+                f"I_c={snapshot.imbalance:.3f} <= I_t; alpha_t={self.alpha_target:.3f}",
+            )
+        # Futility guard (deviation from the paper, documented in DESIGN.md):
+        # with low-skew workloads the measured I_c is dominated by sampling
+        # noise that no cache size can remove; if doubling stopped improving
+        # I_c for ``futility_rounds`` consecutive expansions, settle instead
+        # of doubling forever.
+        if self._imbalance_before_expand is not None:
+            improvement = self._imbalance_before_expand - snapshot.imbalance
+            if improvement < self.futility_threshold * self._imbalance_before_expand:
+                self._futile_expands += 1
+            else:
+                self._futile_expands = 0
+        if (
+            self._futile_expands >= self.futility_rounds
+            or snapshot.cache_capacity >= self.max_cache
+        ):
+            self.phase = Phase.STEADY
+            self.alpha_target = snapshot.alpha_c
+            self._imbalance_before_expand = None
+            self._futile_expands = 0
+            return self._keep(
+                snapshot,
+                DecisionKind.NONE,
+                "expansion no longer reduces I_c; settling at current size",
+            )
+        ratio = max(
+            2, snapshot.tracker_capacity // max(snapshot.cache_capacity, 1)
+        )
+        new_cache = max(1, snapshot.cache_capacity * 2)
+        self.alpha_target = snapshot.alpha_c
+        self._imbalance_before_expand = snapshot.imbalance
+        return self._resize(
+            DecisionKind.EXPAND,
+            new_cache,
+            new_cache * ratio,
+            f"I_c={snapshot.imbalance:.3f} > I_t: C -> {new_cache}",
+        )
+
+    # Steady state: Algorithm 3's else-branch.
+
+    def _observe_steady(self, snapshot: EpochSnapshot) -> ResizeDecision:
+        if self._violation(snapshot):
+            self.phase = Phase.SIZE_SEARCH
+            self._imbalance_before_expand = None
+            self._futile_expands = 0
+            return self._observe_size_search(snapshot)
+        cache_low = self._quality_below_target(snapshot.alpha_c)
+        tracker_low = self._quality_below_target(snapshot.alpha_k_c)
+        if cache_low and tracker_low:
+            if snapshot.cache_capacity <= self.min_cache:
+                # Already at the negligible floor kept to detect future
+                # workload changes; nothing left to shrink.
+                return self._keep(
+                    snapshot, DecisionKind.NONE, "quality low but at minimum sizes"
+                )
+            # Case 1: overall quality collapsed — begin the shrink path,
+            # first resetting the tracker ratio to 2:1 (Figure 8).
+            self.phase = Phase.SHRINKING
+            cache = snapshot.cache_capacity
+            return self._resize(
+                DecisionKind.RESET_RATIO,
+                cache,
+                max(cache * 2, self.min_tracker),
+                "quality collapsed; ratio reset to 2:1 before shrinking",
+            )
+        if cache_low and not tracker_low:
+            # Case 2: the hot set is rotating — decay old hotness.
+            return ResizeDecision(
+                DecisionKind.DECAY,
+                snapshot.cache_capacity,
+                snapshot.tracker_capacity,
+                decay=True,
+                note="tracked keys outperform cached keys: half-life decay",
+            )
+        # Case 3: cached keys still meet alpha_t — nothing to do.
+        return self._keep(snapshot, DecisionKind.NONE, "target met; quality ok")
+
+    # Shrink path: Figure 8's narrative.
+
+    def _observe_shrinking(self, snapshot: EpochSnapshot) -> ResizeDecision:
+        if self._violation(snapshot):
+            # Shrinking went too far: Algorithm 3 doubles back next epoch.
+            self.phase = Phase.SIZE_SEARCH
+            return self._observe_size_search(snapshot)
+        if not self._quality_below_target(snapshot.alpha_c):
+            # Quality recovered to alpha_t: the shrink is complete.
+            self.phase = Phase.STEADY
+            return self._keep(
+                snapshot, DecisionKind.NONE, "alpha recovered; shrink complete"
+            )
+        if snapshot.cache_capacity <= self.min_cache:
+            # Negligible cache retained to detect future workload changes.
+            self.phase = Phase.STEADY
+            return self._keep(
+                snapshot, DecisionKind.NONE, "at minimum sizes; shrink complete"
+            )
+        new_cache = max(self.min_cache, snapshot.cache_capacity // 2)
+        new_tracker = max(self.min_tracker, snapshot.tracker_capacity // 2)
+        return self._resize(
+            DecisionKind.SHRINK,
+            new_cache,
+            new_tracker,
+            f"shrinking: C -> {new_cache}",
+        )

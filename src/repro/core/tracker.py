@@ -1,0 +1,324 @@
+"""CoT's two-set heavy-hitter tracker (paper Sections 4.2-4.3).
+
+The paper describes one logical tracker of ``K`` keys whose minimum cached
+hotness ``h_min`` splits it into the cached set ``S_c`` (size ``C``) and the
+tracked-but-not-cached set ``S_{k-c}`` (size ``K - C``). We materialize the
+two sets as two :class:`~repro.core.heap.IndexedMinHeap` instances:
+
+* the **cache heap** holds ``S_c``; its root is ``h_min``;
+* the **rest heap** holds ``S_{k-c}``; its root is the space-saving victim.
+
+This layout realizes two paper invariants *by construction*:
+
+* ``S_c ⊆ S_k`` — a cached key can never be evicted from the tracker,
+  because space-saving replacement (Algorithm 1 lines 2-4) always evicts
+  from the rest heap;
+* the ``h_min`` split — membership in ``S_c`` vs ``S_{k-c}`` is explicit
+  rather than recomputed from hotness comparisons.
+
+The tracker stores only metadata (:class:`~repro.core.hotness.KeyStats`,
+two counters per key — the paper's 8 bytes/node accounting); values cached
+at the front end live in :class:`repro.core.cache.CoTCache`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generic, Hashable, Iterator, TypeVar
+
+from repro.core.heap import IndexedMinHeap
+from repro.core.hotness import AccessType, HotnessModel, KeyStats
+from repro.errors import ConfigurationError, KeyNotTrackedError
+
+K = TypeVar("K", bound=Hashable)
+
+__all__ = ["CoTTracker"]
+
+
+class CoTTracker(Generic[K]):
+    """Space-saving tracker with an embedded exact top-``C`` cached set.
+
+    Parameters
+    ----------
+    tracker_capacity:
+        ``K`` — total number of tracked keys (cached + not cached).
+    cache_capacity:
+        ``C`` — number of keys that may be marked cached. Must satisfy
+        ``0 <= C < K`` (``C`` may be 0: tracking without caching, used by
+        the resizing controller's ratio-discovery phase).
+    model:
+        the dual-cost :class:`~repro.core.hotness.HotnessModel` (Equation 1).
+    inherit_hotness:
+        Algorithm 1 line 4's "benefit of the doubt": newly tracked keys
+        inherit the evicted key's hotness. ``False`` starts newcomers at
+        zero instead — the ablation evaluated by
+        ``benchmarks/bench_ablation_inheritance.py``.
+    """
+
+    def __init__(
+        self,
+        tracker_capacity: int,
+        cache_capacity: int,
+        model: HotnessModel | None = None,
+        inherit_hotness: bool = True,
+    ) -> None:
+        if tracker_capacity < 1:
+            raise ConfigurationError("tracker capacity must be >= 1")
+        if cache_capacity < 0:
+            raise ConfigurationError("cache capacity must be >= 0")
+        if cache_capacity >= tracker_capacity:
+            raise ConfigurationError(
+                f"cache capacity ({cache_capacity}) must be < tracker "
+                f"capacity ({tracker_capacity}) so replacement victims exist"
+            )
+        self._tracker_capacity = tracker_capacity
+        self._cache_capacity = cache_capacity
+        self._model = model or HotnessModel()
+        self._inherit_hotness = inherit_hotness
+        self._cache_heap: IndexedMinHeap[K] = IndexedMinHeap()
+        self._rest_heap: IndexedMinHeap[K] = IndexedMinHeap()
+        self._stats: dict[K, KeyStats] = {}
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def tracker_capacity(self) -> int:
+        """``K`` — maximum number of tracked keys."""
+        return self._tracker_capacity
+
+    @property
+    def cache_capacity(self) -> int:
+        """``C`` — maximum number of cached keys."""
+        return self._cache_capacity
+
+    @property
+    def model(self) -> HotnessModel:
+        """The hotness model in effect."""
+        return self._model
+
+    def __len__(self) -> int:
+        return len(self._cache_heap) + len(self._rest_heap)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._stats
+
+    @property
+    def cached_count(self) -> int:
+        """Current ``|S_c|``."""
+        return len(self._cache_heap)
+
+    @property
+    def tracked_only_count(self) -> int:
+        """Current ``|S_{k-c}|``."""
+        return len(self._rest_heap)
+
+    def is_cached(self, key: K) -> bool:
+        """True when ``key`` is in ``S_c``."""
+        return key in self._cache_heap
+
+    def h_min(self) -> float:
+        """Minimum hotness among cached keys (paper's ``h_min``).
+
+        Returns ``-inf`` while the cache has free capacity, so that any
+        tracked key qualifies for insertion (Algorithm 2 line 6 always
+        admits keys into a non-full cache).
+        """
+        if len(self._cache_heap) < self._cache_capacity:
+            return -math.inf
+        if not self._cache_heap:
+            return math.inf  # cache capacity is 0: nothing ever qualifies
+        return self._cache_heap.min_priority()
+
+    def hotness_of(self, key: K) -> float:
+        """Current hotness of a tracked key."""
+        stats = self._stats.get(key)
+        if stats is None:
+            raise KeyNotTrackedError(key)
+        return stats.hotness(self._model)
+
+    def stats_of(self, key: K) -> KeyStats:
+        """Raw counters of a tracked key."""
+        stats = self._stats.get(key)
+        if stats is None:
+            raise KeyNotTrackedError(key)
+        return stats
+
+    # ------------------------------------------------------------- tracking
+
+    def track(self, key: K, access: AccessType = AccessType.READ) -> float:
+        """Algorithm 1 (``track_key``): record one access, return hotness.
+
+        If ``key`` is untracked and the tracker is full, the coldest
+        *non-cached* key is evicted and ``key`` inherits its hotness (the
+        "benefit of the doubt", line 4). The hotness is then updated with
+        the access delta and the owning heap re-ordered.
+        """
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = self._admit(key)
+        stats.record(access)
+        hotness = stats.hotness(self._model)
+        if key in self._cache_heap:
+            self._cache_heap.update(key, hotness)
+        else:
+            self._rest_heap.update(key, hotness)
+        return hotness
+
+    def _admit(self, key: K) -> KeyStats:
+        """Insert an untracked key, evicting the space-saving victim."""
+        stats = KeyStats()
+        if len(self) >= self._tracker_capacity:
+            if self._rest_heap:
+                victim, victim_hotness = self._rest_heap.pop()
+            else:
+                # Degenerate corner (all tracked keys are cached, possible
+                # transiently while the resizing controller shrinks K before
+                # C): sacrifice the coldest cached key.
+                victim, victim_hotness = self._cache_heap.pop()
+            del self._stats[victim]
+            if self._inherit_hotness:
+                stats.seed_from_hotness(victim_hotness, self._model)
+        initial_hotness = stats.hotness(self._model)
+        self._rest_heap.push(key, initial_hotness)
+        self._stats[key] = stats
+        return stats
+
+    # ----------------------------------------------------- cache membership
+
+    def qualifies_for_cache(self, key: K) -> bool:
+        """Algorithm 2 line 6: should this tracked key enter the cache?"""
+        if self._cache_capacity == 0:
+            return False
+        if key in self._cache_heap:
+            return False
+        return self.hotness_of(key) > self.h_min()
+
+    def promote(self, key: K) -> K | None:
+        """Move ``key`` from ``S_{k-c}`` into ``S_c``.
+
+        If the cache is full, the coldest cached key is demoted back into
+        ``S_{k-c}`` and returned, so the caller can drop its cached value.
+        Returns ``None`` when no demotion was necessary.
+        """
+        if key in self._cache_heap:
+            return None
+        if key not in self._rest_heap:
+            raise KeyNotTrackedError(key)
+        demoted: K | None = None
+        if len(self._cache_heap) >= self._cache_capacity:
+            if self._cache_capacity == 0:
+                raise ConfigurationError("cannot promote with cache capacity 0")
+            demoted, demoted_hotness = self._cache_heap.pop()
+            self._rest_heap.push(demoted, demoted_hotness)
+        hotness = self._rest_heap.remove(key)
+        self._cache_heap.push(key, hotness)
+        return demoted
+
+    def demote(self, key: K) -> None:
+        """Move ``key`` from ``S_c`` back into ``S_{k-c}``."""
+        if key not in self._cache_heap:
+            raise KeyNotTrackedError(key)
+        hotness = self._cache_heap.remove(key)
+        self._rest_heap.push(key, hotness)
+
+    def evict(self, key: K) -> None:
+        """Forget ``key`` entirely (used on delete/invalidation)."""
+        if key in self._cache_heap:
+            self._cache_heap.remove(key)
+        elif key in self._rest_heap:
+            self._rest_heap.remove(key)
+        else:
+            raise KeyNotTrackedError(key)
+        del self._stats[key]
+
+    # -------------------------------------------------------------- queries
+
+    def cached_keys(self) -> Iterator[K]:
+        """Iterate ``S_c`` in arbitrary order."""
+        return iter(self._cache_heap)
+
+    def tracked_only_keys(self) -> Iterator[K]:
+        """Iterate ``S_{k-c}`` in arbitrary order."""
+        return iter(self._rest_heap)
+
+    def tracked_keys(self) -> Iterator[K]:
+        """Iterate the whole tracked set ``S_k``."""
+        yield from self._cache_heap
+        yield from self._rest_heap
+
+    def top(self, n: int) -> list[tuple[K, float]]:
+        """The ``n`` hottest tracked keys, descending by hotness."""
+        everything = [(k, s.hotness(self._model)) for k, s in self._stats.items()]
+        everything.sort(key=lambda kv: -kv[1])
+        return everything[:n]
+
+    # ------------------------------------------------------------- resizing
+
+    def resize(self, tracker_capacity: int, cache_capacity: int) -> list[K]:
+        """Change ``K`` and ``C``; returns the cached keys that were dropped.
+
+        Shrinking evicts coldest-first: first the rest heap is trimmed to
+        the new ``K - |S_c|`` budget, then (if ``C`` shrank below ``|S_c|``)
+        the coldest cached keys are evicted outright. Evicted *cached* keys
+        are returned so the value store can release them.
+        """
+        if tracker_capacity < 1:
+            raise ConfigurationError("tracker capacity must be >= 1")
+        if cache_capacity < 0 or cache_capacity >= tracker_capacity:
+            raise ConfigurationError(
+                "cache capacity must satisfy 0 <= C < tracker capacity"
+            )
+        self._tracker_capacity = tracker_capacity
+        self._cache_capacity = cache_capacity
+
+        dropped_cached: list[K] = []
+        while len(self._cache_heap) > cache_capacity:
+            # Demote rather than delete: the key stays tracked (it may well
+            # be hotter than rest-heap keys) but its cached value is dropped.
+            key, hotness = self._cache_heap.pop()
+            self._rest_heap.push(key, hotness)
+            dropped_cached.append(key)
+        while len(self) > tracker_capacity:
+            if self._rest_heap:
+                key, _hotness = self._rest_heap.pop()
+                del self._stats[key]
+            else:  # pragma: no cover - unreachable: C < K is enforced
+                break
+        return dropped_cached
+
+    def decay(self, factor: float = 0.5) -> None:
+        """Scale every key's counters and hotness by ``factor``.
+
+        Implements the half-life decay hook of Algorithm 3 line 11 (the
+        paper triggers it but leaves the mechanism to cited work; see
+        :mod:`repro.core.decay` for the policies built on this primitive).
+
+        A uniform scale preserves heap order only when all hotness values
+        share a sign; with the dual-cost model values may be negative, and
+        scaling by ``0 < factor <= 1`` still preserves order because it is
+        a monotonic map. Heaps are scaled in place.
+        """
+        if not 0 < factor <= 1:
+            raise ConfigurationError("decay factor must be in (0, 1]")
+        for stats in self._stats.values():
+            stats.decay(factor)
+        self._cache_heap.scale_priorities(factor)
+        self._rest_heap.scale_priorities(factor)
+
+    # ----------------------------------------------------------- validation
+
+    def check_invariants(self) -> None:
+        """Assert the structural invariants (test hook)."""
+        self._cache_heap.check_invariants()
+        self._rest_heap.check_invariants()
+        assert len(self._cache_heap) <= self._cache_capacity
+        assert len(self) <= self._tracker_capacity
+        assert set(self._stats) == set(self._cache_heap) | set(self._rest_heap)
+        for key in self._stats:
+            in_cache = key in self._cache_heap
+            in_rest = key in self._rest_heap
+            assert in_cache != in_rest, f"key {key!r} in both/neither heap"
+        for heap in (self._cache_heap, self._rest_heap):
+            for key, priority in heap.items():
+                expected = self._stats[key].hotness(self._model)
+                assert math.isclose(priority, expected, rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the CoT reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class. Programming errors (bad arguments) raise standard
+``ValueError``/``TypeError`` subclasses of these where that is more idiomatic.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed or reconfigured with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """An operation would violate a structure's capacity invariants."""
+
+
+class KeyNotTrackedError(ReproError, KeyError):
+    """A tracker operation referenced a key that is not currently tracked."""
+
+
+class ClusterError(ReproError):
+    """A back-end cluster operation failed (unknown server, empty ring...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with an unknown id or bad scale."""

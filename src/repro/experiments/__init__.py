@@ -1,0 +1,36 @@
+"""Harnesses that regenerate every table and figure of the paper's
+evaluation (Section 5 + appendix), one module per artifact. See
+DESIGN.md's per-experiment index and ``python -m repro.experiments``."""
+
+from repro.experiments import (  # noqa: F401  (re-exported for the CLI)
+    appendix_tracker_size,
+    export,
+    extension_decay,
+    extension_distributions,
+    extension_edge_rtt,
+    fig3_cache_size_sweep,
+    fig4_hit_rates,
+    fig5_end_to_end,
+    fig6_single_client,
+    fig78_adaptive_resizing,
+    table2_min_cache,
+    ycsb_bug,
+)
+from repro.experiments.common import ExperimentResult, Scale
+
+__all__ = [
+    "ExperimentResult",
+    "Scale",
+    "appendix_tracker_size",
+    "export",
+    "extension_decay",
+    "extension_distributions",
+    "extension_edge_rtt",
+    "fig3_cache_size_sweep",
+    "fig4_hit_rates",
+    "fig5_end_to_end",
+    "fig6_single_client",
+    "fig78_adaptive_resizing",
+    "table2_min_cache",
+    "ycsb_bug",
+]

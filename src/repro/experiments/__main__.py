@@ -1,0 +1,90 @@
+"""CLI dispatcher: ``python -m repro.experiments <id> [--scale NAME]``.
+
+Experiment ids match DESIGN.md's per-experiment index: fig3, fig4,
+table2, fig5, fig6, fig7, fig8, figA, ycsb-bug — plus ``all`` to run the
+whole evaluation and print every table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    appendix_tracker_size,
+    extension_decay,
+    extension_distributions,
+    extension_edge_rtt,
+    fig3_cache_size_sweep,
+    fig4_hit_rates,
+    fig5_end_to_end,
+    fig6_single_client,
+    fig78_adaptive_resizing,
+    table2_min_cache,
+    ycsb_bug,
+)
+from repro.experiments.common import ExperimentResult, Scale
+
+__all__ = ["main", "RUNNERS"]
+
+
+def _run_fig4(scale: Scale) -> list[ExperimentResult]:
+    return fig4_hit_rates.run_all(scale=scale)
+
+
+RUNNERS: dict[str, Callable[[Scale], ExperimentResult | list[ExperimentResult]]] = {
+    "fig3": lambda scale: fig3_cache_size_sweep.run(scale=scale),
+    "fig4": _run_fig4,
+    "table2": lambda scale: table2_min_cache.run(scale=scale),
+    "fig5": lambda scale: fig5_end_to_end.run(scale=scale),
+    "fig6": lambda scale: fig6_single_client.run(scale=scale),
+    "fig7": lambda scale: fig78_adaptive_resizing.run_expand(scale=scale),
+    "fig8": lambda scale: fig78_adaptive_resizing.run_shrink(scale=scale),
+    "figA": lambda scale: appendix_tracker_size.run(scale=scale),
+    "ycsb-bug": lambda scale: ycsb_bug.run(scale=scale),
+    "ext-decay": lambda scale: extension_decay.run(scale=scale),
+    "ext-dists": lambda scale: extension_distributions.run(scale=scale),
+    "ext-edge-rtt": lambda scale: extension_edge_rtt.run(scale=scale),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.experiments`` / ``cot-experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="cot-experiments",
+        description="Regenerate the tables and figures of the CoT paper "
+        "(EDBT 2021) from this reproduction.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*RUNNERS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=["smoke", "default", "paper"],
+        help="workload sizing preset (default: 'default'; 'paper' is the "
+        "full 1M-key/10M-access setup and is slow in pure Python)",
+    )
+    args = parser.parse_args(argv)
+    scale = Scale.named(args.scale)
+
+    ids = list(RUNNERS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        started = time.perf_counter()
+        outcome = RUNNERS[experiment_id](scale)
+        elapsed = time.perf_counter() - started
+        results = outcome if isinstance(outcome, list) else [outcome]
+        for result in results:
+            print(result.render())
+            print()
+        print(f"[{experiment_id} completed in {elapsed:.1f}s at scale={scale.name}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

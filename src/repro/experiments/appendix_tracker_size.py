@@ -1,0 +1,70 @@
+"""Appendix figure: effect of tracker size on CoT's hit rate.
+
+Paper setup: Zipfian s=0.99, 10M accesses; for each fixed cache size
+C ∈ {1, 3, 7, ..., 511} the tracker is swept from 2C upward, and the hit
+rate is recorded. The finding: hit rate climbs steeply with the first few
+tracker doublings (up to 2.88× for small caches), then saturates around
+K = 16·C — which is why CoT's phase-1 ratio discovery doubles the tracker
+until the gain disappears.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import CoTCache
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    make_generator,
+    run_policy_stream,
+)
+
+__all__ = ["run", "EXPERIMENT_ID"]
+
+EXPERIMENT_ID = "figA"
+THETA = 0.99
+RATIOS = (2, 4, 8, 16, 32)
+
+
+def cache_sizes(key_space: int) -> list[int]:
+    """The paper's 2^k - 1 ladder, capped at ~0.5% of the key space."""
+    sizes = []
+    size = 1
+    while size <= max(31, key_space // 200):
+        sizes.append(size)
+        size = size * 2 + 1
+    return sizes
+
+
+def run(scale: Scale | None = None, sizes: list[int] | None = None) -> ExperimentResult:
+    """Regenerate the appendix tracker-size sweep."""
+    scale = scale or Scale.default()
+    sizes = sizes if sizes is not None else cache_sizes(scale.key_space)
+    rows: list[list[object]] = []
+    saturation_ratio: dict[int, int] = {}
+    for cache_size in sizes:
+        row: list[object] = [cache_size]
+        previous = None
+        for ratio in RATIOS:
+            policy = CoTCache(cache_size, tracker_capacity=ratio * cache_size)
+            generator = make_generator(
+                f"zipf-{THETA:g}", scale.key_space, scale.seed
+            )
+            hit_rate = run_policy_stream(policy, generator, scale.accesses)
+            row.append(round(hit_rate * 100, 2))
+            if previous is not None and hit_rate - previous < 0.002:
+                saturation_ratio.setdefault(cache_size, ratio)
+            previous = hit_rate
+        rows.append(row)
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=f"Appendix — CoT hit rate (%) vs tracker:cache ratio (Zipf {THETA})",
+        headers=["cache_lines", *[f"K={r}C" for r in RATIOS]],
+        rows=rows,
+        notes=[
+            f"{scale.accesses:,} accesses over {scale.key_space:,} keys",
+            "paper: gains saturate around K = 16C; early doublings matter "
+            "most for small caches",
+        ],
+        extras={"saturation_ratio": saturation_ratio, "scale": scale.name},
+    )

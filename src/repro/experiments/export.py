@@ -1,0 +1,154 @@
+"""Export and post-processing of experiment results.
+
+Experiment harnesses return :class:`ExperimentResult` row tables; this
+module turns them into durable artifacts (CSV/JSON) and computes the
+summary statistics the paper reports in prose:
+
+* :func:`win_matrix` — at how many sweep points does each policy beat
+  each other policy (the "CoT outperforms X at all cache sizes" claims);
+* :func:`cache_savings` — the "50% to 93.75% less cache" computation of
+  Table 2: relative line savings of one policy against the others;
+* :func:`convergence_summary` — epochs-to-converge and resize counts for
+  an elastic run (Figures 7-8 in two numbers).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.epoch import EpochRecord
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentResult
+
+__all__ = [
+    "to_csv",
+    "to_json",
+    "win_matrix",
+    "cache_savings",
+    "convergence_summary",
+]
+
+
+def to_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write a result's rows as CSV; returns the path."""
+    path = Path(path)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+    return path
+
+
+def to_json(result: ExperimentResult, path: str | Path) -> Path:
+    """Write a result (rows + metadata) as JSON; returns the path."""
+    path = Path(path)
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": result.rows,
+        "notes": result.notes,
+        "extras": {
+            key: value
+            for key, value in result.extras.items()
+            if isinstance(value, (int, float, str, bool, list, dict, type(None)))
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return path
+
+
+def win_matrix(
+    result: ExperimentResult, policies: Iterable[str]
+) -> dict[str, dict[str, int]]:
+    """Pairwise sweep-point wins between policy columns.
+
+    ``matrix[a][b]`` counts the rows where policy ``a``'s value strictly
+    exceeds policy ``b``'s (higher-is-better semantics, i.e. hit rates).
+    """
+    policies = list(policies)
+    for name in policies:
+        if name not in result.headers:
+            raise ExperimentError(f"no column named {name!r}")
+    columns = {name: result.column(name) for name in policies}
+    matrix: dict[str, dict[str, int]] = {}
+    for a in policies:
+        matrix[a] = {}
+        for b in policies:
+            if a == b:
+                continue
+            matrix[a][b] = sum(
+                1 for va, vb in zip(columns[a], columns[b]) if va > vb
+            )
+    return matrix
+
+
+def cache_savings(
+    result: ExperimentResult,
+    reference: str = "cot",
+    others: Iterable[str] = ("lru", "lfu", "arc", "lru2"),
+) -> dict[str, dict[str, float]]:
+    """Table 2's savings computation per distribution row.
+
+    For each row (distribution) and each competitor, the fraction of
+    cache-lines the reference policy saves: ``1 - ref_lines/other_lines``.
+    Rows where either side never reached the target are skipped.
+    The paper's headline is the min/max over this table: 50%-93.75%.
+    """
+    ref_column = result.column(reference)
+    savings: dict[str, dict[str, float]] = {}
+    for row_idx, row in enumerate(result.rows):
+        dist = str(row[0])
+        ref_lines = ref_column[row_idx]
+        if not isinstance(ref_lines, int):
+            continue
+        per_dist: dict[str, float] = {}
+        for other in others:
+            other_lines = result.column(other)[row_idx]
+            if not isinstance(other_lines, int) or other_lines == 0:
+                continue
+            per_dist[other] = 1.0 - ref_lines / other_lines
+        if per_dist:
+            savings[dist] = per_dist
+    return savings
+
+
+def convergence_summary(history: Iterable[EpochRecord]) -> dict[str, object]:
+    """Summarize an elastic run: when it converged and how much it moved.
+
+    Returns epochs-to-target (first ``target_reached`` decision), total
+    resize decisions, peak sizes, and final sizes.
+    """
+    records = list(history)
+    if not records:
+        raise ExperimentError("empty elastic history")
+    first_target: int | None = None
+    resizes = 0
+    decays = 0
+    peak_cache = 0
+    peak_tracker = 0
+    for record in records:
+        if record.decision == "target_reached" and first_target is None:
+            first_target = record.index
+        if record.decision in (
+            "expand", "shrink", "double_tracker", "settle_ratio", "reset_ratio"
+        ):
+            resizes += 1
+        if record.decision == "decay":
+            decays += 1
+        peak_cache = max(peak_cache, record.new_cache_capacity)
+        peak_tracker = max(peak_tracker, record.new_tracker_capacity)
+    last = records[-1]
+    return {
+        "epochs": len(records),
+        "epochs_to_target": first_target,
+        "resize_decisions": resizes,
+        "decay_triggers": decays,
+        "peak_cache": peak_cache,
+        "peak_tracker": peak_tracker,
+        "final_cache": last.new_cache_capacity,
+        "final_tracker": last.new_tracker_capacity,
+    }

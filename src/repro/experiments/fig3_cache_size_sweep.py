@@ -1,0 +1,100 @@
+"""Figure 3: the need for cache resizing.
+
+Paper setup: 8 memcached shards, 20 clients, Zipfian s=1.5 over 1M keys,
+10M lookups, CoT caches with a 4:1 tracker:cache ratio, front-end cache
+size swept from 0 to 2048 lines. Reported series:
+
+* back-end **load-imbalance** (max/min shard lookups) per cache size —
+  drops from 16.26 (no cache) to below the 1.5 target by 64 lines;
+* **relative server load** (back-end lookups vs the no-cache run) —
+  the first 64 lines absorb ~91% of back-end load, the next 64 only ~2%
+  more: the diminishing-returns argument for minimizing cache size.
+
+The sweep's maximum cache size scales with the key space (the paper's
+2048 lines ≈ 0.2% of its 1M keys).
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import CoTCache
+from repro.experiments.common import ExperimentResult, Scale, run_cluster_workload
+from repro.metrics.imbalance import load_imbalance
+
+__all__ = ["run", "EXPERIMENT_ID"]
+
+EXPERIMENT_ID = "fig3"
+
+#: The paper's Figure 3 parameters.
+THETA = 1.5
+TRACKER_RATIO = 4
+TARGET_IMBALANCE = 1.5
+
+
+def sweep_sizes(key_space: int) -> list[int]:
+    """0 plus powers of two up to ~0.2% of the key space (min 64)."""
+    max_size = max(64, key_space // 500)
+    sizes = [0]
+    size = 2
+    while size <= max_size:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def run(scale: Scale | None = None, sizes: list[int] | None = None) -> ExperimentResult:
+    """Regenerate Figure 3 at the given scale."""
+    scale = scale or Scale.default()
+    sizes = sizes if sizes is not None else sweep_sizes(scale.key_space)
+    dist = f"zipf-{THETA}"
+
+    rows: list[list[object]] = []
+    baseline_lookups: int | None = None
+    reached_at: int | None = None
+    for cache_size in sizes:
+        def factory(_i: int, size: int = cache_size) -> CoTCache:
+            # Size 0 is represented by a 1-line cache that never admits
+            # (tracker must exceed cache); simpler: capacity-0 CoT.
+            if size == 0:
+                return CoTCache(0, tracker_capacity=2)
+            return CoTCache(size, tracker_capacity=TRACKER_RATIO * size)
+
+        cluster, clients = run_cluster_workload(dist, scale, factory)
+        loads = cluster.loads()
+        total = sum(loads.values())
+        if baseline_lookups is None:
+            baseline_lookups = total
+        imbalance = load_imbalance(loads)
+        hits = sum(c.policy.stats.hits for c in clients)
+        accesses = sum(c.policy.stats.accesses for c in clients)
+        relative = total / baseline_lookups if baseline_lookups else 1.0
+        if reached_at is None and imbalance <= TARGET_IMBALANCE:
+            reached_at = cache_size
+        rows.append(
+            [
+                cache_size,
+                round(imbalance, 2),
+                round(relative, 4),
+                round(hits / accesses if accesses else 0.0, 4),
+            ]
+        )
+
+    notes = [
+        f"workload: Zipfian s={THETA}, {scale.key_space:,} keys, "
+        f"{scale.accesses:,} lookups, {scale.num_clients} clients, "
+        f"{scale.num_servers} shards, CoT tracker:cache = {TRACKER_RATIO}:1",
+        "paper: no-cache imbalance 16.26; 64 lines reach I_t=1.5 and cut "
+        "relative load by 91%; the second 64 lines add only ~2% more",
+    ]
+    if reached_at is not None:
+        notes.append(
+            f"measured: target I_t={TARGET_IMBALANCE} first reached at "
+            f"{reached_at} cache-lines"
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Figure 3 — load-imbalance & relative load vs front-end cache size",
+        headers=["cache_lines", "load_imbalance", "relative_server_load", "hit_rate"],
+        rows=rows,
+        notes=notes,
+        extras={"target_reached_at": reached_at, "scale": scale.name},
+    )

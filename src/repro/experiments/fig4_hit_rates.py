@@ -1,0 +1,84 @@
+"""Figure 4 (a, b, c): hit rate vs cache size for every policy.
+
+Paper setup: Zipfian workloads with s ∈ {0.90, 0.99, 1.2} over 1M keys,
+10M accesses, cache sizes 2 → 1024 lines, comparing LRU, LFU, ARC, LRU-2,
+CoT, and the theoretical perfect cache (TPC) computed from the Zipfian
+CDF. CoT's tracker:cache ratio is per-skew (16:1 / 8:1 / 4:1) and LRU-2's
+history is configured equal to CoT's tracker.
+
+Headline results to reproduce: CoT tracks TPC closely and beats every
+policy at every size; CoT reaches LRU/LFU's hit rate with ~75% fewer
+lines and ARC's with ~50% fewer; the CoT advantage narrows as skew grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    TRACKER_RATIOS,
+    make_generator,
+    run_policy_stream,
+)
+from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.workloads.zipfian import zipf_cdf
+
+__all__ = ["run", "run_all", "EXPERIMENT_ID", "SKEWS"]
+
+EXPERIMENT_ID = "fig4"
+SKEWS = (0.90, 0.99, 1.2)
+
+
+def sweep_sizes(key_space: int) -> list[int]:
+    """Powers of two from 2 up to ~1% of the key space (paper: 2→1024)."""
+    max_size = max(64, key_space // 100)
+    sizes = []
+    size = 2
+    while size <= max_size:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def run(
+    theta: float = 0.99,
+    scale: Scale | None = None,
+    sizes: list[int] | None = None,
+) -> ExperimentResult:
+    """Regenerate one Figure 4 panel (one skew value)."""
+    scale = scale or Scale.default()
+    sizes = sizes if sizes is not None else sweep_sizes(scale.key_space)
+    ratio = TRACKER_RATIOS.get(f"zipf-{theta:g}", 4)
+    dist = f"zipf-{theta:g}"
+
+    rows: list[list[object]] = []
+    for cache_size in sizes:
+        row: list[object] = [cache_size]
+        for name in POLICY_NAMES:
+            policy = make_policy(
+                name, cache_size, tracker_capacity=ratio * cache_size
+            )
+            generator = make_generator(dist, scale.key_space, scale.seed)
+            hit_rate = run_policy_stream(policy, generator, scale.accesses)
+            row.append(round(hit_rate * 100, 2))
+        row.append(round(zipf_cdf(cache_size, scale.key_space, theta) * 100, 2))
+        rows.append(row)
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=f"Figure 4 — hit rate (%) vs cache size, Zipfian s={theta:g}",
+        headers=["cache_lines", *POLICY_NAMES, "tpc"],
+        rows=rows,
+        notes=[
+            f"{scale.accesses:,} accesses over {scale.key_space:,} keys; "
+            f"CoT tracker (and LRU-2 history) = {ratio}:1 of cache size",
+            "paper: CoT ≈ TPC and above all policies at every size; the "
+            "advantage narrows as skew grows",
+        ],
+        extras={"theta": theta, "ratio": ratio, "scale": scale.name},
+    )
+
+
+def run_all(scale: Scale | None = None) -> list[ExperimentResult]:
+    """All three panels (s = 0.90, 0.99, 1.2)."""
+    return [run(theta, scale=scale) for theta in SKEWS]

@@ -1,0 +1,186 @@
+"""Table 2: minimum cache-lines per policy to reach back-end balance.
+
+Paper setup: for Zipfian s ∈ {0.9, 0.99, 1.2}, first measure the
+load-imbalance with no front-end cache, then for each policy (LRU, LFU,
+ARC, LRU-2, CoT) find the minimum number of cache-lines for which the
+back-end load-imbalance drops to the target I_t = 1.1.
+
+Paper's numbers (1M keys, I_t=1.1):
+
+    dist       no-cache   LRU   LFU   ARC   LRU-2   CoT
+    zipf 0.90      1.35    64    16    16       8     8
+    zipf 0.99      1.73   128    16    16      16     8
+    zipf 1.20      4.18  2048  2048  1024    1024   512
+
+Headline: CoT needs **50-93.75% fewer lines** than the others, and LRU-2
+(whose history equals CoT's tracker) is the runner-up — tracking beyond
+the cache is what buys balance per line.
+
+The candidate sizes are powers of two, as in the paper; imbalance is
+measured over the whole run's per-shard lookups.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.client import FrontEndClient
+from repro.cluster.cluster import CacheCluster
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    TRACKER_RATIOS,
+    make_generator,
+)
+from repro.metrics.imbalance import load_imbalance
+from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.workloads.base import format_key
+
+__all__ = ["run", "EXPERIMENT_ID", "TARGET_IMBALANCE"]
+
+EXPERIMENT_ID = "table2"
+TARGET_IMBALANCE = 1.1
+DISTS = ("zipf-0.9", "zipf-0.99", "zipf-1.2")
+#: Fraction of accesses used to warm the caches before measurement starts.
+#: The paper's 10M-access runs amortize cold-start misses away; at reduced
+#: scale the warm-up phase must be excluded explicitly or its (cache-less)
+#: skew dominates the measured imbalance.
+WARMUP_FRACTION = 0.25
+
+
+def _measure(
+    dist: str,
+    scale: Scale,
+    policy_name: str | None,
+    cache_size: int,
+    shares: dict[str, float] | None = None,
+) -> tuple[float, int]:
+    """Measure steady-state back-end imbalance for one configuration.
+
+    Clients are interleaved round-robin over independently seeded streams;
+    per-shard lookups are counted only after the warm-up fraction. When
+    ``shares`` (the ring's key-count share per shard) is given, loads are
+    normalized by them before taking max/min, removing the hashing
+    layer's systematic spread from the measurement. Returns
+    ``(imbalance, measured_lookups)``.
+    """
+    ratio = TRACKER_RATIOS.get(dist, 4)
+
+    def factory(_i: int):
+        if policy_name is None or cache_size == 0:
+            return make_policy("none", 0)
+        return make_policy(
+            policy_name, cache_size, tracker_capacity=ratio * cache_size
+        )
+
+    cluster = CacheCluster(
+        num_servers=scale.num_servers, capacity_bytes=1 << 40, value_size=1
+    )
+    clients = [
+        FrontEndClient(cluster, factory(i), client_id=f"front-{i}")
+        for i in range(scale.num_clients)
+    ]
+    generators = [
+        make_generator(dist, scale.key_space, scale.seed + i)
+        for i in range(scale.num_clients)
+    ]
+    per_client = scale.accesses // scale.num_clients
+    warmup = int(per_client * WARMUP_FRACTION)
+    for j in range(per_client):
+        if j == warmup:
+            cluster.reset_epoch()
+        for client, generator in zip(clients, generators):
+            client.get(format_key(generator.next_key()))
+    loads = cluster.epoch_loads()
+    sample = sum(loads.values())
+    if shares is None:
+        return load_imbalance(loads), sample
+    normalized = {
+        sid: count / max(shares.get(sid, 0.0), 1e-12)
+        for sid, count in loads.items()
+    }
+    return load_imbalance({s: int(round(v)) for s, v in normalized.items()}), sample
+
+
+def _ring_shares(scale: Scale) -> dict[str, float]:
+    """Expected per-shard key-count shares of the deterministic ring."""
+    cluster = CacheCluster(
+        num_servers=scale.num_servers, capacity_bytes=1 << 40, value_size=1
+    )
+    counts = {sid: 0 for sid in cluster.server_ids}
+    for key_id in range(scale.key_space):
+        counts[cluster.ring.server_for(format_key(key_id))] += 1
+    return {sid: count / scale.key_space for sid, count in counts.items()}
+
+
+def _noise_allowance(sample: int, num_servers: int) -> float:
+    """Multiplicative slack on the target for a finite lookup sample.
+
+    For ``n`` balanced lookups over ``k`` shards the per-shard relative
+    standard deviation is ``sqrt((k-1)/n)``; the expected max-min spread
+    across k≈8 shards is ≈2.9 of those, so the measured max/min ratio of
+    a *perfectly balanced* system concentrates near ``1 + 3σ``. At paper
+    scale the allowance vanishes (<1% at 1M lookups).
+    """
+    if sample <= 0:
+        return 1.0
+    sigma = math.sqrt((num_servers - 1) / sample)
+    return 1.0 + 3.2 * sigma
+
+
+def _candidate_sizes(key_space: int) -> list[int]:
+    """Powers of two up to ~2% of the key space."""
+    sizes = []
+    size = 2
+    while size <= max(512, key_space // 40):
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def run(scale: Scale | None = None, target: float = TARGET_IMBALANCE) -> ExperimentResult:
+    """Regenerate Table 2 at the given scale.
+
+    At reduced scales the measured max/min ratio of even a perfectly
+    balanced back end sits above 1.0: finite lookup samples have binomial
+    spread, and small key spaces give the ring uneven key shares. Two
+    corrections make the paper's acceptance test scale-invariant (both
+    vanish at paper scale): per-shard loads are normalized by the ring's
+    deterministic key shares, and the target gets a noise allowance
+    derived from each trial's measured sample size (see
+    :func:`_noise_allowance`).
+    """
+    scale = scale or Scale.default()
+    shares = _ring_shares(scale)
+    rows: list[list[object]] = []
+    for dist in DISTS:
+        no_cache, _ = _measure(dist, scale, None, 0)
+        row: list[object] = [dist, round(no_cache, 2)]
+        for name in POLICY_NAMES:
+            found: object = "-"
+            for size in _candidate_sizes(scale.key_space):
+                imbalance, sample = _measure(dist, scale, name, size, shares)
+                if imbalance <= target * _noise_allowance(
+                    sample, scale.num_servers
+                ):
+                    found = size
+                    break
+            row.append(found)
+        rows.append(row)
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=f"Table 2 — min cache-lines to reach I_t = {target}",
+        headers=["dist", "no_cache_imbalance", *POLICY_NAMES],
+        rows=rows,
+        notes=[
+            f"{scale.accesses:,} lookups over {scale.key_space:,} keys, "
+            f"{scale.num_clients} clients, {scale.num_servers} shards; "
+            "candidate sizes are powers of two ('-' = never reached)",
+            "loads normalized by ring key shares; target gets a per-trial "
+            "finite-sample noise allowance (vanishes at paper scale)",
+            "paper (1M keys): no-cache 1.35/1.73/4.18; CoT needs 8/8/512 "
+            "lines vs 64/128/2048 for LRU — 50% to 93.75% less cache",
+        ],
+        extras={"target": target, "scale": scale.name},
+    )

@@ -1,0 +1,29 @@
+"""Measurement utilities: imbalance metrics, latency percentiles, series
+recording, and plain-text table rendering for the experiment harnesses."""
+
+from repro.metrics.imbalance import (
+    ImbalanceSummary,
+    coefficient_of_variation,
+    load_imbalance,
+    peak_to_mean,
+    relative_load,
+    summarize_loads,
+)
+from repro.metrics.latency import LatencyRecorder, percentile
+from repro.metrics.series import SeriesRecorder, sparkline
+from repro.metrics.table import format_cell, render_table
+
+__all__ = [
+    "ImbalanceSummary",
+    "coefficient_of_variation",
+    "load_imbalance",
+    "peak_to_mean",
+    "relative_load",
+    "summarize_loads",
+    "LatencyRecorder",
+    "percentile",
+    "SeriesRecorder",
+    "sparkline",
+    "format_cell",
+    "render_table",
+]

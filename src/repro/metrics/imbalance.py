@@ -1,0 +1,88 @@
+"""Load-imbalance and dispersion metrics over per-server loads.
+
+The paper's headline metric is the max/min lookup ratio (re-exported from
+:mod:`repro.cluster.loadmonitor`); research practice also reports
+max/mean ("peak over fair share") and the coefficient of variation, which
+are provided here for the ablation benches and richer experiment output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.cluster.loadmonitor import load_imbalance
+
+__all__ = [
+    "load_imbalance",
+    "peak_to_mean",
+    "coefficient_of_variation",
+    "relative_load",
+    "ImbalanceSummary",
+    "summarize_loads",
+]
+
+
+def _values(loads: Mapping[str, int] | Iterable[int]) -> list[int]:
+    if isinstance(loads, Mapping):
+        return list(loads.values())
+    return list(loads)
+
+
+def peak_to_mean(loads: Mapping[str, int] | Iterable[int]) -> float:
+    """Max load divided by mean load (1.0 == perfectly balanced)."""
+    values = _values(loads)
+    if not values:
+        return 1.0
+    mean = sum(values) / len(values)
+    return max(values) / mean if mean > 0 else 1.0
+
+
+def coefficient_of_variation(loads: Mapping[str, int] | Iterable[int]) -> float:
+    """Standard deviation over mean of per-server loads."""
+    values = _values(loads)
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(variance) / mean
+
+
+def relative_load(current_total: int, baseline_total: int) -> float:
+    """Back-end load relative to a no-front-end-cache baseline.
+
+    Figure 3's second series: ``server load with cache / server load
+    without cache`` (1.0 == no reduction).
+    """
+    if baseline_total <= 0:
+        return 1.0
+    return current_total / baseline_total
+
+
+class ImbalanceSummary:
+    """Bundle of the three imbalance views for one load snapshot."""
+
+    __slots__ = ("max_min", "peak_mean", "cv", "total")
+
+    def __init__(self, loads: Mapping[str, int] | Iterable[int]) -> None:
+        values = _values(loads)
+        self.max_min = load_imbalance(values)
+        self.peak_mean = peak_to_mean(values)
+        self.cv = coefficient_of_variation(values)
+        self.total = sum(values)
+
+    def as_row(self) -> dict[str, float | int]:
+        """Flatten for table output."""
+        return {
+            "imbalance": round(self.max_min, 4),
+            "peak_to_mean": round(self.peak_mean, 4),
+            "cv": round(self.cv, 4),
+            "total_lookups": self.total,
+        }
+
+
+def summarize_loads(loads: Mapping[str, int] | Iterable[int]) -> ImbalanceSummary:
+    """Convenience constructor matching the functional style of the module."""
+    return ImbalanceSummary(loads)

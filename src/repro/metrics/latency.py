@@ -1,0 +1,93 @@
+"""Latency aggregation: percentiles and a bounded reservoir sampler.
+
+End-to-end experiments report means; tail latency is what load-imbalance
+actually hurts first (the paper cites drastic tail-latency increases), so
+the harness records full distributions via reservoir sampling with a
+fixed memory bound and exact small-sample behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LatencyRecorder", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of ``samples``."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+class LatencyRecorder:
+    """Streaming mean/min/max plus a reservoir for percentiles.
+
+    Algorithm R reservoir sampling: every recorded value is kept until
+    ``reservoir_size`` is reached, after which each new value replaces a
+    uniformly random slot with probability ``size/count`` — an unbiased
+    sample of the whole stream in O(size) memory.
+    """
+
+    def __init__(self, reservoir_size: int = 10_000, seed: int | None = None) -> None:
+        if reservoir_size < 1:
+            raise ConfigurationError("reservoir_size must be >= 1")
+        self._reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
+        self._samples: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one latency observation (seconds)."""
+        self.count += 1
+        self.total += value
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+        if len(self._samples) < self._reservoir_size:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._reservoir_size:
+                self._samples[slot] = value
+
+    def samples(self) -> list[float]:
+        """A copy of the current reservoir (for merging across clients)."""
+        return list(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile from the reservoir."""
+        return percentile(self._samples, q)
+
+    def summary(self) -> dict[str, float]:
+        """Mean/p50/p99/max bundle for table output."""
+        if not self.count:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.max_value,
+        }

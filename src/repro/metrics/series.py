@@ -1,0 +1,99 @@
+"""Time-series recording for the elasticity figures.
+
+Figures 7-8 plot cache size, tracker size, ``I_c`` and ``alpha_c`` against
+the epoch number. :class:`SeriesRecorder` collects named series with a
+shared x-axis and renders them as aligned columns (and simple ASCII
+sparklines for quick terminal inspection).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.metrics.table import render_table
+
+__all__ = ["SeriesRecorder", "sparkline"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render values as a unicode sparkline, downsampled to ``width``."""
+    if not values:
+        return ""
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    low, high = min(values), max(values)
+    if high == low:
+        return _SPARK_CHARS[0] * len(values)
+    span = high - low
+    return "".join(
+        _SPARK_CHARS[int((v - low) / span * (len(_SPARK_CHARS) - 1))]
+        for v in values
+    )
+
+
+class SeriesRecorder:
+    """Named, equal-length series sharing one x-axis."""
+
+    def __init__(self, x_name: str = "epoch") -> None:
+        self.x_name = x_name
+        self._x: list[float] = []
+        self._series: dict[str, list[float]] = {}
+
+    def add_point(self, x: float, **values: float) -> None:
+        """Append one x value and one value per named series.
+
+        Every call must supply the same set of series names (first call
+        defines them), keeping the table rectangular.
+        """
+        if not self._x:
+            for name in values:
+                self._series[name] = []
+        elif set(values) != set(self._series):
+            raise ConfigurationError(
+                f"series mismatch: expected {sorted(self._series)}, "
+                f"got {sorted(values)}"
+            )
+        self._x.append(x)
+        for name, value in values.items():
+            self._series[name].append(value)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Series names in insertion order."""
+        return tuple(self._series)
+
+    def __len__(self) -> int:
+        return len(self._x)
+
+    def series(self, name: str) -> list[float]:
+        """A copy of one series' values."""
+        return list(self._series[name])
+
+    def x_values(self) -> list[float]:
+        """A copy of the x-axis."""
+        return list(self._x)
+
+    def to_table(self, title: str | None = None, every: int = 1) -> str:
+        """Render the series as an aligned table (``every`` subsamples)."""
+        headers = [self.x_name, *self._series]
+        rows = [
+            [self._x[i], *(self._series[name][i] for name in self._series)]
+            for i in range(0, len(self._x), max(every, 1))
+        ]
+        return render_table(headers, rows, title=title)
+
+    def to_sparklines(self, width: int = 60) -> str:
+        """One sparkline per series, labelled, for terminal overviews."""
+        label_width = max((len(n) for n in self._series), default=0)
+        lines = []
+        for name, values in self._series.items():
+            low, high = (min(values), max(values)) if values else (0.0, 0.0)
+            lines.append(
+                f"{name.rjust(label_width)} [{low:g}..{high:g}] "
+                f"{sparkline(values, width)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment harness prints the same rows/series the paper reports;
+this renderer keeps that output aligned and diff-friendly with zero
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Render one cell: floats get 4 significant decimals, rest ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5], [30, "x"]]))
+    a  | b
+    ---+----
+    1  | 2.5
+    30 | x
+    """
+    rendered_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def joined(cells: Sequence[str]) -> str:
+        padded = [
+            cell.ljust(widths[i]) if i < len(cells) - 1 else cell
+            for i, cell in enumerate(cells)
+        ]
+        return " | ".join(padded)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(joined(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(joined(row))
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Least-Frequently-Used replacement (Section 3 baseline).
+
+Implemented the way the paper describes it — a min-heap over in-cache
+frequencies, O(log C) per access. Frequency state exists only for cached
+keys, which is precisely the limitation the paper highlights: LFU "cannot
+develop a wider perspective about the hotness distribution outside of its
+static cache size", and old frequency builds up with no aging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+from repro.core.heap import IndexedMinHeap
+from repro.policies.base import MISSING, CachePolicy
+
+__all__ = ["LFUCache"]
+
+
+class LFUCache(CachePolicy):
+    """In-cache LFU using an indexed min-heap keyed by access frequency.
+
+    Newly admitted keys start at frequency 1; the heap root (the least
+    frequently used cached key) is the eviction victim. Ties are broken by
+    insertion order (older entries evicted first), which matches the usual
+    min-heap implementation the paper assumes.
+    """
+
+    name = "lfu"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._heap: IndexedMinHeap[Hashable] = IndexedMinHeap()
+        self._values: dict[Hashable, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._values
+
+    def cached_keys(self) -> Iterator[Hashable]:
+        return iter(list(self._values))
+
+    def frequency_of(self, key: Hashable) -> float:
+        """Current in-cache frequency counter of ``key`` (test hook)."""
+        return self._heap.priority_of(key)
+
+    def _lookup(self, key: Hashable) -> Any:
+        if key not in self._values:
+            return MISSING
+        self._heap.update(key, self._heap.priority_of(key) + 1.0)
+        return self._values[key]
+
+    def _admit(self, key: Hashable, value: Any) -> None:
+        if key in self._values:
+            self._values[key] = value
+            self._heap.update(key, self._heap.priority_of(key) + 1.0)
+            return
+        if len(self._values) >= self._capacity:
+            victim, _freq = self._heap.pop()
+            del self._values[victim]
+            self.stats.record_eviction()
+            self._notify_evicted(victim)
+        self._heap.push(key, 1.0)
+        self._values[key] = value
+        self.stats.record_insertion()
+
+    def _invalidate(self, key: Hashable) -> bool:
+        if key not in self._values:
+            return False
+        del self._values[key]
+        self._heap.remove(key)
+        return True
+
+    def _resize(self, capacity: int) -> None:
+        while len(self._values) > capacity:
+            victim, _freq = self._heap.pop()
+            del self._values[victim]
+            self.stats.record_eviction()
+            self._notify_evicted(victim)

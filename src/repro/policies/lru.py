@@ -1,0 +1,61 @@
+"""Least-Recently-Used replacement (Section 3 baseline).
+
+O(1) per access via an ordered dictionary. The paper's critique — cold keys
+that happen to be accessed recently evict hotter keys — is what the hit-rate
+experiments (Figure 4) quantify against CoT.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator
+
+from repro.policies.base import MISSING, CachePolicy
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache(CachePolicy):
+    """Classic LRU cache over an :class:`collections.OrderedDict`."""
+
+    name = "lru"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def cached_keys(self) -> Iterator[Hashable]:
+        return iter(list(self._entries))
+
+    def _lookup(self, key: Hashable) -> Any:
+        if key not in self._entries:
+            return MISSING
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def _admit(self, key: Hashable, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        if len(self._entries) >= self._capacity:
+            victim, _value = self._entries.popitem(last=False)
+            self.stats.record_eviction()
+            self._notify_evicted(victim)
+        self._entries[key] = value
+        self.stats.record_insertion()
+
+    def _invalidate(self, key: Hashable) -> bool:
+        return self._entries.pop(key, MISSING) is not MISSING
+
+    def _resize(self, capacity: int) -> None:
+        while len(self._entries) > capacity:
+            victim, _value = self._entries.popitem(last=False)
+            self.stats.record_eviction()
+            self._notify_evicted(victim)

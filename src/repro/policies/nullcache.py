@@ -1,0 +1,47 @@
+"""The no-front-end-cache configuration (the paper's "no cache" baseline).
+
+Every lookup misses; every admission is declined. Used for the cache-size-0
+points of Figure 3, the "No Cache" bars of Figures 5-6, and the no-cache
+load-imbalance column of Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+from repro.policies.base import MISSING, CachePolicy
+
+__all__ = ["NullCache"]
+
+
+class NullCache(CachePolicy):
+    """A cache that never caches anything."""
+
+    name = "none"
+
+    def __init__(self, capacity: int = 0) -> None:
+        # Capacity is accepted for interface uniformity but always zero.
+        super().__init__(0)
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return False
+
+    def cached_keys(self) -> Iterator[Hashable]:
+        return iter(())
+
+    def _lookup(self, key: Hashable) -> Any:
+        return MISSING
+
+    def _admit(self, key: Hashable, value: Any) -> None:  # pragma: no cover
+        # Unreachable: base class short-circuits on capacity 0.
+        return None
+
+    def _invalidate(self, key: Hashable) -> bool:
+        return False
+
+    def _resize(self, capacity: int) -> None:
+        if capacity != 0:
+            raise ValueError("NullCache capacity is fixed at 0")

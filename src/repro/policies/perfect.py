@@ -1,0 +1,83 @@
+"""The perfect-cache oracle ("TPC" in the paper's Figure 4).
+
+Fan et al.'s load-balancing analysis — the theoretical foundation the CoT
+paper builds on — assumes a *perfect cache*: accesses to the ``C`` hottest
+keys always hit, every other access always misses. The paper plots the
+matching theoretical hit-rate curve (computed from the Zipfian CDF) as the
+"TPC" series; we additionally provide an executable oracle that can be
+dropped into any experiment in place of a real policy, which is how the
+load-imbalance harness validates its plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.policies.base import MISSING, CachePolicy
+
+__all__ = ["PerfectCache"]
+
+
+class PerfectCache(CachePolicy):
+    """Oracle that caches a fixed, externally supplied hot set.
+
+    Parameters
+    ----------
+    capacity:
+        number of cache-lines ``C``.
+    hot_keys:
+        the true ``C`` hottest keys, in descending hotness order. Only the
+        first ``capacity`` entries are used.
+    """
+
+    name = "perfect"
+
+    def __init__(self, capacity: int, hot_keys: Iterable[Hashable]) -> None:
+        super().__init__(capacity)
+        ranked = list(hot_keys)[:capacity]
+        self._hot: set[Hashable] = set(ranked)
+        self._values: dict[Hashable, Any] = {}
+
+    @classmethod
+    def for_zipfian(cls, capacity: int, key_space: int) -> "PerfectCache":
+        """Oracle for a Zipfian workload over ranks ``0..key_space-1``.
+
+        YCSB's ZipfianGenerator emits rank ``i`` with probability
+        proportional to ``1/(i+1)^s``, so the hottest ``C`` keys are simply
+        ranks ``0..C-1`` regardless of the skew parameter.
+        """
+        return cls(capacity, range(min(capacity, key_space)))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._values
+
+    def cached_keys(self) -> Iterator[Hashable]:
+        return iter(list(self._values))
+
+    @property
+    def hot_set(self) -> frozenset[Hashable]:
+        """The oracle's fixed hot set."""
+        return frozenset(self._hot)
+
+    def _lookup(self, key: Hashable) -> Any:
+        if key in self._values:
+            return self._values[key]
+        return MISSING
+
+    def _admit(self, key: Hashable, value: Any) -> None:
+        if key in self._hot:
+            self._values[key] = value
+            self.stats.record_insertion()
+
+    def _invalidate(self, key: Hashable) -> bool:
+        return self._values.pop(key, MISSING) is not MISSING
+
+    def _resize(self, capacity: int) -> None:
+        # The oracle's hot set is fixed at construction; shrinking simply
+        # drops cached values beyond the new capacity (hot set unchanged —
+        # resizing a true oracle requires re-ranking, i.e. a new instance).
+        while len(self._values) > capacity:
+            self._values.popitem()

@@ -1,0 +1,98 @@
+"""Name-based construction of cache policies for the experiment harnesses.
+
+Experiment configs refer to policies by the short names used in the paper's
+plots (``lru``, ``lfu``, ``arc``, ``lru2``, ``cot``, ``none``); the registry
+turns a name plus sizing parameters into a ready policy instance, applying
+the paper's pairing rule that LRU-2's history size equals CoT's tracker
+size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from repro.core.cache import CoTCache
+from repro.core.hotness import HotnessModel
+from repro.errors import ConfigurationError
+from repro.policies.arc import ARCCache
+from repro.policies.base import CachePolicy
+from repro.policies.lfu import LFUCache
+from repro.policies.lru import LRUCache
+from repro.policies.lruk import LRUKCache
+from repro.policies.nullcache import NullCache
+from repro.policies.perfect import PerfectCache
+
+__all__ = ["POLICY_NAMES", "make_policy", "register_policy"]
+
+PolicyFactory = Callable[..., CachePolicy]
+
+_FACTORIES: dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Register a custom policy factory under ``name`` (extension hook)."""
+    if name in _FACTORIES:
+        raise ConfigurationError(f"policy name already registered: {name}")
+    _FACTORIES[name] = factory
+
+
+def make_policy(
+    name: str,
+    capacity: int,
+    *,
+    tracker_capacity: int | None = None,
+    model: HotnessModel | None = None,
+    hot_keys: Iterable[Hashable] | None = None,
+    k: int = 2,
+) -> CachePolicy:
+    """Construct the policy ``name`` with ``capacity`` cache-lines.
+
+    Parameters
+    ----------
+    tracker_capacity:
+        CoT's ``K`` / LRU-2's history size. The paper always configures
+        LRU-2's history equal to CoT's tracker, so one knob drives both.
+    model:
+        hotness model for CoT (ignored by other policies).
+    hot_keys:
+        required for ``perfect``: the true hottest keys, descending.
+    k:
+        the K of LRU-K (default 2, as evaluated in the paper).
+    """
+    lowered = name.lower()
+    if lowered in _FACTORIES:
+        return _FACTORIES[lowered](
+            capacity,
+            tracker_capacity=tracker_capacity,
+            model=model,
+            hot_keys=hot_keys,
+            k=k,
+        )
+    if lowered == "lru":
+        return LRUCache(capacity)
+    if lowered == "lfu":
+        return LFUCache(capacity)
+    if lowered == "arc":
+        return ARCCache(capacity)
+    if lowered in ("lru2", "lruk", "lru-2", "lru-k"):
+        history = tracker_capacity if tracker_capacity is not None else 2 * capacity
+        return LRUKCache(capacity, k=k, history_capacity=history)
+    if lowered == "cot":
+        return CoTCache(capacity, tracker_capacity=tracker_capacity, model=model)
+    if lowered in ("tracked_lru", "tracked-lru"):
+        from repro.policies.tracked_lru import TrackedLRUCache
+
+        return TrackedLRUCache(
+            capacity, tracker_capacity=tracker_capacity, model=model
+        )
+    if lowered in ("none", "nocache", "null"):
+        return NullCache()
+    if lowered in ("perfect", "tpc"):
+        if hot_keys is None:
+            raise ConfigurationError("perfect cache requires hot_keys")
+        return PerfectCache(capacity, hot_keys)
+    raise ConfigurationError(f"unknown policy name: {name!r}")
+
+
+#: The policy names of the paper's comparison set, in plot order.
+POLICY_NAMES = ("lru", "lfu", "arc", "lru2", "cot")

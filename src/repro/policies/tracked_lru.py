@@ -1,0 +1,108 @@
+"""Ablation policy: CoT's admission filter over an LRU-ordered cache.
+
+DESIGN.md decision #1 asks what CoT's *eviction* order contributes beyond
+its *admission* filter. This policy keeps Algorithm 2's admission rule —
+a key enters only if its tracked hotness beats the coldest cached key's —
+but orders the cache by **recency** instead of hotness, evicting LRU.
+
+If CoT's win came only from refusing cold keys, this variant would match
+it; the gap between the two (``benchmarks/bench_ablation_cache_order.py``)
+isolates the value of evicting by hotness (exact top-C maintenance).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator
+
+from repro.core.hotness import AccessType, HotnessModel
+from repro.core.tracker import CoTTracker
+from repro.errors import ConfigurationError
+from repro.policies.base import MISSING, CachePolicy
+
+__all__ = ["TrackedLRUCache"]
+
+
+class TrackedLRUCache(CachePolicy):
+    """Space-saving-filtered admission + LRU eviction (ablation).
+
+    The tracker still maintains the ``S_c``/``S_{k-c}`` split so the
+    admission threshold (``h_min``) is identical to CoT's; only the
+    eviction *victim* differs: least-recently-used instead of coldest.
+    """
+
+    name = "tracked_lru"
+
+    def __init__(
+        self,
+        capacity: int,
+        tracker_capacity: int | None = None,
+        model: HotnessModel | None = None,
+    ) -> None:
+        super().__init__(capacity)
+        if tracker_capacity is None:
+            tracker_capacity = max(2, 2 * capacity)
+        if tracker_capacity <= capacity:
+            raise ConfigurationError("tracker capacity must exceed cache capacity")
+        self._tracker: CoTTracker[Hashable] = CoTTracker(
+            tracker_capacity, capacity, model
+        )
+        self._values: OrderedDict[Hashable, Any] = OrderedDict()
+
+    @property
+    def tracker_capacity(self) -> int:
+        """``K`` — tracker capacity."""
+        return self._tracker.tracker_capacity
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._values
+
+    def cached_keys(self) -> Iterator[Hashable]:
+        return iter(list(self._values))
+
+    def _lookup(self, key: Hashable) -> Any:
+        self._tracker.track(key, AccessType.READ)
+        if key in self._values:
+            self._values.move_to_end(key)
+            return self._values[key]
+        return MISSING
+
+    def _admit(self, key: Hashable, value: Any) -> None:
+        if key in self._values:
+            self._values[key] = value
+            self._values.move_to_end(key)
+            return
+        if not self._tracker.qualifies_for_cache(key):
+            return
+        if len(self._values) >= self._capacity:
+            victim, _value = self._values.popitem(last=False)  # LRU victim
+            self._tracker.demote(victim)
+            self.stats.record_eviction()
+            self._notify_evicted(victim)
+        self._tracker.promote(key)
+        self._values[key] = value
+        self.stats.record_insertion()
+
+    def record_update(self, key: Hashable) -> None:
+        self._tracker.track(key, AccessType.UPDATE)
+        self.invalidate(key)
+
+    def _invalidate(self, key: Hashable) -> bool:
+        if key not in self._values:
+            return False
+        del self._values[key]
+        if self._tracker.is_cached(key):
+            self._tracker.demote(key)
+        return True
+
+    def _resize(self, capacity: int) -> None:
+        while len(self._values) > capacity:
+            victim, _value = self._values.popitem(last=False)
+            self._tracker.demote(victim)
+            self.stats.record_eviction()
+            self._notify_evicted(victim)
+        tracker_capacity = max(self._tracker.tracker_capacity, capacity + 1)
+        self._tracker.resize(tracker_capacity, capacity)

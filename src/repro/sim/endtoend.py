@@ -1,0 +1,136 @@
+"""End-to-end runtime simulation (the harness behind Figures 5-6).
+
+Assembles a shared content cluster, per-shard timing models, a latency
+model, and N closed-loop clients each with its own front-end cache policy,
+runs the event loop to completion, and reports the *overall running time*
+(the paper's metric: time until the last client finishes its quota) plus
+per-shard load and utilization summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.cluster import CacheCluster
+from repro.cluster.loadmonitor import load_imbalance
+from repro.errors import ConfigurationError
+from repro.metrics.latency import percentile
+from repro.policies.base import CachePolicy
+from repro.sim.client import SimClient
+from repro.sim.events import Simulator
+from repro.sim.network import FixedLatency, LatencyModel
+from repro.sim.server import ServiceModel, SimBackendServer
+from repro.workloads.mixer import OperationMixer
+
+__all__ = ["EndToEndResult", "EndToEndSimulation"]
+
+
+@dataclass
+class EndToEndResult:
+    """Summary of one end-to-end run."""
+
+    runtime: float
+    total_requests: int
+    front_end_hit_rate: float
+    backend_imbalance: float
+    backend_loads: dict[str, int]
+    mean_latency: float
+    p50_latency: float = 0.0
+    p99_latency: float = 0.0
+    per_client_runtime: list[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Requests per simulated second."""
+        return self.total_requests / self.runtime if self.runtime else 0.0
+
+
+class EndToEndSimulation:
+    """Configure-and-run wrapper for the discrete-event testbed.
+
+    Parameters
+    ----------
+    num_clients:
+        closed-loop client threads (paper: 20 for Figure 5, 1 for Fig. 6).
+    requests_per_client:
+        operations per client (paper: 1M total across 20 clients).
+    mixer_factory:
+        called per client id → :class:`OperationMixer` (each client gets
+        an independently seeded stream of the same distribution).
+    policy_factory:
+        called per client id → that client's front-end cache policy.
+    num_servers:
+        back-end shards (paper: 8).
+    service_model:
+        per-shard timing parameters.
+    latency:
+        network model (defaults to the paper's fixed 244 µs RTT).
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        requests_per_client: int,
+        mixer_factory: Callable[[int], OperationMixer],
+        policy_factory: Callable[[int], CachePolicy],
+        num_servers: int = 8,
+        service_model: ServiceModel | None = None,
+        latency: LatencyModel | None = None,
+        cluster: CacheCluster | None = None,
+    ) -> None:
+        if num_clients < 1 or requests_per_client < 1:
+            raise ConfigurationError("need >= 1 client and >= 1 request")
+        self.sim = Simulator()
+        self.cluster = cluster or CacheCluster(
+            num_servers=num_servers, capacity_bytes=1 << 40, value_size=1
+        )
+        model = service_model or ServiceModel()
+        latency = latency or FixedLatency()
+        fair = 1.0 / len(self.cluster.server_ids)
+        total_counter = [0]
+        self.servers: dict[str, SimBackendServer] = {}
+        for server_id in self.cluster.server_ids:
+            server = SimBackendServer(server_id, model, fair)
+            server.bind_total_counter(total_counter)
+            self.servers[server_id] = server
+        self.clients: list[SimClient] = []
+        for client_id in range(num_clients):
+            client = SimClient(
+                client_id=client_id,
+                sim=self.sim,
+                mixer=mixer_factory(client_id),
+                policy=policy_factory(client_id),
+                cluster=self.cluster,
+                servers=self.servers,
+                latency=latency,
+                total_requests=requests_per_client,
+            )
+            self.clients.append(client)
+
+    def run(self) -> EndToEndResult:
+        """Execute the simulation and summarize."""
+        for client in self.clients:
+            client.start()
+        runtime = self.sim.run()
+        hits = sum(c.policy.stats.hits for c in self.clients)
+        accesses = sum(c.policy.stats.accesses for c in self.clients)
+        loads = {sid: server.arrivals for sid, server in self.servers.items()}
+        total_requests = sum(c.completed for c in self.clients)
+        latency_total = sum(c.latencies_sum for c in self.clients)
+        all_samples: list[float] = []
+        for client in self.clients:
+            all_samples.extend(client.latency_recorder.samples())
+        p50 = percentile(all_samples, 50) if all_samples else 0.0
+        p99 = percentile(all_samples, 99) if all_samples else 0.0
+        return EndToEndResult(
+            runtime=runtime,
+            total_requests=total_requests,
+            front_end_hit_rate=hits / accesses if accesses else 0.0,
+            backend_imbalance=load_imbalance(loads),
+            backend_loads=loads,
+            mean_latency=latency_total / total_requests if total_requests else 0.0,
+            p50_latency=p50,
+            p99_latency=p99,
+            per_client_runtime=[c.finish_time or runtime for c in self.clients],
+        )

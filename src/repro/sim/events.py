@@ -1,0 +1,72 @@
+"""A minimal discrete-event simulation kernel.
+
+The end-to-end experiments (paper Figures 5-6) measure wall-clock runtime
+on a real testbed; our substitution is a discrete-event simulation whose
+*structure* (closed-loop clients, FCFS back-end queues, fixed RTT)
+reproduces the mechanisms the paper identifies as dominating runtime —
+bottleneck queueing at the most-loaded shard and connection thrashing.
+
+The kernel is deliberately tiny: a time-ordered event heap with
+deterministic FIFO tie-breaking, ``schedule``/``run`` and nothing else.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event heap + clock. Times are seconds as floats."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at ``now + delay`` (ties run in schedule order)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, action))
+        self._seq += 1
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at absolute ``time`` (must not be in the past)."""
+        self.schedule(time - self._now, action)
+
+    def run(self, max_events: int | None = None) -> float:
+        """Drain the event heap; returns the final clock value.
+
+        ``max_events`` guards against runaway simulations (an exhausted
+        budget raises, since silently truncating would corrupt results).
+        """
+        budget = max_events
+        while self._queue:
+            if budget is not None:
+                if budget == 0:
+                    raise SimulationError(
+                        f"event budget exhausted at t={self._now:.6f}s "
+                        f"({self._processed} events processed)"
+                    )
+                budget -= 1
+            time, _seq, action = heapq.heappop(self._queue)
+            self._now = time
+            self._processed += 1
+            action()
+        return self._now

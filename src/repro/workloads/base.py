@@ -1,0 +1,76 @@
+"""Base class and shared helpers for YCSB-style key generators.
+
+The paper drives all experiments with YCSB (Cooper et al., SoCC 2010)
+generators; this subpackage re-implements them from the YCSB sources so
+that the distributions — including the ScrambledZipfian bug the paper
+reports — are faithfully reproduced without a JVM.
+
+Keys are integer ids in ``[0, key_space)``; the paper's string keys
+(``"usertable:<id>"``) are produced by :func:`format_key` at the protocol
+layer so the hash ring sees realistic byte strings.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = ["KeyGenerator", "format_key", "parse_key", "KEY_PREFIX"]
+
+#: The key prefix used by YCSB's core workloads and quoted in the paper.
+KEY_PREFIX = "usertable:"
+
+
+def format_key(key_id: int) -> str:
+    """Render an integer key id as the paper's wire-format key string."""
+    return f"{KEY_PREFIX}{key_id}"
+
+
+def parse_key(key: str) -> int:
+    """Inverse of :func:`format_key`."""
+    if not key.startswith(KEY_PREFIX):
+        raise ValueError(f"not a workload key: {key!r}")
+    return int(key[len(KEY_PREFIX):])
+
+
+class KeyGenerator(abc.ABC):
+    """A seeded stream of integer key ids over ``[0, key_space)``.
+
+    Subclasses implement :meth:`next_key`; determinism comes from the
+    per-instance ``random.Random`` seeded at construction, so experiments
+    are exactly repeatable and two generators with the same seed produce
+    identical streams.
+    """
+
+    #: short name used in experiment tables ("zipfian", "uniform", ...)
+    name: str = "base"
+
+    def __init__(self, key_space: int, seed: int | None = None) -> None:
+        if key_space < 1:
+            raise ConfigurationError("key_space must be >= 1")
+        self._key_space = key_space
+        self._rng = random.Random(seed)
+
+    @property
+    def key_space(self) -> int:
+        """Number of distinct keys this generator can emit."""
+        return self._key_space
+
+    @abc.abstractmethod
+    def next_key(self) -> int:
+        """Draw the next key id."""
+
+    def keys(self, n: int) -> Iterator[int]:
+        """Yield ``n`` key ids."""
+        for _ in range(n):
+            yield self.next_key()
+
+    def describe(self) -> str:
+        """Human-readable parameterization for experiment logs."""
+        return f"{self.name}(n={self._key_space})"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"

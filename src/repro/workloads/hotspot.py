@@ -1,0 +1,65 @@
+"""Hot-spot key generator (YCSB ``HotspotIntegerGenerator``).
+
+A fraction of the key space (the *hot set*) receives a fixed fraction of
+the operations, uniformly within each region. Unlike Zipfian skew, hot-spot
+skew has a sharp hotness cliff, which exercises CoT's resizing stopping
+condition (the cache should grow to exactly the hot-set size and no
+further).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import KeyGenerator
+
+__all__ = ["HotspotGenerator"]
+
+
+class HotspotGenerator(KeyGenerator):
+    """Two-region workload: ``hot_opn_fraction`` of ops hit the hot set.
+
+    Parameters
+    ----------
+    key_space:
+        total number of keys.
+    hot_set_fraction:
+        fraction of the key space that is hot (ids ``0..hot-1``).
+    hot_opn_fraction:
+        fraction of operations that target the hot set.
+    """
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        key_space: int,
+        hot_set_fraction: float = 0.002,
+        hot_opn_fraction: float = 0.9,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(key_space, seed)
+        if not 0 < hot_set_fraction <= 1:
+            raise ConfigurationError("hot_set_fraction must be in (0, 1]")
+        if not 0 <= hot_opn_fraction <= 1:
+            raise ConfigurationError("hot_opn_fraction must be in [0, 1]")
+        self._hot_count = max(1, int(key_space * hot_set_fraction))
+        self._hot_opn_fraction = hot_opn_fraction
+
+    @property
+    def hot_count(self) -> int:
+        """Number of keys in the hot set (ids ``0..hot_count-1``)."""
+        return self._hot_count
+
+    def next_key(self) -> int:
+        if self._rng.random() < self._hot_opn_fraction:
+            return self._rng.randrange(self._hot_count)
+        cold_span = self._key_space - self._hot_count
+        if cold_span <= 0:
+            return self._rng.randrange(self._hot_count)
+        return self._hot_count + self._rng.randrange(cold_span)
+
+    def describe(self) -> str:
+        return (
+            f"hotspot(n={self._key_space}, hot_keys={self._hot_count}, "
+            f"hot_ops={self._hot_opn_fraction:g})"
+        )

@@ -1,0 +1,58 @@
+"""Skewed-latest generator (YCSB ``SkewedLatestGenerator``).
+
+Recency-skewed access: the most recently *inserted* key is the hottest,
+with Zipfian fall-off over insertion recency. This models feeds/timelines
+and is the canonical "hot set drifts over time" workload — ideal for
+exercising CoT's old-trend retirement (half-life decay, Algorithm 3
+Case 2), since yesterday's hottest key keeps cooling as new keys arrive.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import KeyGenerator
+from repro.workloads.zipfian import ZIPFIAN_CONSTANT, ZipfianGenerator
+
+__all__ = ["SkewedLatestGenerator"]
+
+
+class SkewedLatestGenerator(KeyGenerator):
+    """Zipf over recency: key ``latest - rank`` for Zipf-drawn ``rank``.
+
+    ``advance()`` simulates an insertion, shifting the hot spot to the new
+    latest key. Without calls to ``advance`` the distribution is a static
+    Zipfian anchored at ``key_space - 1``.
+    """
+
+    name = "latest"
+
+    def __init__(
+        self,
+        key_space: int,
+        theta: float = ZIPFIAN_CONSTANT,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(key_space, seed)
+        self._zipf = ZipfianGenerator(key_space, theta=theta, seed=seed)
+        self._latest = key_space - 1
+
+    @property
+    def latest(self) -> int:
+        """Id of the most recently inserted key (the current hottest)."""
+        return self._latest
+
+    def advance(self, count: int = 1) -> int:
+        """Simulate ``count`` insertions; returns the new latest id.
+
+        The key space wraps (ids are reused modulo ``key_space``) so long
+        simulations keep a bounded universe, matching how the experiment
+        harness replays trend drift.
+        """
+        self._latest = (self._latest + count) % self._key_space
+        return self._latest
+
+    def next_key(self) -> int:
+        rank = self._zipf.next_key()
+        return (self._latest - rank) % self._key_space
+
+    def describe(self) -> str:
+        return f"latest(n={self._key_space}, s={self._zipf.theta:g})"

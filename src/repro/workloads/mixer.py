@@ -1,0 +1,94 @@
+"""Operation mixing: key streams → request streams.
+
+The paper's experiments are "read intensive workloads that follow Tao's
+read-to-write ratio of 99.8% reads and 0.2% updates" (Section 5.1).
+:class:`OperationMixer` draws keys from any :class:`KeyGenerator` and
+classifies each as a read or an update according to that ratio, producing
+:class:`~repro.workloads.request.Request` objects with wire-format keys.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import KeyGenerator, format_key
+from repro.workloads.request import OpType, Request
+
+__all__ = ["OperationMixer", "TAO_READ_FRACTION"]
+
+#: Facebook Tao's measured read share, used throughout the paper.
+TAO_READ_FRACTION = 0.998
+
+
+class OperationMixer:
+    """Mix reads and updates over a key generator's stream.
+
+    Parameters
+    ----------
+    generator:
+        source of key ids.
+    read_fraction:
+        probability that an operation is a ``GET`` (default: Tao's 0.998).
+    value_size:
+        nominal size in bytes of written values; the mixer synthesizes
+        lightweight value descriptors (``(key_id, version)`` tuples tagged
+        with a size) rather than real 750 KB payloads so paper-scale runs
+        fit in memory, while byte accounting downstream stays faithful.
+    seed:
+        seed for the read/update coin, independent of the key stream.
+    """
+
+    def __init__(
+        self,
+        generator: KeyGenerator,
+        read_fraction: float = TAO_READ_FRACTION,
+        value_size: int = 750 * 1024,
+        seed: int | None = None,
+    ) -> None:
+        if not 0 <= read_fraction <= 1:
+            raise ConfigurationError("read_fraction must be in [0, 1]")
+        if value_size < 0:
+            raise ConfigurationError("value_size must be >= 0")
+        self._generator = generator
+        self._read_fraction = read_fraction
+        self._value_size = value_size
+        self._rng = random.Random(seed)
+        self._version = 0
+
+    @property
+    def generator(self) -> KeyGenerator:
+        """The underlying key generator."""
+        return self._generator
+
+    @property
+    def read_fraction(self) -> float:
+        """Probability of a GET per operation."""
+        return self._read_fraction
+
+    @property
+    def value_size(self) -> int:
+        """Nominal written-value size in bytes."""
+        return self._value_size
+
+    def next_request(self) -> Request:
+        """Draw one operation."""
+        key_id = self._generator.next_key()
+        key = format_key(key_id)
+        if self._rng.random() < self._read_fraction:
+            return Request(OpType.GET, key)
+        self._version += 1
+        return Request(OpType.SET, key, value=(key_id, self._version))
+
+    def requests(self, n: int) -> Iterator[Request]:
+        """Yield ``n`` operations."""
+        for _ in range(n):
+            yield self.next_request()
+
+    def describe(self) -> str:
+        """Human-readable parameterization for experiment logs."""
+        return (
+            f"mix(reads={self._read_fraction:.3%}, "
+            f"over={self._generator.describe()})"
+        )

@@ -1,0 +1,44 @@
+"""Request model: the operations front ends receive from end users.
+
+The paper's API (Section 2) is ``get``/``set``/``delete``; workload mixers
+emit streams of :class:`Request` objects with Tao's read-to-write ratio
+(99.8% reads / 0.2% updates) by default.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["OpType", "Request"]
+
+
+class OpType(enum.Enum):
+    """Operation classes of the key/value API."""
+
+    GET = "get"
+    SET = "set"
+    DELETE = "delete"
+
+    @property
+    def is_read(self) -> bool:
+        """True for operations served by the read path."""
+        return self is OpType.GET
+
+
+@dataclass(frozen=True)
+class Request:
+    """One end-user-originated key/value operation.
+
+    ``key`` is the wire-format string key; ``value`` carries the payload of
+    ``SET`` operations (``None`` for reads/deletes).
+    """
+
+    op: OpType
+    key: str
+    value: object | None = None
+
+    @property
+    def is_read(self) -> bool:
+        """True when the request is a ``GET``."""
+        return self.op.is_read

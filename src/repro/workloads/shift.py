@@ -1,0 +1,113 @@
+"""Workload change schedules for the elasticity experiments.
+
+The paper's Figures 7-8 run a Zipfian 1.2 phase until CoT converges, then
+switch the *same* front end to a uniform workload and watch the cache
+shrink. :class:`PhasedWorkload` generalizes this: a sequence of
+``(generator, length)`` phases replayed back to back, plus a
+:class:`RotatingHotSetGenerator` that keeps the distribution shape but
+relabels which keys are hot (the "#miami vs #ny" local-trend change that
+triggers Algorithm 3's half-life decay case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import KeyGenerator
+
+__all__ = ["Phase", "PhasedWorkload", "RotatingHotSetGenerator"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One workload phase: a generator and how many accesses it serves.
+
+    ``length`` may be ``None`` only for the final phase (run forever).
+    """
+
+    generator: KeyGenerator
+    length: int | None
+
+    def __post_init__(self) -> None:
+        if self.length is not None and self.length < 1:
+            raise ConfigurationError("phase length must be >= 1 or None")
+
+
+class PhasedWorkload(KeyGenerator):
+    """Concatenate workload phases into one key stream.
+
+    The key space is the maximum across phases; ``phase_index`` reports
+    which phase is active so experiment plots can mark the switch point.
+    """
+
+    name = "phased"
+
+    def __init__(self, phases: Sequence[Phase]) -> None:
+        if not phases:
+            raise ConfigurationError("at least one phase is required")
+        for phase in phases[:-1]:
+            if phase.length is None:
+                raise ConfigurationError("only the final phase may be unbounded")
+        super().__init__(max(p.generator.key_space for p in phases))
+        self._phases = list(phases)
+        self._phase_index = 0
+        self._remaining = self._phases[0].length
+
+    @property
+    def phase_index(self) -> int:
+        """Index of the currently active phase."""
+        return self._phase_index
+
+    def next_key(self) -> int:
+        while (
+            self._remaining is not None
+            and self._remaining <= 0
+            and self._phase_index + 1 < len(self._phases)
+        ):
+            self._phase_index += 1
+            self._remaining = self._phases[self._phase_index].length
+        if self._remaining is not None:
+            self._remaining -= 1
+        return self._phases[self._phase_index].generator.next_key()
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{p.generator.describe()}×{p.length if p.length is not None else '∞'}"
+            for p in self._phases
+        )
+        return f"phased[{parts}]"
+
+
+class RotatingHotSetGenerator(KeyGenerator):
+    """Wrap a generator, relabelling keys by a shifting offset.
+
+    ``rotate(delta)`` adds ``delta`` (mod key space) to every emitted id:
+    the distribution's *shape* is untouched but the identity of the hot
+    keys changes — the pure "set of hot keys changed" signal that drives
+    Algorithm 3's Case 2 (hits leave ``S_c`` and appear in ``S_{k-c}``).
+    """
+
+    name = "rotating"
+
+    def __init__(self, inner: KeyGenerator, offset: int = 0) -> None:
+        super().__init__(inner.key_space)
+        self._inner = inner
+        self._offset = offset % inner.key_space
+
+    @property
+    def offset(self) -> int:
+        """Current relabelling offset."""
+        return self._offset
+
+    def rotate(self, delta: int) -> int:
+        """Shift the hot set by ``delta`` ids; returns the new offset."""
+        self._offset = (self._offset + delta) % self._key_space
+        return self._offset
+
+    def next_key(self) -> int:
+        return (self._inner.next_key() + self._offset) % self._key_space
+
+    def describe(self) -> str:
+        return f"rotating(offset={self._offset}, over={self._inner.describe()})"

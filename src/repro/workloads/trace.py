@@ -1,0 +1,78 @@
+"""Trace recording and replay.
+
+Real deployments tune CoT against production traces; this module gives the
+library a trace format so experiments can be frozen to disk and replayed
+deterministically (e.g. to compare policies on the *identical* access
+sequence rather than on re-sampled streams).
+
+Format: one operation per line, ``<op> <key_id>``, where ``op`` is ``r``
+(read) or ``u`` (update). Plain text keeps traces diffable and trivially
+greppable; gzip-compress externally if needed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import KeyGenerator
+from repro.workloads.request import OpType, Request
+from repro.workloads.base import format_key, parse_key
+
+__all__ = ["record_trace", "replay_trace", "TraceGenerator"]
+
+_OP_CODES = {OpType.GET: "r", OpType.SET: "u", OpType.DELETE: "d"}
+_CODE_OPS = {"r": OpType.GET, "u": OpType.SET, "d": OpType.DELETE}
+
+
+def record_trace(path: str | Path, requests: Iterable[Request]) -> int:
+    """Write ``requests`` to ``path``; returns the number of lines written."""
+    count = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for request in requests:
+            code = _OP_CODES[request.op]
+            fh.write(f"{code} {parse_key(request.key)}\n")
+            count += 1
+    return count
+
+
+def replay_trace(path: str | Path) -> Iterator[Request]:
+    """Stream :class:`Request` objects back from a trace file."""
+    with open(path, "r", encoding="ascii") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                code, raw_id = line.split()
+                op = _CODE_OPS[code]
+                key_id = int(raw_id)
+            except (ValueError, KeyError) as exc:
+                raise ConfigurationError(
+                    f"{path}:{line_no}: malformed trace line {line!r}"
+                ) from exc
+            value = (key_id, line_no) if op is OpType.SET else None
+            yield Request(op, format_key(key_id), value=value)
+
+
+class TraceGenerator(KeyGenerator):
+    """Adapt a recorded trace's key ids back into a :class:`KeyGenerator`.
+
+    Reads (and updates) are flattened to a pure key stream; raises
+    ``StopIteration`` past the end of the trace, so callers control length.
+    """
+
+    name = "trace"
+
+    def __init__(self, path: str | Path, key_space: int) -> None:
+        super().__init__(key_space)
+        self._iterator = replay_trace(path)
+        self._path = str(path)
+
+    def next_key(self) -> int:
+        request = next(self._iterator)
+        return parse_key(request.key)
+
+    def describe(self) -> str:
+        return f"trace({self._path})"

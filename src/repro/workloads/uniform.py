@@ -1,0 +1,22 @@
+"""Uniform key generator (YCSB ``UniformIntegerGenerator``).
+
+The paper uses uniform workloads twice: to measure the pure overhead of
+front-end caches (Figures 5-6 — caching buys nothing when no key is hotter
+than another) and to drive CoT's shrink path (Figure 8 — the front end
+should retire its cache entirely when skew disappears).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import KeyGenerator
+
+__all__ = ["UniformGenerator"]
+
+
+class UniformGenerator(KeyGenerator):
+    """Every key id in ``[0, key_space)`` equally likely."""
+
+    name = "uniform"
+
+    def next_key(self) -> int:
+        return self._rng.randrange(self._key_space)

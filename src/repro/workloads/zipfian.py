@@ -1,0 +1,133 @@
+"""YCSB's ``ZipfianGenerator`` (Gray et al.'s "Quickly generating
+billion-record synthetic databases" rejection-free algorithm).
+
+This is the generator the paper uses after discovering that YCSB's
+ScrambledZipfian variant under-delivers skew: rank ``i`` (0-based) is drawn
+with probability proportional to ``1 / (i + 1)^s``, so rank 0 is the
+hottest key. The implementation is a faithful port of YCSB's Java class,
+including the ``zeta`` bookkeeping that allows the item count to grow
+incrementally.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import KeyGenerator
+
+__all__ = ["ZipfianGenerator", "zeta", "zipf_pmf", "zipf_cdf"]
+
+#: YCSB's default skew ("the" Zipfian constant).
+ZIPFIAN_CONSTANT = 0.99
+
+
+def zeta(n: int, theta: float, start: int = 0, initial: float = 0.0) -> float:
+    """Generalized harmonic number ``sum_{i=start+1..n} 1/i^theta``.
+
+    Matches YCSB's incremental ``zeta(st, n, theta, initialsum)`` helper:
+    passing the previous count and sum extends the series without
+    recomputation — the trick that makes growing key spaces cheap.
+    """
+    total = initial
+    for i in range(start, n):
+        total += 1.0 / (i + 1) ** theta
+    return total
+
+
+def zipf_pmf(rank: int, key_space: int, theta: float) -> float:
+    """P(draw == rank) for 0-based ``rank`` under Zipf(``theta``)."""
+    return (1.0 / (rank + 1) ** theta) / zeta(key_space, theta)
+
+
+def zipf_cdf(rank_count: int, key_space: int, theta: float) -> float:
+    """P(draw < rank_count): total probability mass of the hottest keys.
+
+    This is the paper's "TPC" curve — the hit rate of a perfect cache with
+    ``rank_count`` cache-lines (Figure 4's theoretical series).
+    """
+    if rank_count <= 0:
+        return 0.0
+    rank_count = min(rank_count, key_space)
+    return zeta(rank_count, theta) / zeta(key_space, theta)
+
+
+class ZipfianGenerator(KeyGenerator):
+    """Draws 0-based ranks Zipf-distributed over ``[0, key_space)``.
+
+    Parameters
+    ----------
+    key_space:
+        number of items ``n``.
+    theta:
+        the skew parameter ``s`` (paper uses 0.90, 0.99, 1.2, 1.5).
+    seed:
+        RNG seed for reproducible streams.
+    zetan:
+        precomputed ``zeta(key_space, theta)``. YCSB ships this constant
+        for its huge scrambled domain because computing zeta over 10^10
+        items takes minutes; pass it to skip the O(n) summation.
+    """
+
+    name = "zipfian"
+
+    def __init__(
+        self,
+        key_space: int,
+        theta: float = ZIPFIAN_CONSTANT,
+        seed: int | None = None,
+        zetan: float | None = None,
+    ) -> None:
+        super().__init__(key_space, seed)
+        if theta <= 0:
+            raise ConfigurationError("zipfian theta must be > 0")
+        if math.isclose(theta, 1.0):
+            # The closed form below divides by (1 - theta).
+            theta += 1e-9
+        self._theta = theta
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zeta2 = zeta(2, theta)
+        self._count = key_space
+        self._zetan = zeta(key_space, theta) if zetan is None else zetan
+        self._eta = self._compute_eta()
+
+    def _compute_eta(self) -> float:
+        return (1.0 - (2.0 / self._count) ** (1.0 - self._theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    @property
+    def theta(self) -> float:
+        """The configured skew parameter."""
+        return self._theta
+
+    def grow(self, new_key_space: int) -> None:
+        """Extend the item count, updating zeta incrementally (YCSB-style)."""
+        if new_key_space < self._count:
+            raise ConfigurationError("key space can only grow")
+        self._zetan = zeta(new_key_space, self._theta, start=self._count,
+                           initial=self._zetan)
+        self._count = new_key_space
+        self._key_space = new_key_space
+        self._eta = self._compute_eta()
+
+    def next_key(self) -> int:
+        """YCSB ``nextLong``: inverse-CDF approximation of Gray et al."""
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self._theta:
+            return 1
+        return int(self._count * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+    def pmf(self, rank: int) -> float:
+        """Exact probability of emitting ``rank``."""
+        return (1.0 / (rank + 1) ** self._theta) / self._zetan
+
+    def perfect_cache_hit_rate(self, cache_lines: int) -> float:
+        """TPC hit rate for a ``cache_lines``-entry perfect cache."""
+        return zipf_cdf(cache_lines, self._count, self._theta)
+
+    def describe(self) -> str:
+        return f"zipfian(n={self._key_space}, s={self._theta:g})"

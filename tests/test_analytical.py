@@ -1,0 +1,72 @@
+"""Tests for the distribution analytics (TPC curves, skew estimation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.analytical import (
+    estimate_zipf_exponent,
+    frequency_ranking,
+    head_mass,
+    tpc_hit_rate,
+)
+from repro.workloads.zipfian import ZipfianGenerator, zipf_cdf
+
+
+class TestTPC:
+    def test_matches_cdf(self):
+        assert tpc_hit_rate(10, 1000, 0.99) == zipf_cdf(10, 1000, 0.99)
+
+    def test_zero_cache(self):
+        assert tpc_hit_rate(0, 1000, 0.99) == 0.0
+
+    def test_full_cache(self):
+        assert tpc_hit_rate(1000, 1000, 0.99) == pytest.approx(1.0)
+
+
+class TestRankingAndHeadMass:
+    def test_frequency_ranking_sorted(self):
+        ranking = frequency_ranking([1, 1, 1, 2, 2, 3])
+        assert ranking == [(1, 3), (2, 2), (3, 1)]
+
+    def test_ranking_ties_by_key(self):
+        ranking = frequency_ranking([5, 4, 5, 4])
+        assert ranking == [(4, 2), (5, 2)]
+
+    def test_head_mass(self):
+        keys = [0] * 8 + [1] * 2
+        assert head_mass(keys, 1) == pytest.approx(0.8)
+        assert head_mass(keys, 2) == pytest.approx(1.0)
+        assert head_mass(keys, 0) == 0.0
+        assert head_mass([], 3) == 0.0
+
+    def test_head_mass_validation(self):
+        with pytest.raises(ConfigurationError):
+            head_mass([1], -1)
+
+
+class TestExponentEstimation:
+    def test_recovers_known_exponent(self):
+        for theta in (0.8, 1.0, 1.3):
+            gen = ZipfianGenerator(5000, theta=theta, seed=int(theta * 100))
+            keys = list(gen.keys(40_000))
+            fitted = estimate_zipf_exponent(keys, max_rank=300)
+            assert fitted == pytest.approx(theta, abs=0.12)
+
+    def test_uniform_fits_near_zero(self):
+        rng = random.Random(6)
+        keys = [rng.randrange(200) for _ in range(40_000)]
+        fitted = estimate_zipf_exponent(keys, max_rank=100)
+        assert abs(fitted) < 0.2
+
+    def test_too_few_ranks_raises(self):
+        with pytest.raises(ConfigurationError):
+            estimate_zipf_exponent([1, 1, 1, 1])
+
+    def test_min_count_filters_noise(self):
+        keys = [0] * 100 + [1] * 50 + list(range(2, 30))  # singletons
+        fitted = estimate_zipf_exponent(keys, min_count=2)
+        assert fitted == pytest.approx(1.0, abs=0.2)

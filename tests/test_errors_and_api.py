@@ -1,0 +1,68 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    CapacityError,
+    ClusterError,
+    ConfigurationError,
+    ExperimentError,
+    KeyNotTrackedError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            CapacityError,
+            KeyNotTrackedError,
+            ClusterError,
+            SimulationError,
+            ExperimentError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+        with pytest.raises(ValueError):
+            raise ConfigurationError("bad")
+
+    def test_key_not_tracked_is_key_error(self):
+        assert issubclass(KeyNotTrackedError, KeyError)
+
+    def test_one_catch_all(self):
+        with pytest.raises(ReproError):
+            raise ClusterError("down")
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_docstring_flow(self):
+        """The README/package-docstring quickstart must actually work."""
+        from repro import CoTCache, MISSING, ZipfianGenerator
+
+        cache = CoTCache(capacity=8, tracker_capacity=32)
+        workload = ZipfianGenerator(key_space=10_000, theta=0.99, seed=7)
+        for key in workload.keys(50_000):
+            if cache.lookup(key) is MISSING:
+                cache.admit(key, f"value-{key}")
+        assert cache.stats.hit_rate > 0.2
+
+    def test_lazy_elastic_import(self):
+        import repro.core
+
+        assert repro.core.ElasticCoTClient is not None
+        with pytest.raises(AttributeError):
+            repro.core.DoesNotExist

@@ -1,0 +1,101 @@
+"""Tests for the consistent hash ring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.errors import ClusterError, ConfigurationError
+from repro.workloads.base import format_key
+
+SERVERS = [f"s{i}" for i in range(8)]
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(virtual_nodes=0)
+
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(ClusterError):
+            ConsistentHashRing().server_for("k")
+
+    def test_membership(self):
+        ring = ConsistentHashRing(SERVERS)
+        assert len(ring) == 8
+        assert "s0" in ring and "missing" not in ring
+        assert ring.servers == frozenset(SERVERS)
+
+    def test_duplicate_add_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ClusterError):
+            ring.add_server("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ClusterError):
+            ConsistentHashRing(["a"]).remove_server("b")
+
+    def test_deterministic_mapping(self):
+        a = ConsistentHashRing(SERVERS)
+        b = ConsistentHashRing(SERVERS)
+        keys = [format_key(i) for i in range(500)]
+        assert [a.server_for(k) for k in keys] == [b.server_for(k) for k in keys]
+
+    def test_all_servers_receive_keys(self):
+        ring = ConsistentHashRing(SERVERS, virtual_nodes=160)
+        keys = [format_key(i) for i in range(5000)]
+        assignment = ring.assignment(keys)
+        assert all(len(bucket) > 0 for bucket in assignment.values())
+
+    def test_key_count_balance_improves_with_vnodes(self):
+        keys = [format_key(i) for i in range(20_000)]
+        coarse = ConsistentHashRing(SERVERS, virtual_nodes=8)
+        fine = ConsistentHashRing(SERVERS, virtual_nodes=2048)
+        assert fine.key_count_balance(keys) < coarse.key_count_balance(keys)
+
+    def test_fine_ring_near_even(self):
+        keys = [format_key(i) for i in range(50_000)]
+        ring = ConsistentHashRing(SERVERS, virtual_nodes=8192)
+        assert ring.key_count_balance(keys) < 1.1
+
+
+class TestChurn:
+    def test_remove_only_moves_removed_servers_keys(self):
+        """Consistent hashing's minimal-churn property: removing a server
+        must not remap keys owned by other servers."""
+        ring = ConsistentHashRing(SERVERS)
+        keys = [format_key(i) for i in range(3000)]
+        before = {k: ring.server_for(k) for k in keys}
+        ring.remove_server("s3")
+        for key, owner in before.items():
+            if owner != "s3":
+                assert ring.server_for(key) == owner
+            else:
+                assert ring.server_for(key) != "s3"
+
+    def test_add_only_steals_keys(self):
+        """Adding a server must only move keys *to* the new server."""
+        ring = ConsistentHashRing(SERVERS)
+        keys = [format_key(i) for i in range(3000)]
+        before = {k: ring.server_for(k) for k in keys}
+        ring.add_server("s-new")
+        for key, owner in before.items():
+            after = ring.server_for(key)
+            assert after in (owner, "s-new")
+
+    def test_add_remove_roundtrip_restores_mapping(self):
+        ring = ConsistentHashRing(SERVERS)
+        keys = [format_key(i) for i in range(1000)]
+        before = [ring.server_for(k) for k in keys]
+        ring.add_server("temp")
+        ring.remove_server("temp")
+        assert [ring.server_for(k) for k in keys] == before
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.sampled_from(SERVERS), min_size=1), st.integers(0, 10_000))
+    def test_lookup_total_over_any_subset(self, subset, key_id):
+        ring = ConsistentHashRing(sorted(subset))
+        owner = ring.server_for(format_key(key_id))
+        assert owner in subset

@@ -1,0 +1,91 @@
+"""Tests for the dual-cost hotness model (Equation 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hotness import AccessType, HotnessModel, KeyStats
+from repro.errors import ConfigurationError
+
+
+class TestHotnessModel:
+    def test_defaults(self):
+        model = HotnessModel()
+        assert model.read_weight == 1.0
+        assert model.update_weight == 1.0
+
+    def test_equation_1(self):
+        model = HotnessModel(read_weight=2.0, update_weight=3.0)
+        assert model.hotness(10, 2) == 10 * 2.0 - 2 * 3.0
+
+    def test_delta_read(self):
+        model = HotnessModel(read_weight=1.5)
+        assert model.delta(AccessType.READ) == 1.5
+
+    def test_delta_update_is_negative(self):
+        model = HotnessModel(update_weight=2.5)
+        assert model.delta(AccessType.UPDATE) == -2.5
+
+    def test_zero_update_weight_allowed(self):
+        model = HotnessModel(update_weight=0.0)
+        assert model.delta(AccessType.UPDATE) == 0.0
+
+    def test_invalid_read_weight(self):
+        with pytest.raises(ConfigurationError):
+            HotnessModel(read_weight=0.0)
+        with pytest.raises(ConfigurationError):
+            HotnessModel(read_weight=-1.0)
+
+    def test_invalid_update_weight(self):
+        with pytest.raises(ConfigurationError):
+            HotnessModel(update_weight=-0.1)
+
+    def test_frozen(self):
+        model = HotnessModel()
+        with pytest.raises(AttributeError):
+            model.read_weight = 5.0  # type: ignore[misc]
+
+
+class TestKeyStats:
+    def test_initial(self):
+        stats = KeyStats()
+        assert stats.read_count == 0.0
+        assert stats.update_count == 0.0
+        assert stats.hotness(HotnessModel()) == 0.0
+
+    def test_record_read(self):
+        stats = KeyStats()
+        stats.record(AccessType.READ)
+        stats.record(AccessType.READ)
+        assert stats.read_count == 2.0
+        assert stats.hotness(HotnessModel()) == 2.0
+
+    def test_record_update_penalizes(self):
+        stats = KeyStats()
+        stats.record(AccessType.READ)
+        stats.record(AccessType.UPDATE)
+        stats.record(AccessType.UPDATE)
+        assert stats.hotness(HotnessModel()) == 1.0 - 2.0
+
+    def test_decay_halves_hotness(self):
+        stats = KeyStats(read_count=8.0, update_count=2.0)
+        model = HotnessModel()
+        before = stats.hotness(model)
+        stats.decay(0.5)
+        assert stats.hotness(model) == pytest.approx(before / 2)
+
+    def test_seed_from_hotness_reproduces_value(self):
+        model = HotnessModel(read_weight=2.0)
+        stats = KeyStats()
+        stats.seed_from_hotness(7.0, model)
+        assert stats.hotness(model) == pytest.approx(7.0)
+        assert stats.update_count == 0.0
+
+    def test_seed_from_negative_hotness_clamps_to_zero(self):
+        # A victim with net-negative hotness must not seed the newcomer
+        # with negative reads.
+        model = HotnessModel()
+        stats = KeyStats()
+        stats.seed_from_hotness(-3.0, model)
+        assert stats.read_count == 0.0
+        assert stats.hotness(model) == 0.0

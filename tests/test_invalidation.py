@@ -1,0 +1,124 @@
+"""Tests for the invalidation fan-out extension.
+
+Pins the paper's consistency-cost argument: keeping front-end caches
+coherent costs directory state and fan-out messages, and both costs grow
+with front-end cache size — the reason CoT minimizes that size.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import CacheCluster
+from repro.cluster.invalidation import CoherentFrontEndClient, InvalidationBus
+from repro.policies.lru import LRUCache
+from repro.workloads.base import format_key
+from repro.workloads.zipfian import ZipfianGenerator
+
+
+@pytest.fixture
+def cluster():
+    return CacheCluster(num_servers=4, virtual_nodes=256, value_size=1)
+
+
+def make_pair(cluster, capacity=8):
+    bus = InvalidationBus()
+    a = CoherentFrontEndClient(cluster, LRUCache(capacity), bus, client_id="a")
+    b = CoherentFrontEndClient(cluster, LRUCache(capacity), bus, client_id="b")
+    return bus, a, b
+
+
+class TestCoherence:
+    def test_no_stale_reads_after_remote_write(self, cluster):
+        bus, a, b = make_pair(cluster)
+        key = format_key(1)
+        a.get(key)
+        b.get(key)
+        a.set(key, "new")
+        # B's copy was invalidated by the fan-out: its next read refetches.
+        assert b.get(key) == "new"
+
+    def test_base_protocol_alone_can_serve_stale(self, cluster):
+        """Contrast: without the bus, the reader keeps its stale copy —
+        the gap the extension closes."""
+        from repro.cluster.client import FrontEndClient
+
+        a = FrontEndClient(cluster, LRUCache(8), client_id="a")
+        b = FrontEndClient(cluster, LRUCache(8), client_id="b")
+        key = format_key(1)
+        old = a.get(key)
+        b.get(key)
+        a.set(key, "new")
+        assert b.get(key) == old  # stale local hit
+
+    def test_delete_fans_out(self, cluster):
+        bus, a, b = make_pair(cluster)
+        key = format_key(2)
+        a.get(key)
+        b.get(key)
+        a.delete(key)
+        assert key not in b.policy
+
+    def test_writer_does_not_message_itself(self, cluster):
+        bus, a, _b = make_pair(cluster)
+        key = format_key(3)
+        a.get(key)
+        a.set(key, "v")
+        assert bus.stats.messages == 0
+
+    def test_directory_tracks_holders(self, cluster):
+        bus, a, b = make_pair(cluster)
+        key = format_key(4)
+        a.get(key)
+        assert bus.holders_of(key) == frozenset({"a"})
+        b.get(key)
+        assert bus.holders_of(key) == frozenset({"a", "b"})
+        a.set(key, "v")
+        assert bus.holders_of(key) == frozenset()
+
+
+class TestCostScaling:
+    def test_consistency_costs_grow_with_cache_size(self, cluster):
+        """The paper's Section 1 claim, measured: bigger front-end caches
+        mean more key incarnations and more invalidation traffic."""
+
+        def run(capacity: int) -> tuple[int, int]:
+            local_cluster = CacheCluster(
+                num_servers=4, virtual_nodes=256, value_size=1
+            )
+            bus = InvalidationBus()
+            clients = [
+                CoherentFrontEndClient(
+                    local_cluster, LRUCache(capacity), bus, client_id=f"c{i}"
+                )
+                for i in range(3)
+            ]
+            rng = random.Random(9)
+            generators = [
+                ZipfianGenerator(2_000, theta=1.1, seed=30 + i)
+                for i in range(3)
+            ]
+            for _ in range(4_000):
+                for client, generator in zip(clients, generators):
+                    key = format_key(generator.next_key())
+                    if rng.random() < 0.05:
+                        client.set(key, "w")
+                    else:
+                        client.get(key)
+            return bus.stats.peak_directory, bus.stats.messages
+
+        small_dir, small_msgs = run(4)
+        big_dir, big_msgs = run(256)
+        assert big_dir > small_dir
+        assert big_msgs > small_msgs
+
+    def test_stale_dropped_counted(self, cluster):
+        bus, a, b = make_pair(cluster)
+        key = format_key(5)
+        a.get(key)
+        b.get(key)
+        a.set(key, "v")
+        assert bus.stats.stale_dropped == 1
+        assert bus.stats.fanout_writes == 1

@@ -1,0 +1,168 @@
+"""Tests for metrics: imbalance summaries, latency, series, tables."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.imbalance import (
+    ImbalanceSummary,
+    coefficient_of_variation,
+    peak_to_mean,
+    relative_load,
+    summarize_loads,
+)
+from repro.metrics.latency import LatencyRecorder, percentile
+from repro.metrics.series import SeriesRecorder, sparkline
+from repro.metrics.table import format_cell, render_table
+
+
+class TestImbalanceMetrics:
+    def test_peak_to_mean(self):
+        assert peak_to_mean({"a": 10, "b": 20, "c": 30}) == pytest.approx(1.5)
+        assert peak_to_mean([]) == 1.0
+        assert peak_to_mean([0, 0]) == 1.0
+
+    def test_cv(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+        assert coefficient_of_variation([1]) == 0.0
+        assert coefficient_of_variation([0, 10]) == pytest.approx(1.0)
+
+    def test_relative_load(self):
+        assert relative_load(50, 100) == 0.5
+        assert relative_load(50, 0) == 1.0
+
+    def test_summary(self):
+        summary = summarize_loads({"a": 10, "b": 20})
+        assert isinstance(summary, ImbalanceSummary)
+        assert summary.max_min == 2.0
+        assert summary.total == 30
+        row = summary.as_row()
+        assert row["imbalance"] == 2.0
+        assert row["total_lookups"] == 30
+
+
+class TestPercentiles:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        data = [float(i) for i in range(1, 101)]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 100.0
+
+
+class TestLatencyRecorder:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyRecorder(reservoir_size=0)
+
+    def test_streaming_stats(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 2.0, 3.0):
+            recorder.record(value)
+        assert recorder.count == 3
+        assert recorder.mean == 2.0
+        assert recorder.min_value == 1.0
+        assert recorder.max_value == 3.0
+
+    def test_small_sample_percentiles_exact(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(float(value))
+        assert recorder.percentile(50) == pytest.approx(50.5)
+        assert recorder.percentile(99) == pytest.approx(99.01)
+
+    def test_reservoir_bounded_and_unbiased(self):
+        recorder = LatencyRecorder(reservoir_size=500, seed=1)
+        rng = random.Random(2)
+        for _ in range(50_000):
+            recorder.record(rng.uniform(0, 100))
+        assert len(recorder._samples) == 500
+        assert recorder.percentile(50) == pytest.approx(50, abs=8)
+
+    def test_summary(self):
+        recorder = LatencyRecorder()
+        assert recorder.summary()["count"] == 0
+        recorder.record(1.0)
+        summary = recorder.summary()
+        assert summary["count"] == 1
+        assert summary["mean"] == 1.0
+
+
+class TestTableRender:
+    def test_alignment(self):
+        table = render_table(["name", "x"], [["a", 1], ["long-name", 22]])
+        lines = table.split("\n")
+        assert lines[0].startswith("name")
+        assert all("|" in line for line in lines if "-+-" not in line)
+
+    def test_title(self):
+        table = render_table(["a"], [[1]], title="T")
+        assert table.startswith("T\n=")
+
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234.5) == "1,234.5"
+        assert format_cell(0.123456) == "0.1235"
+        assert format_cell("x") == "x"
+
+    def test_doctest_shape(self):
+        table = render_table(["a", "b"], [[1, 2.5], [30, "x"]])
+        assert table == "a  | b\n---+----\n1  | 2.5\n30 | x"
+
+
+class TestSeries:
+    def test_add_and_render(self):
+        recorder = SeriesRecorder()
+        recorder.add_point(0, cache=2, imbalance=3.0)
+        recorder.add_point(1, cache=4, imbalance=2.0)
+        assert len(recorder) == 2
+        assert recorder.series("cache") == [2, 4]
+        assert recorder.x_values() == [0, 1]
+        table = recorder.to_table(title="fig")
+        assert "cache" in table and "imbalance" in table
+
+    def test_mismatched_names_rejected(self):
+        recorder = SeriesRecorder()
+        recorder.add_point(0, a=1)
+        with pytest.raises(ConfigurationError):
+            recorder.add_point(1, b=2)
+
+    def test_subsampling(self):
+        recorder = SeriesRecorder()
+        for i in range(10):
+            recorder.add_point(i, v=i)
+        table = recorder.to_table(every=5)
+        assert "0" in table and "5" in table
+
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▁▁"
+        line = sparkline([0, 1, 2, 3], width=4)
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_downsamples(self):
+        assert len(sparkline(list(range(1000)), width=50)) == 50
+
+    def test_to_sparklines(self):
+        recorder = SeriesRecorder()
+        recorder.add_point(0, v=1.0)
+        recorder.add_point(1, v=5.0)
+        text = recorder.to_sparklines()
+        assert "v" in text and "[1..5]" in text

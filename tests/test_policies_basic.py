@@ -1,0 +1,164 @@
+"""Tests for LRU, LFU, the perfect-cache oracle, and the null cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies.base import MISSING
+from repro.policies.lfu import LFUCache
+from repro.policies.lru import LRUCache
+from repro.policies.nullcache import NullCache
+from repro.policies.perfect import PerfectCache
+
+
+def warm(policy, key, value=None):
+    policy.lookup(key)
+    policy.admit(key, value if value is not None else key)
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        lru = LRUCache(2)
+        warm(lru, "a")
+        warm(lru, "b")
+        lru.lookup("a")          # refresh a
+        warm(lru, "c")           # evicts b
+        assert "a" in lru and "c" in lru and "b" not in lru
+
+    def test_paper_pathology_cycling(self):
+        """The paper's (A,B,C,D,A,B,C,E,...) sequence always misses LRU(3)."""
+        lru = LRUCache(3)
+        sequence = ["A", "B", "C", "D"] * 5
+        for key in sequence:
+            if lru.lookup(key) is MISSING:
+                lru.admit(key, key)
+        assert lru.stats.hits == 0
+
+    def test_admit_refreshes_existing(self):
+        lru = LRUCache(2)
+        warm(lru, "a", 1)
+        warm(lru, "b", 2)
+        lru.admit("a", 99)      # refresh value + recency
+        warm(lru, "c", 3)       # evicts b, not a
+        assert lru.lookup("a") == 99
+        assert "b" not in lru
+
+    def test_invalidate(self):
+        lru = LRUCache(2)
+        warm(lru, "a")
+        lru.invalidate("a")
+        assert "a" not in lru
+        assert lru.stats.invalidations == 1
+        lru.invalidate("ghost")
+        assert lru.stats.invalidations == 1
+
+    def test_resize_shrink_evicts_lru_first(self):
+        lru = LRUCache(4)
+        for key in "abcd":
+            warm(lru, key)
+        lru.resize(2)
+        assert set(lru.cached_keys()) == {"c", "d"}
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        lfu = LFUCache(2)
+        warm(lfu, "a")
+        lfu.lookup("a")
+        lfu.lookup("a")
+        warm(lfu, "b")
+        warm(lfu, "c")           # evicts b (freq 1 < a's 3)
+        assert "a" in lfu and "c" in lfu and "b" not in lfu
+
+    def test_paper_pathology_stale_frequency(self):
+        """LFU keeps old-hot keys: A,A,B,B then C,D,E cycling misses."""
+        lfu = LFUCache(3)
+        for key in ["A", "A", "B", "B"]:
+            if lfu.lookup(key) is MISSING:
+                lfu.admit(key, key)
+        for key in ["C", "D", "E"] * 4:
+            if lfu.lookup(key) is MISSING:
+                lfu.admit(key, key)
+        # A and B survive with frequency 2; C/D/E churn the last slot.
+        assert "A" in lfu and "B" in lfu
+
+    def test_frequency_tracking(self):
+        lfu = LFUCache(2)
+        warm(lfu, "a")
+        lfu.lookup("a")
+        assert lfu.frequency_of("a") == 2.0
+
+    def test_invalidate_removes_from_heap(self):
+        lfu = LFUCache(2)
+        warm(lfu, "a")
+        lfu.invalidate("a")
+        assert "a" not in lfu
+        warm(lfu, "a")           # re-admittable
+        assert "a" in lfu
+
+    def test_resize_evicts_least_frequent(self):
+        lfu = LFUCache(3)
+        warm(lfu, "a")
+        lfu.lookup("a")
+        warm(lfu, "b")
+        warm(lfu, "c")
+        lfu.resize(1)
+        assert set(lfu.cached_keys()) == {"a"}
+
+
+class TestPerfect:
+    def test_only_hot_keys_cached(self):
+        oracle = PerfectCache(2, ["h1", "h2"])
+        warm(oracle, "h1")
+        warm(oracle, "cold")
+        assert "h1" in oracle
+        assert "cold" not in oracle
+
+    def test_hot_set_truncated_to_capacity(self):
+        oracle = PerfectCache(1, ["a", "b", "c"])
+        assert oracle.hot_set == frozenset({"a"})
+
+    def test_for_zipfian(self):
+        oracle = PerfectCache.for_zipfian(3, key_space=100)
+        assert oracle.hot_set == frozenset({0, 1, 2})
+
+    def test_hit_rate_tracks_head_mass(self):
+        import random
+
+        rng = random.Random(3)
+        population = list(range(50))
+        weights = [1.0 / (i + 1) ** 2 for i in population]
+        oracle = PerfectCache(5, population[:5])
+        for _ in range(5000):
+            key = rng.choices(population, weights)[0]
+            if oracle.lookup(key) is MISSING:
+                oracle.admit(key, key)
+        head = sum(weights[:5]) / sum(weights)
+        assert oracle.stats.hit_rate == pytest.approx(head, abs=0.05)
+
+    def test_invalidate_then_readmit(self):
+        oracle = PerfectCache(1, ["h"])
+        warm(oracle, "h")
+        oracle.invalidate("h")
+        assert "h" not in oracle
+        warm(oracle, "h")
+        assert "h" in oracle
+
+
+class TestNull:
+    def test_never_caches(self):
+        null = NullCache()
+        warm(null, "a")
+        assert len(null) == 0
+        assert null.lookup("a") is MISSING
+        assert null.stats.hit_rate == 0.0
+
+    def test_capacity_pinned_to_zero(self):
+        assert NullCache(100).capacity == 0
+        with pytest.raises(ValueError):
+            NullCache().resize(4)
+
+    def test_invalidate_noop(self):
+        null = NullCache()
+        null.invalidate("a")
+        assert null.stats.invalidations == 0

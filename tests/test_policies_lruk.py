@@ -1,0 +1,155 @@
+"""Tests for LRU-K (LRU-2 in the paper's comparisons)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies.base import MISSING
+from repro.policies.lruk import LRUKCache
+
+
+def access(policy, key):
+    value = policy.lookup(key)
+    if value is MISSING:
+        policy.admit(key, key)
+        return False
+    return True
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LRUKCache(4, k=0)
+        with pytest.raises(ConfigurationError):
+            LRUKCache(4, k=2, history_capacity=-1)
+
+    def test_defaults(self):
+        policy = LRUKCache(4)
+        assert policy.k == 2
+        assert policy.history_capacity == 0
+
+
+class TestEviction:
+    def test_infants_evicted_before_mature(self):
+        """Keys with < k references lose to keys with k references."""
+        lru2 = LRUKCache(2, k=2)
+        access(lru2, "mature")
+        access(lru2, "mature")   # 2 refs
+        access(lru2, "infant")   # 1 ref
+        access(lru2, "new")      # must evict "infant", not "mature"
+        assert "mature" in lru2
+        assert "infant" not in lru2
+
+    def test_among_infants_lru_order(self):
+        lru2 = LRUKCache(2, k=2)
+        access(lru2, "older")
+        access(lru2, "newer")
+        access(lru2, "third")    # evicts "older" (least recent infant)
+        assert "newer" in lru2
+        assert "older" not in lru2
+
+    def test_among_mature_min_kth_reference(self):
+        lru2 = LRUKCache(2, k=2)
+        access(lru2, "a")
+        access(lru2, "a")        # a: refs t1,t2 -> k-dist anchor t1
+        access(lru2, "b")
+        access(lru2, "b")        # b: refs t3,t4 -> anchor t3
+        access(lru2, "a")        # a: anchor now t2
+        access(lru2, "c")        # evict min anchor: b?  a anchor=t2 < b anchor=t3
+        assert "b" in lru2
+        assert "a" not in lru2
+
+    def test_capacity_respected(self):
+        lru2 = LRUKCache(3, k=2, history_capacity=16)
+        for i in range(50):
+            access(lru2, i % 7)
+        assert len(lru2) <= 3
+
+
+class TestHistory:
+    def test_history_retains_evicted_references(self):
+        lru2 = LRUKCache(1, k=2, history_capacity=8)
+        access(lru2, "a")
+        access(lru2, "b")        # evicts a -> history
+        assert lru2.history_size == 1
+        # a re-admitted with retained refs: now has 2 refs (mature).
+        access(lru2, "a")        # evicts b; a returns with history
+        access(lru2, "c")        # c infant vs a mature -> evict... c not in cache yet
+        # a should survive because it is mature thanks to retained history.
+        assert "a" in lru2 or "c" in lru2  # exactly one cached
+        assert len(lru2) == 1
+
+    def test_history_bounded(self):
+        lru2 = LRUKCache(1, k=2, history_capacity=3)
+        for i in range(20):
+            access(lru2, i)
+        assert lru2.history_size <= 3
+
+    def test_readmission_from_history_is_mature(self):
+        lru2 = LRUKCache(2, k=2, history_capacity=8)
+        access(lru2, "a")
+        access(lru2, "b")
+        access(lru2, "c")            # evicts "a" (oldest infant) to history
+        assert "a" not in lru2
+        access(lru2, "a")            # re-enters with retained refs: 2 refs
+        # "a" is now mature; the remaining infant loses the next eviction.
+        access(lru2, "d")
+        assert "a" in lru2
+
+    def test_zero_history_forgets(self):
+        lru2 = LRUKCache(1, k=2, history_capacity=0)
+        access(lru2, "a")
+        access(lru2, "b")
+        assert lru2.history_size == 0
+
+    def test_invalidate_drops_value_and_history(self):
+        lru2 = LRUKCache(2, k=2, history_capacity=4)
+        access(lru2, "a")
+        lru2.invalidate("a")
+        assert "a" not in lru2
+        access(lru2, "b")
+        access(lru2, "c")
+        access(lru2, "d")            # b or c evicted into history
+        evicted = "b" if "b" not in lru2 else "c"
+        lru2.invalidate(evicted)     # history entry dropped too
+        assert lru2.history_size == 0
+
+    def test_resize(self):
+        lru2 = LRUKCache(4, k=2, history_capacity=8)
+        for key in "abcd":
+            access(lru2, key)
+        lru2.resize(2)
+        assert len(lru2) == 2
+
+
+class TestBehaviour:
+    def test_lru2_beats_lru_on_skew(self):
+        """Both LRU-2 variants must clearly beat plain LRU on Zipf-like
+        streams — the K-distance filter is what the paper compares."""
+        from repro.policies.lru import LRUCache
+
+        rng = random.Random(23)
+        population = list(range(300))
+        weights = [1.0 / (i + 1) for i in population]
+        with_history = LRUKCache(8, k=2, history_capacity=128)
+        without = LRUKCache(8, k=2, history_capacity=0)
+        lru = LRUCache(8)
+        for _ in range(20_000):
+            key = rng.choices(population, weights)[0]
+            for policy in (with_history, without, lru):
+                if policy.lookup(key) is MISSING:
+                    policy.admit(key, key)
+        assert with_history.stats.hit_rate > lru.stats.hit_rate * 1.2
+        assert without.stats.hit_rate > lru.stats.hit_rate * 1.2
+
+    def test_lru1_degenerates_to_lru(self):
+        """k=1 must order by plain recency."""
+        lru1 = LRUKCache(2, k=1)
+        access(lru1, "a")
+        access(lru1, "b")
+        lru1.lookup("a")
+        access(lru1, "c")        # evicts b (least recent)
+        assert "a" in lru1 and "b" not in lru1

@@ -1,0 +1,215 @@
+"""Tests for the discrete-event simulation substrate (Figures 5-6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.policies.lru import LRUCache
+from repro.policies.nullcache import NullCache
+from repro.sim.endtoend import EndToEndSimulation
+from repro.sim.events import Simulator
+from repro.sim.network import FixedLatency, JitteredLatency, PAPER_RTT
+from repro.sim.server import ServiceModel, SimBackendServer
+from repro.workloads.mixer import OperationMixer
+from repro.workloads.uniform import UniformGenerator
+from repro.workloads.zipfian import ZipfianGenerator
+
+
+class TestSimulator:
+    def test_event_ordering(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(1.0, lambda: order.append("early-2"))
+        end = sim.run()
+        assert order == ["early", "early-2", "late"]
+        assert end == 2.0
+        assert sim.processed_events == 3
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(0.5, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [1.0, 1.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at(self):
+        sim = Simulator()
+        hit = []
+        sim.schedule_at(3.0, lambda: hit.append(sim.now))
+        sim.run()
+        assert hit == [3.0]
+
+    def test_event_budget(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        model = FixedLatency(1e-3)
+        assert model.rtt() == 1e-3
+        assert model.one_way() == 5e-4
+
+    def test_fixed_default_is_paper_rtt(self):
+        assert FixedLatency().rtt() == PAPER_RTT
+
+    def test_fixed_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedLatency(-1.0)
+
+    def test_jittered_bounds(self):
+        model = JitteredLatency(base_rtt=1e-3, jitter_fraction=0.5,
+                                floor_fraction=0.5, seed=1)
+        samples = [model.rtt() for _ in range(1000)]
+        assert all(s >= 0.5e-3 for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_jittered_validation(self):
+        with pytest.raises(ConfigurationError):
+            JitteredLatency(base_rtt=0)
+
+
+class TestSimBackendServer:
+    def test_fcfs_serialization(self):
+        sim = Simulator()
+        model = ServiceModel(
+            base_service_time=1.0, thrash_factor=0.0, load_penalty=0.0
+        )
+        server = SimBackendServer("s", model, fair_share=1.0)
+        done = []
+        server.submit(sim, lambda: done.append(sim.now))
+        server.submit(sim, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 2.0]
+
+    def test_thrashing_inflates_service(self):
+        sim = Simulator()
+        model = ServiceModel(
+            base_service_time=1.0,
+            thrash_threshold=1,
+            thrash_factor=1.0,
+            load_penalty=0.0,
+        )
+        server = SimBackendServer("s", model, fair_share=1.0)
+        done = []
+        for _ in range(3):
+            server.submit(sim, lambda: done.append(sim.now))
+        sim.run()
+        # 1st: queue=1 -> 1s; 2nd: queue=2 -> 2s; 3rd: queue=3 -> 3s.
+        assert done == [1.0, 3.0, 6.0]
+
+    def test_load_penalty_applies_to_hot_share(self):
+        sim = Simulator()
+        model = ServiceModel(
+            base_service_time=1.0, thrash_factor=0.0, load_penalty=1.0
+        )
+        total = [0]
+        hot = SimBackendServer("hot", model, fair_share=0.5)
+        cold = SimBackendServer("cold", model, fair_share=0.5)
+        hot.bind_total_counter(total)
+        cold.bind_total_counter(total)
+        finish = {}
+        for _ in range(3):
+            hot.submit(sim, lambda: None)
+        cold.submit(sim, lambda: None)
+        sim.run()
+        # hot served 3/4 of arrivals against a 1/2 fair share -> slowed.
+        assert hot.share() == pytest.approx(0.75)
+        assert hot.busy_time > cold.busy_time
+
+    def test_utilization(self):
+        sim = Simulator()
+        model = ServiceModel(base_service_time=1.0, thrash_factor=0.0,
+                             load_penalty=0.0)
+        server = SimBackendServer("s", model, fair_share=1.0)
+        server.submit(sim, lambda: None)
+        end = sim.run()
+        assert server.utilization(end) == pytest.approx(1.0)
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceModel(base_service_time=0)
+        with pytest.raises(ConfigurationError):
+            ServiceModel(thrash_factor=-1)
+
+
+class TestEndToEnd:
+    def make_sim(self, dist, policy_factory, clients=4, reqs=500):
+        def mixer(i):
+            if dist == "uniform":
+                gen = UniformGenerator(2_000, seed=100 + i)
+            else:
+                gen = ZipfianGenerator(2_000, theta=dist, seed=100 + i)
+            return OperationMixer(gen, seed=200 + i)
+
+        return EndToEndSimulation(
+            num_clients=clients,
+            requests_per_client=reqs,
+            mixer_factory=mixer,
+            policy_factory=policy_factory,
+            num_servers=4,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.make_sim("uniform", lambda i: NullCache(), clients=0)
+
+    def test_all_requests_complete(self):
+        sim = self.make_sim("uniform", lambda i: NullCache())
+        result = sim.run()
+        assert result.total_requests == 4 * 500
+        assert result.runtime > 0
+        assert result.throughput > 0
+        assert len(result.per_client_runtime) == 4
+
+    def test_skew_slower_than_uniform_without_cache(self):
+        uniform = self.make_sim("uniform", lambda i: NullCache()).run()
+        skewed = self.make_sim(1.2, lambda i: NullCache()).run()
+        assert skewed.runtime > uniform.runtime
+        assert skewed.backend_imbalance > uniform.backend_imbalance
+
+    def test_front_end_cache_cuts_skewed_runtime(self):
+        no_cache = self.make_sim(1.2, lambda i: NullCache()).run()
+        cached = self.make_sim(1.2, lambda i: LRUCache(64)).run()
+        assert cached.runtime < no_cache.runtime
+        assert cached.front_end_hit_rate > 0.2
+        assert cached.backend_imbalance < no_cache.backend_imbalance
+
+    def test_mean_latency_positive(self):
+        result = self.make_sim("uniform", lambda i: NullCache()).run()
+        assert result.mean_latency > PAPER_RTT / 2
+
+    def test_write_path_executes(self):
+        def mixer(i):
+            gen = UniformGenerator(100, seed=i)
+            return OperationMixer(gen, read_fraction=0.5, seed=300 + i)
+
+        sim = EndToEndSimulation(
+            num_clients=2,
+            requests_per_client=200,
+            mixer_factory=mixer,
+            policy_factory=lambda i: LRUCache(16),
+            num_servers=2,
+        )
+        result = sim.run()
+        assert result.total_requests == 400
+        assert sim.cluster.storage.stats.writes > 0

@@ -1,0 +1,144 @@
+"""Tests for the classic space-saving sketch, including its guarantees."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spacesaving import SpaceSaving
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(0)
+
+    def test_offer_below_capacity(self):
+        sketch: SpaceSaving[str] = SpaceSaving(4)
+        assert sketch.offer("a") == 1.0
+        assert sketch.offer("a") == 2.0
+        assert sketch.offer("b") == 1.0
+        assert len(sketch) == 2
+        assert sketch.count_of("a") == 2.0
+        assert sketch.error_of("a") == 0.0
+
+    def test_offer_zero_weight_raises(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(2).offer("a", 0.0)
+
+    def test_eviction_inherits_count(self):
+        sketch: SpaceSaving[str] = SpaceSaving(2)
+        sketch.offer("a")
+        sketch.offer("a")
+        sketch.offer("b")
+        # "c" evicts "b" (min count 1) and inherits its count.
+        assert sketch.offer("c") == 2.0
+        assert "b" not in sketch
+        assert sketch.error_of("c") == 1.0
+        assert sketch.entries().__class__  # iterator exists
+
+    def test_min_count_not_full(self):
+        sketch: SpaceSaving[str] = SpaceSaving(3)
+        sketch.offer("a")
+        assert sketch.min_count() == 0.0
+
+    def test_min_count_full(self):
+        sketch: SpaceSaving[str] = SpaceSaving(2)
+        sketch.offer("a")
+        sketch.offer("a")
+        sketch.offer("b")
+        assert sketch.min_count() == 1.0
+
+    def test_top_order(self):
+        sketch: SpaceSaving[str] = SpaceSaving(4)
+        sketch.offer_all(["a"] * 5 + ["b"] * 3 + ["c"] * 1)
+        top = sketch.top(2)
+        assert [t.key for t in top] == ["a", "b"]
+        assert top[0].count == 5.0
+        assert top[0].guaranteed_count == 5.0
+
+    def test_frequent_validation(self):
+        sketch: SpaceSaving[str] = SpaceSaving(2)
+        with pytest.raises(ValueError):
+            sketch.frequent(0.0)
+        with pytest.raises(ValueError):
+            sketch.frequent(1.0)
+
+    def test_frequent_query(self):
+        sketch: SpaceSaving[str] = SpaceSaving(8)
+        sketch.offer_all(["hot"] * 60 + ["warm"] * 30 + list("0123456789"))
+        keys = {e.key for e in sketch.frequent(0.5)}
+        assert keys == {"hot"}
+        keys = {e.key for e in sketch.frequent(0.25)}
+        assert keys == {"hot", "warm"}
+
+    def test_clear(self):
+        sketch: SpaceSaving[str] = SpaceSaving(2)
+        sketch.offer("a")
+        sketch.clear()
+        assert len(sketch) == 0
+        assert sketch.stream_length == 0.0
+
+    def test_weighted_offers(self):
+        sketch: SpaceSaving[str] = SpaceSaving(2)
+        sketch.offer("a", 5.0)
+        assert sketch.count_of("a") == 5.0
+        assert sketch.stream_length == 5.0
+
+
+class TestGuarantees:
+    """The textbook space-saving guarantees, verified by brute force."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=400),
+        st.integers(2, 12),
+    )
+    def test_overestimate_never_underestimates(self, stream, capacity):
+        sketch: SpaceSaving[int] = SpaceSaving(capacity)
+        sketch.offer_all(stream)
+        truth = Counter(stream)
+        for entry in sketch.entries():
+            assert entry.count >= truth[entry.key]
+            assert entry.count - entry.error <= truth[entry.key]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=400),
+        st.integers(2, 12),
+    )
+    def test_error_bounded_by_n_over_m(self, stream, capacity):
+        sketch: SpaceSaving[int] = SpaceSaving(capacity)
+        sketch.offer_all(stream)
+        bound = len(stream) / capacity
+        for entry in sketch.entries():
+            assert entry.error <= bound + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 20), min_size=10, max_size=400),
+        st.integers(2, 12),
+    )
+    def test_heavy_keys_always_monitored(self, stream, capacity):
+        """Any key with frequency > N/m must be in the sketch."""
+        sketch: SpaceSaving[int] = SpaceSaving(capacity)
+        sketch.offer_all(stream)
+        truth = Counter(stream)
+        threshold = len(stream) / capacity
+        for key, count in truth.items():
+            if count > threshold:
+                assert key in sketch
+
+    def test_skewed_stream_top_k_is_exact(self):
+        """On a strongly skewed stream the sketch's top-k is the true top-k."""
+        stream = []
+        for rank in range(20):
+            stream.extend([rank] * (2 ** (12 - rank) if rank < 12 else 1))
+        sketch: SpaceSaving[int] = SpaceSaving(16)
+        sketch.offer_all(stream)
+        top = [entry.key for entry in sketch.top(5)]
+        assert top == [0, 1, 2, 3, 4]

@@ -1,0 +1,123 @@
+"""Hypothesis stateful (model-based) tests.
+
+Two machines:
+
+* :class:`LRUModelMachine` — drives :class:`LRUCache` against a trivially
+  correct reference model (an ordered dict) through arbitrary interleaved
+  operations, checking full behavioural equivalence.
+* :class:`CoTMachine` — drives :class:`CoTCache` through arbitrary
+  lookups, admissions, updates, invalidations, resizes and decays,
+  checking the structural invariants after every step.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.cache import CoTCache
+from repro.policies.base import MISSING
+from repro.policies.lru import LRUCache
+
+KEYS = st.integers(0, 15)
+
+
+class LRUModelMachine(RuleBasedStateMachine):
+    """LRUCache must behave exactly like an OrderedDict-based model."""
+
+    CAPACITY = 4
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cache = LRUCache(self.CAPACITY)
+        self.model: OrderedDict[int, object] = OrderedDict()
+
+    @rule(key=KEYS)
+    def lookup(self, key: int) -> None:
+        actual = self.cache.lookup(key)
+        if key in self.model:
+            self.model.move_to_end(key)
+            assert actual == self.model[key]
+        else:
+            assert actual is MISSING
+
+    @rule(key=KEYS, value=st.integers())
+    def admit(self, key: int, value: int) -> None:
+        self.cache.admit(key, value)
+        if key in self.model:
+            self.model.move_to_end(key)
+        elif len(self.model) >= self.CAPACITY:
+            self.model.popitem(last=False)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def invalidate(self, key: int) -> None:
+        self.cache.invalidate(key)
+        self.model.pop(key, None)
+
+    @invariant()
+    def contents_match(self) -> None:
+        assert set(self.cache.cached_keys()) == set(self.model)
+        assert len(self.cache) == len(self.model)
+
+
+class CoTMachine(RuleBasedStateMachine):
+    """CoTCache structural invariants under arbitrary operation mixes."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cache = CoTCache(3, tracker_capacity=9)
+
+    @rule(key=KEYS)
+    def read(self, key: int) -> None:
+        if self.cache.lookup(key) is MISSING:
+            self.cache.admit(key, key)
+
+    @rule(key=KEYS)
+    def write(self, key: int) -> None:
+        self.cache.record_update(key)
+
+    @rule(key=KEYS)
+    def invalidate(self, key: int) -> None:
+        self.cache.invalidate(key)
+
+    @rule(cache=st.integers(1, 6))
+    def resize(self, cache: int) -> None:
+        self.cache.set_sizes(cache, 3 * cache)
+
+    @rule(factor=st.floats(0.25, 1.0))
+    def decay(self, factor: float) -> None:
+        self.cache.decay(factor)
+
+    @invariant()
+    def structure_holds(self) -> None:
+        self.cache.check_invariants()
+
+    @invariant()
+    def cached_values_within_capacity(self) -> None:
+        assert len(self.cache) <= self.cache.capacity
+
+    @invariant()
+    def hmin_separates_sets(self) -> None:
+        """Every cached key is at least as hot as h_min."""
+        tracker = self.cache.tracker
+        if tracker.cached_count == 0:
+            return
+        h_min = min(
+            tracker.hotness_of(key) for key in tracker.cached_keys()
+        )
+        reported = tracker.h_min()
+        if reported != float("-inf"):
+            assert abs(reported - h_min) < 1e-9
+
+
+TestLRUModel = LRUModelMachine.TestCase
+TestCoTStateful = CoTMachine.TestCase
+
+TestLRUModel.settings = settings(max_examples=40, stateful_step_count=60,
+                                 deadline=None)
+TestCoTStateful.settings = settings(max_examples=40, stateful_step_count=60,
+                                    deadline=None)

@@ -1,0 +1,162 @@
+"""Tests for uniform/hotspot/latest/gaussian generators, keys, and mixing."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import KEY_PREFIX, format_key, parse_key
+from repro.workloads.gaussian import GaussianGenerator
+from repro.workloads.hotspot import HotspotGenerator
+from repro.workloads.latest import SkewedLatestGenerator
+from repro.workloads.mixer import TAO_READ_FRACTION, OperationMixer
+from repro.workloads.request import OpType, Request
+from repro.workloads.uniform import UniformGenerator
+
+
+class TestKeys:
+    def test_format_parse_roundtrip(self):
+        for key_id in (0, 1, 999_999):
+            assert parse_key(format_key(key_id)) == key_id
+
+    def test_prefix(self):
+        assert format_key(7) == f"{KEY_PREFIX}7"
+
+    def test_parse_rejects_foreign_keys(self):
+        with pytest.raises(ValueError):
+            parse_key("other:7")
+
+
+class TestUniform:
+    def test_range(self):
+        gen = UniformGenerator(100, seed=1)
+        assert all(0 <= k < 100 for k in gen.keys(5000))
+
+    def test_roughly_even(self):
+        gen = UniformGenerator(10, seed=2)
+        counts = Counter(gen.keys(20_000))
+        assert min(counts.values()) > 0.8 * 2000
+        assert max(counts.values()) < 1.2 * 2000
+
+    def test_determinism(self):
+        assert list(UniformGenerator(50, seed=3).keys(100)) == list(
+            UniformGenerator(50, seed=3).keys(100)
+        )
+
+
+class TestHotspot:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotspotGenerator(100, hot_set_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            HotspotGenerator(100, hot_opn_fraction=1.5)
+
+    def test_hot_fraction_respected(self):
+        gen = HotspotGenerator(
+            1000, hot_set_fraction=0.01, hot_opn_fraction=0.9, seed=4
+        )
+        assert gen.hot_count == 10
+        draws = list(gen.keys(20_000))
+        hot = sum(1 for k in draws if k < gen.hot_count)
+        assert hot / len(draws) == pytest.approx(0.9, abs=0.02)
+
+    def test_cold_keys_covered(self):
+        gen = HotspotGenerator(
+            100, hot_set_fraction=0.1, hot_opn_fraction=0.5, seed=5
+        )
+        assert any(k >= gen.hot_count for k in gen.keys(1000))
+
+    def test_all_hot(self):
+        gen = HotspotGenerator(10, hot_set_fraction=1.0, hot_opn_fraction=0.5, seed=6)
+        assert all(0 <= k < 10 for k in gen.keys(500))
+
+
+class TestLatest:
+    def test_recent_keys_hot(self):
+        gen = SkewedLatestGenerator(1000, theta=0.99, seed=7)
+        counts = Counter(gen.keys(20_000))
+        assert counts[gen.latest] == max(counts.values())
+
+    def test_advance_moves_hot_spot(self):
+        gen = SkewedLatestGenerator(1000, theta=1.2, seed=8)
+        first = gen.latest
+        gen.advance(100)
+        assert gen.latest == (first + 100) % 1000
+        counts = Counter(gen.keys(10_000))
+        assert counts[gen.latest] > counts.get(first, 0)
+
+    def test_wraparound(self):
+        gen = SkewedLatestGenerator(10, seed=9)
+        gen.advance(25)
+        assert 0 <= gen.latest < 10
+        assert all(0 <= k < 10 for k in gen.keys(500))
+
+
+class TestGaussian:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianGenerator(100, center=100)
+        with pytest.raises(ConfigurationError):
+            GaussianGenerator(100, sigma=0)
+
+    def test_concentrated_near_center(self):
+        gen = GaussianGenerator(1000, center=500, sigma=10, seed=10)
+        draws = list(gen.keys(5000))
+        near = sum(1 for k in draws if abs(k - 500) <= 30)
+        assert near / len(draws) > 0.95
+
+    def test_range(self):
+        gen = GaussianGenerator(100, center=5, sigma=50, seed=11)
+        assert all(0 <= k < 100 for k in gen.keys(3000))
+
+
+class TestMixer:
+    def test_tao_ratio(self):
+        gen = UniformGenerator(100, seed=12)
+        mixer = OperationMixer(gen, seed=13)
+        ops = [r.op for r in mixer.requests(20_000)]
+        reads = sum(1 for op in ops if op is OpType.GET)
+        assert reads / len(ops) == pytest.approx(TAO_READ_FRACTION, abs=0.005)
+
+    def test_write_requests_carry_values(self):
+        gen = UniformGenerator(100, seed=14)
+        mixer = OperationMixer(gen, read_fraction=0.0, seed=15)
+        request = mixer.next_request()
+        assert request.op is OpType.SET
+        assert request.value is not None
+        assert not request.is_read
+
+    def test_read_only(self):
+        gen = UniformGenerator(100, seed=16)
+        mixer = OperationMixer(gen, read_fraction=1.0)
+        assert all(r.is_read for r in mixer.requests(500))
+
+    def test_keys_formatted(self):
+        gen = UniformGenerator(100, seed=17)
+        mixer = OperationMixer(gen)
+        assert mixer.next_request().key.startswith(KEY_PREFIX)
+
+    def test_validation(self):
+        gen = UniformGenerator(10)
+        with pytest.raises(ConfigurationError):
+            OperationMixer(gen, read_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            OperationMixer(gen, value_size=-1)
+
+    def test_describe(self):
+        gen = UniformGenerator(10, seed=1)
+        assert "uniform" in OperationMixer(gen).describe()
+
+
+class TestRequest:
+    def test_frozen(self):
+        request = Request(OpType.GET, "usertable:1")
+        with pytest.raises(AttributeError):
+            request.key = "x"  # type: ignore[misc]
+
+    def test_is_read(self):
+        assert Request(OpType.GET, "k").is_read
+        assert not Request(OpType.SET, "k", value=1).is_read
+        assert not Request(OpType.DELETE, "k").is_read

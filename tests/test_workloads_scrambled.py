@@ -1,0 +1,85 @@
+"""Tests for FNV hashing and the bug-faithful ScrambledZipfian generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.analytical import estimate_zipf_exponent, head_mass
+from repro.workloads.fnv import fnv_hash32, fnv_hash64
+from repro.workloads.scrambled import (
+    ITEM_COUNT,
+    USED_ZIPFIAN_CONSTANT,
+    ScrambledZipfianGenerator,
+)
+from repro.workloads.zipfian import ZipfianGenerator
+
+
+class TestFNV:
+    def test_deterministic(self):
+        assert fnv_hash64(12345) == fnv_hash64(12345)
+        assert fnv_hash32(12345) == fnv_hash32(12345)
+
+    def test_nonnegative(self):
+        for value in (0, 1, 2**40, 2**63 - 1, 2**64 - 1):
+            assert fnv_hash64(value) >= 0
+        for value in (0, 1, 2**31, 2**32 - 1):
+            assert fnv_hash32(value) >= 0
+
+    def test_spreads_consecutive_inputs(self):
+        hashes = {fnv_hash64(i) % 1000 for i in range(100)}
+        # Consecutive ranks land far apart: expect close to 100 distinct
+        # buckets modulo birthday collisions (~5 expected at 100/1000).
+        assert len(hashes) > 70
+
+    def test_zero_input(self):
+        # FNV-1a of eight zero bytes — regression pin so the scramble
+        # stays stable across refactors.
+        assert fnv_hash64(0) == fnv_hash64(0)
+        assert fnv_hash64(0) != fnv_hash64(1)
+
+
+class TestScrambledZipfian:
+    def test_range_and_determinism(self):
+        gen = ScrambledZipfianGenerator(500, seed=3)
+        keys = list(gen.keys(2000))
+        assert all(0 <= k < 500 for k in keys)
+        again = ScrambledZipfianGenerator(500, seed=3)
+        assert list(again.keys(2000)) == keys
+
+    def test_constants_match_ycsb(self):
+        assert ITEM_COUNT == 10_000_000_000
+        assert USED_ZIPFIAN_CONSTANT == 0.99
+
+    def test_requested_theta_is_ignored(self):
+        """The bug: different requested skews produce identical streams."""
+        a = ScrambledZipfianGenerator(1000, requested_theta=0.9, seed=5)
+        b = ScrambledZipfianGenerator(1000, requested_theta=1.4, seed=5)
+        assert list(a.keys(1000)) == list(b.keys(1000))
+
+    def test_skew_loss_vs_honest_zipfian(self):
+        """The paper's finding, in one assertion: the scrambled stream is
+        much less skewed than the honest Zipfian at the same setting."""
+        n, draws = 5_000, 30_000
+        honest = ZipfianGenerator(n, theta=0.99, seed=9)
+        scrambled = ScrambledZipfianGenerator(n, requested_theta=0.99, seed=9)
+        honest_keys = list(honest.keys(draws))
+        scrambled_keys = list(scrambled.keys(draws))
+        assert head_mass(honest_keys, 10) > 2 * head_mass(scrambled_keys, 10)
+        fitted_honest = estimate_zipf_exponent(honest_keys, max_rank=500)
+        fitted_scrambled = estimate_zipf_exponent(scrambled_keys, max_rank=500)
+        assert fitted_honest == pytest.approx(0.99, abs=0.1)
+        assert fitted_scrambled < fitted_honest - 0.1
+
+    def test_still_somewhat_skewed(self):
+        """Scrambling dilutes but does not erase skew: the hottest key
+        (wherever it scrambles to) still dominates the uniform share."""
+        n, draws = 1000, 30_000
+        gen = ScrambledZipfianGenerator(n, seed=13)
+        counts = Counter(gen.keys(draws))
+        assert max(counts.values()) > 3 * draws / n
+
+    def test_describe_mentions_the_bug(self):
+        text = ScrambledZipfianGenerator(10, requested_theta=1.2).describe()
+        assert "requested_s=1.2" in text

@@ -1,0 +1,118 @@
+"""Tests for workload phases, hot-set rotation, and trace record/replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import format_key
+from repro.workloads.mixer import OperationMixer
+from repro.workloads.request import OpType, Request
+from repro.workloads.shift import Phase, PhasedWorkload, RotatingHotSetGenerator
+from repro.workloads.trace import TraceGenerator, record_trace, replay_trace
+from repro.workloads.uniform import UniformGenerator
+from repro.workloads.zipfian import ZipfianGenerator
+
+
+class TestPhasedWorkload:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhasedWorkload([])
+
+    def test_unbounded_middle_phase_rejected(self):
+        gen = UniformGenerator(10, seed=1)
+        with pytest.raises(ConfigurationError):
+            PhasedWorkload([Phase(gen, None), Phase(gen, 5)])
+
+    def test_phase_length_validation(self):
+        gen = UniformGenerator(10, seed=1)
+        with pytest.raises(ConfigurationError):
+            Phase(gen, 0)
+
+    def test_transitions_at_boundaries(self):
+        hot = ZipfianGenerator(100, theta=1.4, seed=2)
+        cold = UniformGenerator(100, seed=3)
+        phased = PhasedWorkload([Phase(hot, 50), Phase(cold, None)])
+        assert phased.phase_index == 0
+        list(phased.keys(50))
+        assert phased.phase_index == 0  # index moves on the *next* draw
+        phased.next_key()
+        assert phased.phase_index == 1
+
+    def test_final_phase_unbounded(self):
+        gen = UniformGenerator(10, seed=4)
+        phased = PhasedWorkload([Phase(gen, None)])
+        list(phased.keys(1000))  # must not exhaust
+        assert phased.phase_index == 0
+
+    def test_key_space_is_max(self):
+        a = UniformGenerator(10, seed=5)
+        b = UniformGenerator(50, seed=6)
+        assert PhasedWorkload([Phase(a, 5), Phase(b, None)]).key_space == 50
+
+    def test_describe(self):
+        gen = UniformGenerator(10, seed=1)
+        assert "phased" in PhasedWorkload([Phase(gen, None)]).describe()
+
+
+class TestRotatingHotSet:
+    def test_rotation_changes_identity_not_shape(self):
+        inner_a = ZipfianGenerator(100, theta=1.2, seed=7)
+        inner_b = ZipfianGenerator(100, theta=1.2, seed=7)
+        plain = RotatingHotSetGenerator(inner_a, offset=0)
+        rotated = RotatingHotSetGenerator(inner_b, offset=10)
+        keys_plain = list(plain.keys(500))
+        keys_rotated = list(rotated.keys(500))
+        assert keys_rotated == [(k + 10) % 100 for k in keys_plain]
+
+    def test_rotate_accumulates_modulo(self):
+        gen = RotatingHotSetGenerator(UniformGenerator(10, seed=8), offset=7)
+        assert gen.rotate(5) == 2
+        assert gen.offset == 2
+
+    def test_range(self):
+        gen = RotatingHotSetGenerator(ZipfianGenerator(50, seed=9), offset=49)
+        assert all(0 <= k < 50 for k in gen.keys(1000))
+
+
+class TestTrace:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        requests = [
+            Request(OpType.GET, format_key(1)),
+            Request(OpType.SET, format_key(2), value=(2, 1)),
+            Request(OpType.GET, format_key(3)),
+            Request(OpType.DELETE, format_key(4)),
+        ]
+        assert record_trace(path, requests) == 4
+        replayed = list(replay_trace(path))
+        assert [r.op for r in replayed] == [r.op for r in requests]
+        assert [r.key for r in replayed] == [r.key for r in requests]
+
+    def test_mixer_to_trace(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        mixer = OperationMixer(UniformGenerator(100, seed=10), seed=11)
+        record_trace(path, mixer.requests(200))
+        assert len(list(replay_trace(path))) == 200
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\nr 5\nu 6\n")
+        replayed = list(replay_trace(path))
+        assert len(replayed) == 2
+        assert replayed[0].key == format_key(5)
+        assert replayed[1].op is OpType.SET
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("x nope\n")
+        with pytest.raises(ConfigurationError):
+            list(replay_trace(path))
+
+    def test_trace_generator(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        record_trace(path, [Request(OpType.GET, format_key(i)) for i in range(5)])
+        gen = TraceGenerator(path, key_space=10)
+        assert [gen.next_key() for _ in range(5)] == [0, 1, 2, 3, 4]
+        with pytest.raises(StopIteration):
+            gen.next_key()

@@ -1,0 +1,128 @@
+"""Tests for the YCSB-faithful Zipfian generator and its analytics."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.zipfian import (
+    ZIPFIAN_CONSTANT,
+    ZipfianGenerator,
+    zeta,
+    zipf_cdf,
+    zipf_pmf,
+)
+
+
+class TestZeta:
+    def test_small_values(self):
+        assert zeta(1, 1.0) == pytest.approx(1.0)
+        assert zeta(2, 1.0) == pytest.approx(1.5)
+        assert zeta(3, 1.0) == pytest.approx(1.5 + 1 / 3)
+
+    def test_incremental_matches_direct(self):
+        theta = 0.99
+        direct = zeta(100, theta)
+        partial = zeta(60, theta)
+        extended = zeta(100, theta, start=60, initial=partial)
+        assert extended == pytest.approx(direct)
+
+    def test_pmf_sums_to_one(self):
+        n, theta = 500, 0.9
+        total = sum(zipf_pmf(i, n, theta) for i in range(n))
+        assert total == pytest.approx(1.0)
+
+    def test_cdf_properties(self):
+        n, theta = 1000, 0.99
+        assert zipf_cdf(0, n, theta) == 0.0
+        assert zipf_cdf(n, n, theta) == pytest.approx(1.0)
+        assert zipf_cdf(2 * n, n, theta) == pytest.approx(1.0)
+        values = [zipf_cdf(k, n, theta) for k in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_cdf_head_dominates_for_high_skew(self):
+        assert zipf_cdf(10, 10_000, 1.5) > zipf_cdf(10, 10_000, 0.9)
+
+
+class TestGenerator:
+    def test_defaults(self):
+        gen = ZipfianGenerator(100)
+        assert gen.theta == ZIPFIAN_CONSTANT
+        assert gen.key_space == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfianGenerator(100, theta=0.0)
+        with pytest.raises(ConfigurationError):
+            ZipfianGenerator(0)
+
+    def test_range(self):
+        gen = ZipfianGenerator(50, theta=0.99, seed=1)
+        for key in gen.keys(2000):
+            assert 0 <= key < 50
+
+    def test_determinism(self):
+        a = ZipfianGenerator(1000, theta=0.99, seed=7)
+        b = ZipfianGenerator(1000, theta=0.99, seed=7)
+        assert list(a.keys(500)) == list(b.keys(500))
+
+    def test_different_seeds_differ(self):
+        a = ZipfianGenerator(1000, theta=0.99, seed=7)
+        b = ZipfianGenerator(1000, theta=0.99, seed=8)
+        assert list(a.keys(200)) != list(b.keys(200))
+
+    def test_rank_zero_is_hottest(self):
+        gen = ZipfianGenerator(1000, theta=1.2, seed=3)
+        counts = Counter(gen.keys(20_000))
+        assert counts[0] == max(counts.values())
+
+    def test_empirical_matches_pmf(self):
+        n, theta, draws = 200, 0.99, 60_000
+        gen = ZipfianGenerator(n, theta=theta, seed=11)
+        counts = Counter(gen.keys(draws))
+        for rank in (0, 1, 2, 5, 10):
+            expected = gen.pmf(rank) * draws
+            assert counts[rank] == pytest.approx(expected, rel=0.15)
+
+    def test_theta_near_one_does_not_blow_up(self):
+        gen = ZipfianGenerator(100, theta=1.0, seed=2)
+        assert all(0 <= k < 100 for k in gen.keys(1000))
+
+    def test_grow(self):
+        gen = ZipfianGenerator(100, theta=0.99, seed=5)
+        gen.grow(200)
+        assert gen.key_space == 200
+        assert all(0 <= k < 200 for k in gen.keys(2000))
+        # zetan must equal a from-scratch computation after growth.
+        assert gen._zetan == pytest.approx(zeta(200, gen.theta))
+
+    def test_grow_shrink_rejected(self):
+        gen = ZipfianGenerator(100)
+        with pytest.raises(ConfigurationError):
+            gen.grow(50)
+
+    def test_perfect_cache_hit_rate(self):
+        gen = ZipfianGenerator(1000, theta=0.99)
+        assert gen.perfect_cache_hit_rate(1000) == pytest.approx(1.0)
+        assert gen.perfect_cache_hit_rate(10) == pytest.approx(
+            zipf_cdf(10, 1000, gen.theta)
+        )
+
+    def test_precomputed_zetan_honoured(self):
+        gen = ZipfianGenerator(100, theta=0.99, zetan=zeta(100, 0.99))
+        reference = ZipfianGenerator(100, theta=0.99)
+        assert gen._zetan == pytest.approx(reference._zetan)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.5, 1.6), st.integers(10, 2000))
+    def test_draws_always_in_range(self, theta, n):
+        gen = ZipfianGenerator(n, theta=theta, seed=1)
+        for key in gen.keys(200):
+            assert 0 <= key < n
+
+    def test_describe(self):
+        assert "zipfian" in ZipfianGenerator(10, theta=1.2).describe()

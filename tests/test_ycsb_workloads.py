@@ -1,0 +1,160 @@
+"""Tests for the YCSB core workloads and the multi-get path."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster.client import FrontEndClient
+from repro.cluster.cluster import CacheCluster
+from repro.core.cache import CoTCache
+from repro.errors import ConfigurationError
+from repro.policies.lru import LRUCache
+from repro.workloads.base import format_key, parse_key
+from repro.workloads.request import OpType, Request
+from repro.workloads.ycsb import CoreWorkload, ScanRequest, WorkloadLetter
+
+
+class TestScanRequest:
+    def test_keys_expansion(self):
+        scan = ScanRequest(5, 3)
+        assert scan.keys() == [format_key(5), format_key(6), format_key(7)]
+
+    def test_keys_clipped_by_caller(self):
+        assert ScanRequest(8, 5).keys(key_space=10) == [
+            format_key(8), format_key(9)
+        ]
+
+
+class TestCoreWorkload:
+    def test_letter_parsing(self):
+        assert CoreWorkload("a").letter is WorkloadLetter.A
+        assert CoreWorkload(WorkloadLetter.C).letter is WorkloadLetter.C
+        with pytest.raises(ConfigurationError):
+            CoreWorkload("z")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoreWorkload("a", record_count=0)
+        with pytest.raises(ConfigurationError):
+            CoreWorkload("e", max_scan_length=0)
+        with pytest.raises(ConfigurationError):
+            CoreWorkload("a", request_distribution="pareto")
+
+    @pytest.mark.parametrize(
+        "letter,reads,updates",
+        [("a", 0.50, 0.50), ("b", 0.95, 0.05), ("c", 1.00, 0.00)],
+    )
+    def test_mix_ratios(self, letter, reads, updates):
+        workload = CoreWorkload(letter, record_count=1_000, seed=1)
+        ops = Counter()
+        for op in workload.operations_stream(20_000):
+            assert isinstance(op, Request)
+            ops[op.op] += 1
+        total = sum(ops.values())
+        assert ops[OpType.GET] / total == pytest.approx(reads, abs=0.02)
+        assert ops[OpType.SET] / total == pytest.approx(updates, abs=0.02)
+
+    def test_workload_d_is_latest_skewed_with_inserts(self):
+        workload = CoreWorkload("d", record_count=1_000, seed=2)
+        assert workload.distribution == "latest"
+        initial = workload.record_count
+        inserted_ids = []
+        for op in workload.operations_stream(2_000):
+            if isinstance(op, Request) and op.op is OpType.SET:
+                inserted_ids.append(parse_key(op.key))
+        assert workload.record_count > initial
+        # Inserts are strictly appended at the end of the space.
+        assert inserted_ids == sorted(inserted_ids)
+        assert inserted_ids[0] == initial
+
+    def test_workload_e_scans(self):
+        workload = CoreWorkload("e", record_count=1_000,
+                                max_scan_length=20, seed=3)
+        scans = [
+            op for op in workload.operations_stream(500)
+            if isinstance(op, ScanRequest)
+        ]
+        assert len(scans) > 400  # 95% of ops
+        for scan in scans:
+            assert 1 <= scan.count <= 20
+            assert scan.start_key_id + scan.count <= workload.record_count
+
+    def test_workload_f_rmw_detection(self):
+        workload = CoreWorkload("f", record_count=1_000, seed=4)
+        op = workload.next_operation()
+        assert isinstance(op, Request) and op.op is OpType.GET
+        assert workload.is_rmw_read(op)
+        follow_up = workload.modify(op.key)
+        assert follow_up.op is OpType.SET
+        # Non-F workloads never request a follow-up.
+        assert not CoreWorkload("b", seed=5).is_rmw_read(op)
+
+    def test_zipfian_growth_on_insert(self):
+        workload = CoreWorkload("d", record_count=100, seed=6)
+        for _ in range(500):
+            workload.next_operation()
+        # All drawn keys remain inside the (grown) space.
+        for op in workload.operations_stream(500):
+            if isinstance(op, Request):
+                assert parse_key(op.key) < workload.record_count
+
+    def test_describe(self):
+        assert "ycsb-b" in CoreWorkload("b").describe()
+
+    def test_deterministic(self):
+        a = [op for op in CoreWorkload("a", seed=7).operations_stream(100)]
+        b = [op for op in CoreWorkload("a", seed=7).operations_stream(100)]
+        assert a == b
+
+
+class TestMultiGet:
+    @pytest.fixture
+    def cluster(self):
+        return CacheCluster(num_servers=4, virtual_nodes=256, value_size=1)
+
+    def test_get_many_returns_all(self, cluster):
+        client = FrontEndClient(cluster, LRUCache(8))
+        keys = [format_key(i) for i in range(20)]
+        results = client.get_many(keys)
+        assert set(results) == set(keys)
+        assert all(v is not None for v in results.values())
+
+    def test_get_many_counts_per_key_load(self, cluster):
+        client = FrontEndClient(cluster, LRUCache(1))
+        keys = [format_key(i) for i in range(30)]
+        client.get_many(keys)
+        assert client.monitor.total_lookups() >= 29  # at most 1 local hit
+
+    def test_get_many_serves_local_hits_without_lookups(self, cluster):
+        client = FrontEndClient(cluster, LRUCache(64))
+        keys = [format_key(i) for i in range(10)]
+        client.get_many(keys)
+        before = client.monitor.total_lookups()
+        client.get_many(keys)
+        assert client.monitor.total_lookups() == before
+
+    def test_scan_request_through_client(self, cluster):
+        client = FrontEndClient(cluster, CoTCache(16, tracker_capacity=64))
+        result = client.execute(ScanRequest(5, 4))
+        assert set(result) == {format_key(i) for i in range(5, 9)}
+
+    def test_full_workload_e_through_stack(self, cluster):
+        client = FrontEndClient(cluster, CoTCache(32, tracker_capacity=128))
+        workload = CoreWorkload("e", record_count=500,
+                                max_scan_length=10, seed=8)
+        for op in workload.operations_stream(300):
+            client.execute(op)
+        client.policy.check_invariants()
+        assert client.monitor.total_lookups() > 0
+
+    def test_full_workload_f_through_stack(self, cluster):
+        client = FrontEndClient(cluster, CoTCache(16, tracker_capacity=64))
+        workload = CoreWorkload("f", record_count=500, seed=9)
+        for op in workload.operations_stream(500):
+            client.execute(op)
+            if workload.is_rmw_read(op):
+                client.execute(workload.modify(op.key))
+        assert cluster.storage.stats.writes > 0
+        client.policy.check_invariants()
