@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Headless perf-regression gate over the data-plane micro-benchmarks.
+
+Runs the ``bench_ops_throughput`` suite under pytest-benchmark without any
+interactive output and records per-bench throughput in ``BENCH_ops.json``
+at the repository root, so every PR leaves a comparable performance
+trajectory behind.
+
+Modes
+-----
+Record (default)::
+
+    python benchmarks/run_perf_gate.py --label fastpath
+
+appends one entry (label, timestamp, per-bench ops/s) to ``BENCH_ops.json``.
+
+Check::
+
+    python benchmarks/run_perf_gate.py --check
+
+re-runs the suite and fails (exit 1) when any benchmark's throughput drops
+more than ``--threshold`` (default 25%) below the most recent committed
+entry — the invocation CI wires in front of merges. ``--against LABEL``
+compares to a specific recorded entry instead of the latest.
+
+Throughput is reported as operations per second: pytest-benchmark's
+``1 / mean-round-time`` scaled by the bench's ``ops_per_round`` extra-info
+when present (the policy/ sketch loops run 2000 ops per timed round).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_ops.json"
+SUITE = "benchmarks/bench_ops_throughput.py"
+
+
+def run_suite() -> dict[str, dict[str, float]]:
+    """Run the suite headlessly; returns ``{bench_name: {metrics}}``."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                SUITE,
+                "--benchmark-only",
+                f"--benchmark-json={json_path}",
+                "-q",
+                "--no-header",
+                "-p",
+                "no:cacheprovider",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0 or not json_path.exists():
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise SystemExit(f"benchmark suite failed (exit {proc.returncode})")
+        raw = json.loads(json_path.read_text(encoding="utf-8"))
+    results: dict[str, dict[str, float]] = {}
+    for bench in raw["benchmarks"]:
+        mean = bench["stats"]["mean"]
+        ops_per_round = bench.get("extra_info", {}).get("ops_per_round", 1)
+        results[bench["name"]] = {
+            "mean_round_s": mean,
+            "ops_per_round": ops_per_round,
+            "ops_per_sec": ops_per_round / mean if mean else 0.0,
+        }
+    return results
+
+
+def load_entries() -> list[dict]:
+    if not BENCH_FILE.exists():
+        return []
+    return json.loads(BENCH_FILE.read_text(encoding="utf-8")).get("entries", [])
+
+
+def save_entries(entries: list[dict]) -> None:
+    payload = {
+        "suite": SUITE,
+        "metric": "ops_per_sec (ops_per_round / mean round time)",
+        "entries": entries,
+    }
+    BENCH_FILE.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def record(label: str) -> None:
+    results = run_suite()
+    entries = load_entries()
+    entries.append(
+        {
+            "label": label,
+            "recorded_utc": _dt.datetime.now(_dt.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "results": results,
+        }
+    )
+    save_entries(entries)
+    print(f"recorded entry {label!r} -> {BENCH_FILE.relative_to(REPO_ROOT)}")
+    for name, metrics in sorted(results.items()):
+        print(f"  {name:45s} {metrics['ops_per_sec']:>14,.0f} ops/s")
+
+
+def check(threshold: float, against: str | None) -> int:
+    entries = load_entries()
+    if not entries:
+        raise SystemExit(
+            f"{BENCH_FILE.name} has no recorded entries; run the gate in "
+            "record mode first (python benchmarks/run_perf_gate.py)"
+        )
+    if against is None:
+        baseline = entries[-1]
+    else:
+        matches = [e for e in entries if e["label"] == against]
+        if not matches:
+            raise SystemExit(f"no recorded entry labelled {against!r}")
+        baseline = matches[-1]
+    current = run_suite()
+    failures: list[str] = []
+    print(f"comparing against entry {baseline['label']!r} "
+          f"(recorded {baseline['recorded_utc']}), threshold -{threshold:.0%}")
+    for name, base_metrics in sorted(baseline["results"].items()):
+        base_ops = base_metrics["ops_per_sec"]
+        now = current.get(name)
+        if now is None:
+            failures.append(f"{name}: benchmark disappeared from the suite")
+            continue
+        ratio = now["ops_per_sec"] / base_ops if base_ops else 1.0
+        verdict = "ok"
+        if ratio < 1.0 - threshold:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {now['ops_per_sec']:,.0f} ops/s vs "
+                f"{base_ops:,.0f} baseline ({ratio:.2f}x)"
+            )
+        print(f"  {name:45s} {ratio:>6.2f}x  {verdict}")
+    if failures:
+        print("\nperf gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--label",
+        default="current",
+        help="label stored with the recorded entry (record mode)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare a fresh run against the committed baseline and fail "
+        "on regression instead of recording",
+    )
+    parser.add_argument(
+        "--against",
+        default=None,
+        help="baseline entry label for --check (default: latest entry)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional throughput drop before failing (default 0.25)",
+    )
+    args = parser.parse_args()
+    if args.check:
+        return check(args.threshold, args.against)
+    record(args.label)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,17 +58,22 @@ class FrontEndClient:
     # ------------------------------------------------------------- protocol
 
     def get(self, key: Hashable) -> Any:
-        """Read path of the client-driven protocol."""
-        value = self.policy.lookup(key)
-        if value is not MISSING:
-            return value
+        """Read path of the client-driven protocol.
+
+        Dispatches through the policy's fused ``get_or_admit`` entry
+        point: the policy resolves the key once, and only on a local miss
+        does :meth:`_fetch_from_backend` route to the owning shard.
+        """
+        return self.policy.get_or_admit(key, self._fetch_from_backend)
+
+    def _fetch_from_backend(self, key: Hashable) -> Any:
+        """Miss loader: shard lookup (load-monitored) with storage backfill."""
         server = self.cluster.server_for(key)
         self.monitor.record_lookup(server.server_id)
         value = server.get(key)
         if value is MISSING:
             value = self.cluster.storage.get(key)
             server.set(key, value)
-        self.policy.admit(key, value)
         return value
 
     def get_many(self, keys: list[Hashable]) -> dict[Hashable, Any]:

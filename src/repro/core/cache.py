@@ -20,7 +20,7 @@ The cache also exposes the per-epoch signals Algorithm 3 consumes:
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterator
+from typing import Any, Callable, Hashable, Iterable, Iterator
 
 from repro.core.hotness import AccessType, HotnessModel
 from repro.core.tracker import CoTTracker
@@ -92,7 +92,10 @@ class CoTCache(CachePolicy):
         return key in self._values
 
     def cached_keys(self) -> Iterator[Hashable]:
-        return iter(list(self._values))
+        # No snapshot copy: read-only consumers dominate and the value
+        # dict raises on concurrent mutation anyway; callers that drop
+        # keys mid-iteration take an explicit list(...) themselves.
+        return iter(self._values)
 
     def h_min(self) -> float:
         """Minimum hotness among cached keys (admission threshold)."""
@@ -131,6 +134,104 @@ class CoTCache(CachePolicy):
             self._notify_evicted(demoted)
         self._values[key] = value
         self.stats.record_insertion()
+
+    def get_or_admit(self, key: Hashable, loader: Callable[[Hashable], Any]) -> Any:
+        """Fused Algorithm 1 + 2 access: track → hit-check → qualify → promote.
+
+        Behaviourally identical to ``lookup`` followed by ``admit`` on a
+        miss (same hit/miss/eviction/promotion decisions, same statistics),
+        but the key is resolved exactly once against the tracker's stats
+        dict and once against the owning heap's position map, instead of
+        the 4-6 redundant probes the split path pays. ``loader`` runs only
+        on a miss and must not re-enter this policy.
+        """
+        tracker = self._tracker
+        stats = tracker._stats.get(key)
+        cstat = self.stats
+        if stats is not None:
+            stats.read_count += 1.0
+            if stats.cached:
+                stats.hot = tracker._cache_heap.update_delta(
+                    key, tracker._read_delta
+                )
+                cstat.hits += 1
+                cstat.epoch_hits += 1
+                return self._values[key]
+            self.epoch_tracker_hits += 1
+            stats.hot = hot = tracker._rest_heap.update_delta(
+                key, tracker._read_delta
+            )
+        else:
+            stats = tracker._admit(key)
+            stats.read_count += 1.0
+            stats.hot = hot = tracker._rest_heap.update_delta(
+                key, tracker._read_delta
+            )
+        cstat.misses += 1
+        cstat.epoch_misses += 1
+        value = loader(key)
+        # Admission filter (Algorithm 2 line 6): a non-full cache admits
+        # anything tracked (h_min == -inf); a full one requires h > h_min.
+        cache_heap = tracker._cache_heap
+        capacity = tracker._cache_capacity
+        if capacity == 0:
+            return value
+        if len(cache_heap) < capacity or hot > cache_heap.min_priority():
+            demoted = tracker.promote(key)
+            if demoted is not None:
+                self._values.pop(demoted, None)
+                cstat.evictions += 1
+                self._notify_evicted(demoted)
+            self._values[key] = value
+            cstat.insertions += 1
+        return value
+
+    def run_stream(self, keys: Iterable[Hashable]) -> None:
+        """Batched read-only stream: the fused access path, loop-inlined.
+
+        Equivalent to ``get_or_admit(key, identity)`` per key (the key
+        itself is the admitted value, as in the hit-rate harnesses), with
+        all attribute resolution hoisted out of the loop.
+        """
+        tracker = self._tracker
+        stats_get = tracker._stats.get
+        admit = tracker._admit
+        cache_heap = tracker._cache_heap
+        rest_update = tracker._rest_heap.update_delta
+        cache_update = cache_heap.update_delta
+        read_delta = tracker._read_delta
+        promote = tracker.promote
+        values = self._values
+        values_pop = values.pop
+        cstat = self.stats
+        for key in keys:
+            stats = stats_get(key)
+            if stats is not None:
+                stats.read_count += 1.0
+                if stats.cached:
+                    stats.hot = cache_update(key, read_delta)
+                    cstat.hits += 1
+                    cstat.epoch_hits += 1
+                    continue
+                self.epoch_tracker_hits += 1
+                stats.hot = hot = rest_update(key, read_delta)
+            else:
+                stats = admit(key)
+                stats.read_count += 1.0
+                stats.hot = hot = rest_update(key, read_delta)
+            cstat.misses += 1
+            cstat.epoch_misses += 1
+            capacity = tracker._cache_capacity
+            if capacity == 0:
+                continue
+            if len(cache_heap) < capacity or hot > cache_heap.min_priority():
+                demoted = promote(key)
+                if demoted is not None:
+                    values_pop(demoted, None)
+                    cstat.evictions += 1
+                    self._notify_evicted(demoted)
+                values[key] = key
+                cstat.insertions += 1
 
     def record_update(self, key: Hashable) -> None:
         """Update access: penalize hotness (Equation 1) and invalidate."""

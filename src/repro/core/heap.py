@@ -13,6 +13,7 @@ and for property-based tests.
 
 from __future__ import annotations
 
+import heapq
 from typing import Generic, Hashable, Iterator, TypeVar
 
 K = TypeVar("K", bound=Hashable)
@@ -54,8 +55,15 @@ class IndexedMinHeap(Generic[K]):
         return key in self._pos
 
     def __iter__(self) -> Iterator[K]:
-        """Iterate keys in arbitrary (heap array) order."""
-        return iter(list(self._keys))
+        """Iterate keys in arbitrary (heap array) order.
+
+        Iterates the live array without a snapshot copy — read-only
+        consumers (invariant checks, metrics exports, top-k queries)
+        dominate, and paying an O(n) copy per iteration showed up in
+        profiles. Mutating the heap mid-iteration is undefined; callers
+        that need that take an explicit ``list(...)`` themselves.
+        """
+        return iter(self._keys)
 
     def __bool__(self) -> bool:
         return bool(self._keys)
@@ -86,6 +94,32 @@ class IndexedMinHeap(Generic[K]):
         self._delete_at(0)
         return key, priority
 
+    def replace(self, key: K, priority: float) -> tuple[K, float]:
+        """Evict the minimum and insert ``key`` in one sift (heapreplace).
+
+        Returns the evicted ``(key, priority)`` pair. This is the
+        space-saving replacement step fused: a ``pop`` (full-depth sift of
+        the displaced last element) plus a ``push`` (long sift-up, because
+        the newcomer inherits the victim's near-minimal priority) collapse
+        into a single root overwrite that rarely sinks more than a level.
+        The resulting array layout differs from pop-then-push, but every
+        ordering decision depends only on the (priority, seq) total order,
+        which is layout-independent — so tracker behaviour is unchanged.
+        """
+        if not self._keys:
+            raise IndexError("replace on empty heap")
+        if key in self._pos:
+            raise ValueError(f"key already in heap: {key!r}")
+        old_key, old_priority = self._keys[0], self._priorities[0]
+        del self._pos[old_key]
+        self._keys[0] = key
+        self._priorities[0] = priority
+        self._seqs[0] = self._next_seq
+        self._next_seq += 1
+        self._pos[key] = 0
+        self._sift_down(0)
+        return old_key, old_priority
+
     def remove(self, key: K) -> float:
         """Remove an arbitrary ``key``; returns its priority."""
         idx = self._pos[key]
@@ -103,6 +137,29 @@ class IndexedMinHeap(Generic[K]):
         elif priority > old:
             self._sift_down(idx)
 
+    def update_delta(self, key: K, delta: float) -> float:
+        """Add ``delta`` to ``key``'s priority; returns the new priority.
+
+        The data-plane fast path: CoT's Equation 1 moves a key's hotness
+        by a constant ``+r_w`` (read) or ``-u_w`` (update) per access, so
+        the common case is a single signed shift. The delta's sign alone
+        decides the sift direction, saving the old-vs-new comparison and
+        a redundant priority read on every tracked access.
+        """
+        idx = self._pos[key]
+        priorities = self._priorities
+        priority = priorities[idx] + delta
+        priorities[idx] = priority
+        if delta > 0:
+            # Leaf fast-exit: a read makes a key hotter, and the hottest
+            # keys live at the leaves of a min-heap — on skewed workloads
+            # most tracked reads touch a leaf and need no sift at all.
+            if 2 * idx + 1 < len(priorities):
+                self._sift_down(idx)
+        elif delta < 0:
+            self._sift_up(idx)
+        return priority
+
     def priority_of(self, key: K) -> float:
         """Return the current priority of ``key``."""
         return self._priorities[self._pos[key]]
@@ -114,9 +171,12 @@ class IndexedMinHeap(Generic[K]):
         return self._priorities[0]
 
     def items(self) -> Iterator[tuple[K, float]]:
-        """Iterate ``(key, priority)`` pairs in arbitrary order."""
-        for i, key in enumerate(list(self._keys)):
-            yield key, self._priorities[i]
+        """Iterate ``(key, priority)`` pairs in arbitrary order.
+
+        Like :meth:`__iter__`, this reads the live arrays without a
+        snapshot; mutation during iteration is undefined.
+        """
+        return zip(self._keys, self._priorities)
 
     def clear(self) -> None:
         """Remove every key."""
@@ -137,9 +197,16 @@ class IndexedMinHeap(Generic[K]):
             self._priorities[i] *= factor
 
     def nsmallest(self, n: int) -> list[tuple[K, float]]:
-        """Return the ``n`` smallest ``(key, priority)`` pairs, ascending."""
-        ordered = sorted(self.items(), key=lambda kv: kv[1])
-        return ordered[:n]
+        """Return the ``n`` smallest ``(key, priority)`` pairs, ascending.
+
+        ``heapq.nsmallest`` is O(n log k) versus the O(n log n) full sort
+        it replaces — the difference matters for the resizing controller,
+        which asks for small prefixes of large trackers every epoch.
+        """
+        pairs = heapq.nsmallest(
+            n, zip(self._priorities, self._seqs, self._keys)
+        )
+        return [(key, priority) for priority, _seq, key in pairs]
 
     # ------------------------------------------------------------ internals
 
@@ -157,29 +224,62 @@ class IndexedMinHeap(Generic[K]):
         self._pos[keys[i]] = i
         self._pos[keys[j]] = j
 
+    # The sift loops are the innermost code of every tracked access, so
+    # they bind the backing arrays to locals and inline the (priority,
+    # seq) comparison instead of calling ``_less``/``_swap`` per level —
+    # method dispatch dominated ``update()`` in profiles. Both use the
+    # classic "hole" technique: the moving element is held aside and
+    # written once at its final slot, halving list/dict writes.
+
     def _sift_up(self, idx: int) -> None:
+        keys, prios, seqs = self._keys, self._priorities, self._seqs
+        pos = self._pos
+        key, prio, seq = keys[idx], prios[idx], seqs[idx]
         while idx > 0:
             parent = (idx - 1) >> 1
-            if self._less(idx, parent):
-                self._swap(idx, parent)
+            pp = prios[parent]
+            if prio < pp or (prio == pp and seq < seqs[parent]):
+                pk = keys[parent]
+                keys[idx] = pk
+                prios[idx] = pp
+                seqs[idx] = seqs[parent]
+                pos[pk] = idx
                 idx = parent
             else:
                 break
+        keys[idx] = key
+        prios[idx] = prio
+        seqs[idx] = seq
+        pos[key] = idx
 
     def _sift_down(self, idx: int) -> None:
-        n = len(self._keys)
-        while True:
-            left = 2 * idx + 1
-            right = left + 1
-            smallest = idx
-            if left < n and self._less(left, smallest):
-                smallest = left
-            if right < n and self._less(right, smallest):
-                smallest = right
-            if smallest == idx:
-                return
-            self._swap(idx, smallest)
-            idx = smallest
+        keys, prios, seqs = self._keys, self._priorities, self._seqs
+        pos = self._pos
+        n = len(keys)
+        key, prio, seq = keys[idx], prios[idx], seqs[idx]
+        child = 2 * idx + 1
+        while child < n:
+            cp = prios[child]
+            right = child + 1
+            if right < n:
+                rp = prios[right]
+                if rp < cp or (rp == cp and seqs[right] < seqs[child]):
+                    child = right
+                    cp = rp
+            if cp < prio or (cp == prio and seqs[child] < seq):
+                ck = keys[child]
+                keys[idx] = ck
+                prios[idx] = cp
+                seqs[idx] = seqs[child]
+                pos[ck] = idx
+                idx = child
+                child = 2 * idx + 1
+            else:
+                break
+        keys[idx] = key
+        prios[idx] = prio
+        seqs[idx] = seq
+        pos[key] = idx
 
     def _delete_at(self, idx: int) -> None:
         last = len(self._keys) - 1

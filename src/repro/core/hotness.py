@@ -66,33 +66,63 @@ class HotnessModel:
 
 
 class KeyStats:
-    """Per-key tracking metadata: a read counter and an update counter.
+    """Per-key tracking metadata: counters plus the running hotness.
 
     Counters are floats so the half-life decay algorithm (which halves all
     counters) keeps hotness exactly halved as well.
+
+    ``hot`` carries the key's hotness *incrementally*: every access moves
+    it by the model's constant delta (``+r_w`` for a read, ``-u_w`` for an
+    update), so the data-plane hot path never re-evaluates Equation 1 from
+    the counters. The invariant ``hot == hotness(model)`` (up to float
+    associativity) is asserted by ``CoTTracker.check_invariants``.
+
+    ``cached`` mirrors membership in the tracker's cached set ``S_c``; the
+    tracker maintains it on promote/demote/admit/evict so the fused access
+    path can classify a key with the single ``_stats`` dict probe it
+    already paid, instead of a second probe into a heap's position map.
     """
 
-    __slots__ = ("read_count", "update_count")
+    __slots__ = ("read_count", "update_count", "hot", "cached")
 
-    def __init__(self, read_count: float = 0.0, update_count: float = 0.0) -> None:
+    def __init__(
+        self,
+        read_count: float = 0.0,
+        update_count: float = 0.0,
+        hot: float | None = None,
+    ) -> None:
         self.read_count = read_count
         self.update_count = update_count
+        # Default to unit weights (HotnessModel()); a tracker with a
+        # custom model re-seeds via ``sync``/``seed_from_hotness``.
+        self.hot = read_count - update_count if hot is None else hot
+        self.cached = False
 
     def record(self, access: AccessType) -> None:
-        """Bump the counter matching ``access``."""
+        """Bump the counter matching ``access`` (leaves ``hot`` stale).
+
+        Non-hot-path helper kept for direct/standalone use; the tracker
+        applies the counter bump and the hotness delta inline instead.
+        """
         if access is AccessType.READ:
             self.read_count += 1.0
         else:
             self.update_count += 1.0
 
+    def sync(self, model: HotnessModel) -> float:
+        """Recompute ``hot`` from the counters; returns the new value."""
+        self.hot = model.hotness(self.read_count, self.update_count)
+        return self.hot
+
     def hotness(self, model: HotnessModel) -> float:
-        """Current hotness of this key under ``model``."""
+        """Hotness of this key under ``model``, recomputed from counters."""
         return model.hotness(self.read_count, self.update_count)
 
     def decay(self, factor: float) -> None:
-        """Scale both counters by ``factor`` (0 < factor <= 1)."""
+        """Scale both counters (and the running hotness) by ``factor``."""
         self.read_count *= factor
         self.update_count *= factor
+        self.hot *= factor
 
     def seed_from_hotness(self, hotness: float, model: HotnessModel) -> None:
         """Initialize counters so the key's hotness equals ``hotness``.
@@ -104,6 +134,11 @@ class KeyStats:
         """
         self.read_count = max(hotness, 0.0) / model.read_weight
         self.update_count = 0.0
+        self.hot = self.read_count * model.read_weight
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"KeyStats(read_count={self.read_count}, update_count={self.update_count})"
+        return (
+            f"KeyStats(read_count={self.read_count}, "
+            f"update_count={self.update_count}, hot={self.hot}, "
+            f"cached={self.cached})"
+        )

@@ -23,8 +23,9 @@ at the front end live in :class:`repro.core.cache.CoTCache`.
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Generic, Hashable, Iterator, TypeVar
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
 
 from repro.core.heap import IndexedMinHeap
 from repro.core.hotness import AccessType, HotnessModel, KeyStats
@@ -75,6 +76,10 @@ class CoTTracker(Generic[K]):
         self._cache_capacity = cache_capacity
         self._model = model or HotnessModel()
         self._inherit_hotness = inherit_hotness
+        # Per-access hotness deltas (Equation 1), bound once: the track
+        # fast path applies these instead of re-evaluating the model.
+        self._read_delta = self._model.read_weight
+        self._update_delta = -self._model.update_weight
         self._cache_heap: IndexedMinHeap[K] = IndexedMinHeap()
         self._rest_heap: IndexedMinHeap[K] = IndexedMinHeap()
         self._stats: dict[K, KeyStats] = {}
@@ -130,11 +135,16 @@ class CoTTracker(Generic[K]):
         return self._cache_heap.min_priority()
 
     def hotness_of(self, key: K) -> float:
-        """Current hotness of a tracked key."""
+        """Current hotness of a tracked key.
+
+        Returns the incrementally-maintained value, which equals the
+        key's heap priority exactly (same sequence of float operations),
+        so admission comparisons against ``h_min`` are self-consistent.
+        """
         stats = self._stats.get(key)
         if stats is None:
             raise KeyNotTrackedError(key)
-        return stats.hotness(self._model)
+        return stats.hot
 
     def stats_of(self, key: K) -> KeyStats:
         """Raw counters of a tracked key."""
@@ -150,36 +160,76 @@ class CoTTracker(Generic[K]):
 
         If ``key`` is untracked and the tracker is full, the coldest
         *non-cached* key is evicted and ``key`` inherits its hotness (the
-        "benefit of the doubt", line 4). The hotness is then updated with
-        the access delta and the owning heap re-ordered.
+        "benefit of the doubt", line 4). The hotness then moves by the
+        access's constant delta (``+r_w`` / ``-u_w``) — no Equation 1
+        recompute — and the owning heap re-orders via its delta path.
         """
         stats = self._stats.get(key)
         if stats is None:
             stats = self._admit(key)
-        stats.record(access)
-        hotness = stats.hotness(self._model)
-        if key in self._cache_heap:
-            self._cache_heap.update(key, hotness)
+        if access is AccessType.READ:
+            stats.read_count += 1.0
+            delta = self._read_delta
         else:
-            self._rest_heap.update(key, hotness)
+            stats.update_count += 1.0
+            delta = self._update_delta
+        if stats.cached:
+            hotness = self._cache_heap.update_delta(key, delta)
+        else:
+            hotness = self._rest_heap.update_delta(key, delta)
+        stats.hot = hotness
         return hotness
+
+    def track_many(self, keys: Iterable[K], access: AccessType = AccessType.READ) -> None:
+        """Record one ``access`` for each key in ``keys`` (batch Algorithm 1).
+
+        Equivalent to ``for k in keys: track(k, access)`` but with the
+        per-call attribute lookups hoisted out of the loop.
+        """
+        stats_get = self._stats.get
+        admit = self._admit
+        cache_update = self._cache_heap.update_delta
+        rest_update = self._rest_heap.update_delta
+        is_read = access is AccessType.READ
+        delta = self._read_delta if is_read else self._update_delta
+        for key in keys:
+            stats = stats_get(key)
+            if stats is None:
+                stats = admit(key)
+            if is_read:
+                stats.read_count += 1.0
+            else:
+                stats.update_count += 1.0
+            if stats.cached:
+                stats.hot = cache_update(key, delta)
+            else:
+                stats.hot = rest_update(key, delta)
 
     def _admit(self, key: K) -> KeyStats:
         """Insert an untracked key, evicting the space-saving victim."""
         stats = KeyStats()
-        if len(self) >= self._tracker_capacity:
+        if len(self._stats) >= self._tracker_capacity:
             if self._rest_heap:
-                victim, victim_hotness = self._rest_heap.pop()
-            else:
-                # Degenerate corner (all tracked keys are cached, possible
-                # transiently while the resizing controller shrinks K before
-                # C): sacrifice the coldest cached key.
-                victim, victim_hotness = self._cache_heap.pop()
+                # Fused evict+insert: the newcomer inherits the victim's
+                # (near-minimal) hotness, so replacing the rest-heap root
+                # in place almost never sinks — one shallow sift instead
+                # of a full-depth pop plus a long sift-up push.
+                if self._inherit_hotness:
+                    stats.seed_from_hotness(
+                        self._rest_heap.min_priority(), self._model
+                    )
+                victim, _ = self._rest_heap.replace(key, stats.hot)
+                del self._stats[victim]
+                self._stats[key] = stats
+                return stats
+            # Degenerate corner (all tracked keys are cached, possible
+            # transiently while the resizing controller shrinks K before
+            # C): sacrifice the coldest cached key.
+            victim, victim_hotness = self._cache_heap.pop()
             del self._stats[victim]
             if self._inherit_hotness:
                 stats.seed_from_hotness(victim_hotness, self._model)
-        initial_hotness = stats.hotness(self._model)
-        self._rest_heap.push(key, initial_hotness)
+        self._rest_heap.push(key, stats.hot)
         self._stats[key] = stats
         return stats
 
@@ -189,9 +239,12 @@ class CoTTracker(Generic[K]):
         """Algorithm 2 line 6: should this tracked key enter the cache?"""
         if self._cache_capacity == 0:
             return False
-        if key in self._cache_heap:
+        stats = self._stats.get(key)
+        if stats is None:
+            raise KeyNotTrackedError(key)
+        if stats.cached:
             return False
-        return self.hotness_of(key) > self.h_min()
+        return stats.hot > self.h_min()
 
     def promote(self, key: K) -> K | None:
         """Move ``key`` from ``S_{k-c}`` into ``S_c``.
@@ -200,35 +253,41 @@ class CoTTracker(Generic[K]):
         ``S_{k-c}`` and returned, so the caller can drop its cached value.
         Returns ``None`` when no demotion was necessary.
         """
-        if key in self._cache_heap:
-            return None
-        if key not in self._rest_heap:
+        stats = self._stats.get(key)
+        if stats is None:
             raise KeyNotTrackedError(key)
+        if stats.cached:
+            return None
         demoted: K | None = None
         if len(self._cache_heap) >= self._cache_capacity:
             if self._cache_capacity == 0:
                 raise ConfigurationError("cannot promote with cache capacity 0")
             demoted, demoted_hotness = self._cache_heap.pop()
             self._rest_heap.push(demoted, demoted_hotness)
+            self._stats[demoted].cached = False
         hotness = self._rest_heap.remove(key)
         self._cache_heap.push(key, hotness)
+        stats.cached = True
         return demoted
 
     def demote(self, key: K) -> None:
         """Move ``key`` from ``S_c`` back into ``S_{k-c}``."""
-        if key not in self._cache_heap:
+        stats = self._stats.get(key)
+        if stats is None or not stats.cached:
             raise KeyNotTrackedError(key)
         hotness = self._cache_heap.remove(key)
         self._rest_heap.push(key, hotness)
+        stats.cached = False
 
     def evict(self, key: K) -> None:
         """Forget ``key`` entirely (used on delete/invalidation)."""
-        if key in self._cache_heap:
-            self._cache_heap.remove(key)
-        elif key in self._rest_heap:
-            self._rest_heap.remove(key)
-        else:
+        stats = self._stats.get(key)
+        if stats is None:
             raise KeyNotTrackedError(key)
+        if stats.cached:
+            self._cache_heap.remove(key)
+        else:
+            self._rest_heap.remove(key)
         del self._stats[key]
 
     # -------------------------------------------------------------- queries
@@ -247,10 +306,17 @@ class CoTTracker(Generic[K]):
         yield from self._rest_heap
 
     def top(self, n: int) -> list[tuple[K, float]]:
-        """The ``n`` hottest tracked keys, descending by hotness."""
-        everything = [(k, s.hotness(self._model)) for k, s in self._stats.items()]
-        everything.sort(key=lambda kv: -kv[1])
-        return everything[:n]
+        """The ``n`` hottest tracked keys, descending by hotness.
+
+        ``heapq.nlargest`` keeps this O(n log k) rather than sorting the
+        entire tracked set; ties preserve the stats-dict insertion order
+        (matching the stable full sort this replaces).
+        """
+        pairs = heapq.nlargest(
+            n,
+            ((s.hot, -i, k) for i, (k, s) in enumerate(self._stats.items())),
+        )
+        return [(k, hot) for hot, _i, k in pairs]
 
     # ------------------------------------------------------------- resizing
 
@@ -277,6 +343,7 @@ class CoTTracker(Generic[K]):
             # be hotter than rest-heap keys) but its cached value is dropped.
             key, hotness = self._cache_heap.pop()
             self._rest_heap.push(key, hotness)
+            self._stats[key].cached = False
             dropped_cached.append(key)
         while len(self) > tracker_capacity:
             if self._rest_heap:
@@ -314,11 +381,19 @@ class CoTTracker(Generic[K]):
         assert len(self._cache_heap) <= self._cache_capacity
         assert len(self) <= self._tracker_capacity
         assert set(self._stats) == set(self._cache_heap) | set(self._rest_heap)
-        for key in self._stats:
+        for key, stats in self._stats.items():
             in_cache = key in self._cache_heap
             in_rest = key in self._rest_heap
             assert in_cache != in_rest, f"key {key!r} in both/neither heap"
+            assert stats.cached == in_cache, f"stale cached flag for {key!r}"
         for heap in (self._cache_heap, self._rest_heap):
             for key, priority in heap.items():
-                expected = self._stats[key].hotness(self._model)
+                stats = self._stats[key]
+                # Heap priority and the incremental hotness are maintained
+                # by the same delta stream and must agree exactly ...
+                assert priority == stats.hot, f"hot/priority drift for {key!r}"
+                # ... and both must match an Equation 1 recompute up to
+                # float associativity (delta accumulation vs. counter
+                # products can differ by ulps under non-unit weights).
+                expected = stats.hotness(self._model)
                 assert math.isclose(priority, expected, rel_tol=1e-9, abs_tol=1e-9)

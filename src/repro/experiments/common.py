@@ -34,6 +34,7 @@ __all__ = [
     "make_generator",
     "run_policy_stream",
     "run_cluster_workload",
+    "STREAM_CHUNK",
     "mean_confidence",
     "TRACKER_RATIOS",
 ]
@@ -125,6 +126,12 @@ def make_generator(dist: str, key_space: int, seed: int) -> KeyGenerator:
     raise ExperimentError(f"unknown distribution id: {dist!r}")
 
 
+#: Keys drawn/driven per batch by the streaming harnesses: large enough to
+#: amortize per-chunk overhead, small enough to keep the materialized key
+#: lists cache- and memory-friendly at paper scale.
+STREAM_CHUNK = 16_384
+
+
 def run_policy_stream(
     policy: CachePolicy,
     generator: KeyGenerator,
@@ -134,17 +141,17 @@ def run_policy_stream(
 
     The fast path used by the hit-rate experiments (Figure 4 and the
     appendix): no cluster plumbing, every miss is admitted, exactly the
-    setting of the paper's hit-rate comparison.
+    setting of the paper's hit-rate comparison. Keys are generated and
+    consumed in chunks through the batch APIs (``keys_array`` →
+    ``run_stream``), which fuse per-access work into single-probe loops.
     """
-    lookup = policy.lookup
-    admit = policy.admit
-    from repro.policies.base import MISSING  # local alias for the hot loop
-
-    next_key = generator.next_key
-    for _ in range(accesses):
-        key = next_key()
-        if lookup(key) is MISSING:
-            admit(key, key)
+    keys_array = generator.keys_array
+    run_stream = policy.run_stream
+    remaining = accesses
+    while remaining > 0:
+        n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
+        run_stream(keys_array(n))
+        remaining -= n
     return policy.stats.hit_rate
 
 
@@ -173,14 +180,24 @@ def run_cluster_workload(
     for i, client in enumerate(clients):
         generator = make_generator(dist, scale.key_space, scale.seed + i)
         if read_fraction >= 1.0:
-            for key in generator.keys(per_client):
-                client.get(format_key(key))
+            get = client.get
+            remaining = per_client
+            while remaining > 0:
+                n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
+                for key in generator.keys_array(n):
+                    get(format_key(key))
+                remaining -= n
         else:
             mixer = OperationMixer(
                 generator, read_fraction=read_fraction, seed=scale.seed + 1000 + i
             )
-            for request in mixer.requests(per_client):
-                client.execute(request)
+            execute = client.execute
+            remaining = per_client
+            while remaining > 0:
+                n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
+                for request in mixer.next_requests(n):
+                    execute(request)
+                remaining -= n
     return cluster, clients
 
 

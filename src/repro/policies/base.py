@@ -15,7 +15,7 @@ update invalidates the local copy (:meth:`invalidate`).
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Hashable, Iterator
+from typing import Any, Callable, Hashable, Iterable, Iterator
 
 from repro.errors import ConfigurationError
 from repro.policies.stats import CacheStats
@@ -102,6 +102,49 @@ class CachePolicy(abc.ABC):
         if self._capacity == 0:
             return
         self._admit(key, value)
+
+    def get_or_admit(self, key: Hashable, loader: Callable[[Hashable], Any]) -> Any:
+        """Fused read path: lookup, and on a miss load + offer in one call.
+
+        Semantically identical to::
+
+            value = policy.lookup(key)
+            if value is MISSING:
+                value = loader(key)
+                policy.admit(key, value)
+
+        but expressed as a single entry point so policies can fuse the
+        two halves — CoT's override resolves the key once against its
+        tracker instead of re-probing in ``lookup`` and again in
+        ``admit``. ``loader`` is invoked only on a miss (with the key)
+        and its result is returned either way.
+        """
+        value = self.lookup(key)
+        if value is MISSING:
+            value = loader(key)
+            self.admit(key, value)
+        return value
+
+    def access(self, key: Hashable, loader: Callable[[Hashable], Any]) -> Any:
+        """Alias for :meth:`get_or_admit` under its paper-facing name
+        (Algorithm 2 is the cache's per-access routine). Dispatches
+        through ``get_or_admit`` so subclass fast paths apply here too."""
+        return self.get_or_admit(key, loader)
+
+    def run_stream(self, keys: Iterable[Hashable]) -> None:
+        """Drive a read-only key stream, admitting every missed key.
+
+        Batch API for the hit-rate harnesses: each key is looked up and,
+        on a miss, admitted with the key itself as its value (the
+        experiments only measure hit/miss decisions, not payloads). The
+        per-call attribute resolution is hoisted out of the loop; the
+        semantics per key are exactly ``get_or_admit``'s.
+        """
+        lookup = self.lookup
+        admit = self.admit
+        for key in keys:
+            if lookup(key) is MISSING:
+                admit(key, key)
 
     def invalidate(self, key: Hashable) -> None:
         """Drop any cached copy of ``key`` (update/delete path).

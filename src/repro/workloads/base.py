@@ -68,6 +68,18 @@ class KeyGenerator(abc.ABC):
         for _ in range(n):
             yield self.next_key()
 
+    def keys_array(self, n: int) -> list[int]:
+        """Draw ``n`` key ids as a list (batch API).
+
+        Produces exactly the stream ``n`` ``next_key`` calls would (same
+        RNG consumption), materialized so hot loops can iterate a plain
+        list. Subclasses with a closed-form draw override this with a
+        loop-hoisted version; this default merely avoids generator
+        resumption overhead.
+        """
+        next_key = self.next_key
+        return [next_key() for _ in range(n)]
+
     def describe(self) -> str:
         """Human-readable parameterization for experiment logs."""
         return f"{self.name}(n={self._key_space})"

@@ -81,6 +81,29 @@ class OperationMixer:
         self._version += 1
         return Request(OpType.SET, key, value=(key_id, self._version))
 
+    def next_requests(self, n: int) -> list[Request]:
+        """Draw ``n`` operations as a list (batch API).
+
+        Produces exactly the stream ``n`` ``next_request`` calls would:
+        the key stream and the read/update coin come from *independent*
+        RNGs, so drawing ``n`` keys first (via the generator's batched
+        ``keys_array``) and then classifying them consumes both streams
+        in the same per-RNG order as the one-at-a-time path.
+        """
+        rnd = self._rng.random
+        read_fraction = self._read_fraction
+        get = OpType.GET
+        requests: list[Request] = []
+        append = requests.append
+        for key_id in self._generator.keys_array(n):
+            key = format_key(key_id)
+            if rnd() < read_fraction:
+                append(Request(get, key))
+            else:
+                self._version += 1
+                append(Request(OpType.SET, key, value=(key_id, self._version)))
+        return requests
+
     def requests(self, n: int) -> Iterator[Request]:
         """Yield ``n`` operations."""
         for _ in range(n):

@@ -77,6 +77,17 @@ class CoTMachine(RuleBasedStateMachine):
             self.cache.admit(key, key)
 
     @rule(key=KEYS)
+    def read_fused(self, key: int) -> None:
+        """The fused fast path must uphold the same invariants as the
+        split lookup/admit composition it replaces — interleaving both
+        in one machine also proves they compose on shared state."""
+        assert self.cache.get_or_admit(key, lambda k: k) == key
+
+    @rule(keys=st.lists(KEYS, max_size=8))
+    def read_stream(self, keys: list[int]) -> None:
+        self.cache.run_stream(keys)
+
+    @rule(key=KEYS)
     def write(self, key: int) -> None:
         self.cache.record_update(key)
 
