@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# One-shot verification: the full test suite plus the perf-regression
+# gate, exactly what CI runs. Extra arguments are forwarded to the perf
+# gate (e.g. --threshold 0.10 or --against fastpath).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tests =="
+python -m pytest -x -q
+
+echo "== perf gate =="
+python benchmarks/run_perf_gate.py --check "$@"
+
+echo "== OK =="

@@ -4,6 +4,7 @@ the client-driven front-end protocol (paper Section 2's system model)."""
 from repro.cluster.backend import BackendCacheServer, BackendStats
 from repro.cluster.client import FrontEndClient
 from repro.cluster.cluster import CacheCluster
+from repro.cluster.faults import FaultInjector, FaultStats, ShardFaultProfile
 from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.invalidation import (
     CoherentFrontEndClient,
@@ -11,19 +12,36 @@ from repro.cluster.invalidation import (
     InvalidationStats,
 )
 from repro.cluster.loadmonitor import LoadMonitor, load_imbalance
+from repro.cluster.retry import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    ClusterGuard,
+    RetryPolicy,
+    RetryStats,
+)
 from repro.cluster.storage import PersistentStore, StorageStats
 
 __all__ = [
     "BackendCacheServer",
     "BackendStats",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "ClusterGuard",
     "FrontEndClient",
     "CacheCluster",
     "CoherentFrontEndClient",
     "ConsistentHashRing",
+    "FaultInjector",
+    "FaultStats",
     "InvalidationBus",
     "InvalidationStats",
     "LoadMonitor",
     "load_imbalance",
     "PersistentStore",
+    "RetryPolicy",
+    "RetryStats",
+    "ShardFaultProfile",
     "StorageStats",
 ]

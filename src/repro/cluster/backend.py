@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterator
+from typing import TYPE_CHECKING, Any, Hashable, Iterator
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ShardFailure
 from repro.policies.base import MISSING
+
+if TYPE_CHECKING:  # cycle-free: faults only needs error classes
+    from repro.cluster.faults import FaultInjector
 
 __all__ = ["BackendCacheServer", "BackendStats"]
 
@@ -33,6 +36,8 @@ class BackendStats:
     deletes: int = 0
     evictions: int = 0
     epoch_gets: int = field(default=0)
+    #: requests that failed because of an injected fault (down/slow/flaky)
+    fault_errors: int = 0
 
     @property
     def get_hit_rate(self) -> float:
@@ -57,6 +62,10 @@ class BackendCacheServer:
         itself also misses sometimes.
     default_value_size:
         accounting size for values whose size cannot be inferred.
+    fault_injector:
+        optional :class:`~repro.cluster.faults.FaultInjector`; when set,
+        every request first consults it and may raise a
+        :class:`~repro.errors.ShardFailure` (down / timed-out / flaky).
     """
 
     def __init__(
@@ -64,6 +73,7 @@ class BackendCacheServer:
         server_id: str,
         capacity_bytes: int = 4 * 1024**3,
         default_value_size: int = 750 * 1024,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         if capacity_bytes < 1:
             raise ConfigurationError("capacity_bytes must be >= 1")
@@ -75,6 +85,7 @@ class BackendCacheServer:
         self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
         self._bytes_used = 0
         self.stats = BackendStats()
+        self.fault_injector = fault_injector
 
     # ----------------------------------------------------------- inspection
 
@@ -100,8 +111,18 @@ class BackendCacheServer:
 
     # ------------------------------------------------------------- protocol
 
+    def _check_fault(self) -> None:
+        """Apply the injected fault, if any, to this request."""
+        if self.fault_injector is not None:
+            try:
+                self.fault_injector.check(self.server_id)
+            except ShardFailure:
+                self.stats.fault_errors += 1
+                raise
+
     def get(self, key: Hashable) -> Any:
         """Serve a lookup; returns the value or ``MISSING``."""
+        self._check_fault()
         self.stats.gets += 1
         self.stats.epoch_gets += 1
         entry = self._entries.get(key)
@@ -116,18 +137,28 @@ class BackendCacheServer:
 
         Each key counts as one lookup for load accounting — a multi-get
         of 100 keys is 100 units of work on this shard, matching how
-        page-load fan-out drives the load-imbalance problem.
-        Returns only the present keys.
+        page-load fan-out drives the load-imbalance problem. The fault
+        check happens once per batch (one RPC, one failure). Returns only
+        the present keys.
         """
+        self._check_fault()
         found: dict[Hashable, Any] = {}
+        entries = self._entries
+        stats = self.stats
         for key in keys:
-            value = self.get(key)
-            if value is not MISSING:
-                found[key] = value
+            stats.gets += 1
+            stats.epoch_gets += 1
+            entry = entries.get(key)
+            if entry is None:
+                continue
+            entries.move_to_end(key)
+            stats.get_hits += 1
+            found[key] = entry[0]
         return found
 
     def set(self, key: Hashable, value: Any, size: int | None = None) -> None:
         """Store a value, evicting LRU entries to fit the byte budget."""
+        self._check_fault()
         self.stats.sets += 1
         size = self._default_value_size if size is None else size
         old = self._entries.pop(key, None)
@@ -143,6 +174,7 @@ class BackendCacheServer:
 
     def delete(self, key: Hashable) -> bool:
         """Invalidate a key; returns whether it was present."""
+        self._check_fault()
         self.stats.deletes += 1
         entry = self._entries.pop(key, None)
         if entry is None:

@@ -25,6 +25,8 @@ from typing import Any, Hashable
 
 from repro.cluster.cluster import CacheCluster
 from repro.cluster.loadmonitor import LoadMonitor
+from repro.cluster.retry import ClusterGuard
+from repro.errors import ShardUnavailableError
 from repro.policies.base import MISSING, CachePolicy
 from repro.workloads.request import OpType, Request
 
@@ -34,6 +36,14 @@ __all__ = ["FrontEndClient"]
 class FrontEndClient:
     """One stateless front-end server's caching client.
 
+    Every shard request goes through a :class:`ClusterGuard` — bounded
+    retries with backoff for transient failures and a per-shard circuit
+    breaker. When a shard is unavailable (breaker open / retries
+    exhausted) reads degrade gracefully to persistent storage and are
+    counted as *degraded reads* in the load monitor; writes lose only the
+    shard-side invalidation (the authoritative storage write always
+    lands), which is repaired when the shard revives cold.
+
     Parameters
     ----------
     cluster:
@@ -42,6 +52,13 @@ class FrontEndClient:
         this front end's local cache replacement policy.
     client_id:
         identity used in experiment output.
+    guard:
+        retry/breaker layer; a default-configured one is built when
+        omitted.
+    fallback_penalty:
+        accounted extra latency (seconds) of one storage-fallback read,
+        fed to :meth:`LoadMonitor.record_degraded` (the untimed data
+        plane measures time, it does not spend it).
     """
 
     def __init__(
@@ -49,11 +66,15 @@ class FrontEndClient:
         cluster: CacheCluster,
         policy: CachePolicy,
         client_id: str = "front-0",
+        guard: ClusterGuard | None = None,
+        fallback_penalty: float = 0.0,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
         self.client_id = client_id
         self.monitor = LoadMonitor(cluster.server_ids)
+        self.guard = guard or ClusterGuard(cluster.server_ids)
+        self.fallback_penalty = fallback_penalty
 
     # ------------------------------------------------------------- protocol
 
@@ -67,58 +88,123 @@ class FrontEndClient:
         return self.policy.get_or_admit(key, self._fetch_from_backend)
 
     def _fetch_from_backend(self, key: Hashable) -> Any:
-        """Miss loader: shard lookup (load-monitored) with storage backfill."""
+        """Miss loader: guarded shard lookup with storage backfill.
+
+        An unavailable shard turns the read into a degraded read: the
+        value comes straight from persistent storage (always correct —
+        storage is authoritative) and the fallback is counted.
+        """
         server = self.cluster.server_for(key)
-        self.monitor.record_lookup(server.server_id)
-        value = server.get(key)
+        server_id = server.server_id
+        self.monitor.record_lookup(server_id)
+        try:
+            value = self.guard.call(server_id, lambda: server.get(key))
+        except ShardUnavailableError:
+            return self._degraded_read(server_id, key)
         if value is MISSING:
             value = self.cluster.storage.get(key)
-            server.set(key, value)
+            self._backfill(server, key, value)
         return value
+
+    def _degraded_read(self, server_id: str, key: Hashable) -> Any:
+        """Serve ``key`` from storage because its shard is unavailable."""
+        value = self.cluster.storage.get(key)
+        self.monitor.record_degraded(server_id, penalty=self.fallback_penalty)
+        return value
+
+    def _backfill(self, server: Any, key: Hashable, value: Any) -> None:
+        """Populate a shard after a layer miss; best-effort under faults."""
+        try:
+            self.guard.call(server.server_id, lambda: server.set(key, value))
+        except ShardUnavailableError:
+            pass  # the value is safe in storage; the shard warms later
 
     def get_many(self, keys: list[Hashable]) -> dict[Hashable, Any]:
         """Batched read path (spymemcached's getMulti).
 
         A single page load fetches hundreds of objects (the paper's
-        motivating workload); this path serves what it can from the local
-        cache, groups the misses by owning shard, issues one batched
-        lookup per shard, and backfills layer misses from storage. Every
-        key still counts as one lookup toward that shard's load.
+        motivating workload). The batch is served in two passes that keep
+        the *decisions* identical to sequential :meth:`get` calls:
+
+        1. a side-effect-free ``in policy`` probe splits the batch into
+           local hits and prospective misses, groups the misses by owning
+           shard (deduplicated), and prefetches each group with one
+           batched lookup per shard (layer misses backfilled from
+           storage, unavailable shards degrading to storage);
+        2. every key then flows through the policy's fused
+           ``get_or_admit`` *in original access order*, with a loader
+           that serves from the prefetched values — so admission,
+           tracking and eviction decisions match the sequential path
+           exactly (``tests/test_fastpath_equivalence.py`` pins this).
+
+        A key whose prefetch was invalidated by an earlier admission in
+        the same batch (evicted mid-batch, duplicate churn) falls back to
+        a normal guarded single-key fetch. Every prefetched key still
+        counts as one lookup toward its shard's load.
         """
-        results: dict[Hashable, Any] = {}
+        policy = self.policy
+        prefetched: dict[Hashable, Any] = {}
         misses_by_server: dict[str, list[Hashable]] = {}
+        queued: set[Hashable] = set()
+        ring_server_for = self.cluster.ring.server_for
         for key in keys:
-            value = self.policy.lookup(key)
-            if value is not MISSING:
-                results[key] = value
-                continue
-            server_id = self.cluster.ring.server_for(key)
-            misses_by_server.setdefault(server_id, []).append(key)
+            if key not in policy and key not in queued:
+                queued.add(key)
+                misses_by_server.setdefault(ring_server_for(key), []).append(key)
         for server_id, missed in misses_by_server.items():
             server = self.cluster.server(server_id)
             for _ in missed:
                 self.monitor.record_lookup(server_id)
-            found = server.get_many(missed)
+            try:
+                found = self.guard.call(
+                    server_id, lambda: server.get_many(missed)
+                )
+            except ShardUnavailableError:
+                for key in missed:
+                    prefetched[key] = self._degraded_read(server_id, key)
+                continue
             for key in missed:
                 value = found.get(key, MISSING)
                 if value is MISSING:
                     value = self.cluster.storage.get(key)
-                    server.set(key, value)
-                self.policy.admit(key, value)
-                results[key] = value
-        return results
+                    self._backfill(server, key, value)
+                prefetched[key] = value
+
+        missing = MISSING
+
+        def loader(key: Hashable) -> Any:
+            value = prefetched.get(key, missing)
+            if value is missing:
+                value = self._fetch_from_backend(key)
+            return value
+
+        get_or_admit = policy.get_or_admit
+        return {key: get_or_admit(key, loader) for key in keys}
 
     def set(self, key: Hashable, value: Any) -> None:
         """Write path: storage write + local and layer invalidation."""
         self.cluster.storage.set(key, value)
         self.policy.record_update(key)
-        self.cluster.server_for(key).delete(key)
+        self._invalidate_shard(key)
 
     def delete(self, key: Hashable) -> None:
         """Delete path: authoritative delete + invalidations."""
         self.cluster.storage.delete(key)
         self.policy.invalidate(key)
-        self.cluster.server_for(key).delete(key)
+        self._invalidate_shard(key)
+
+    def _invalidate_shard(self, key: Hashable) -> None:
+        """Best-effort shard-side delete; counted when the shard is gone.
+
+        Storage already holds the authoritative value, so a lost
+        invalidation only risks shard-side staleness — which cold revival
+        (:meth:`CacheCluster.revive_server`) wipes.
+        """
+        server = self.cluster.server_for(key)
+        try:
+            self.guard.call(server.server_id, lambda: server.delete(key))
+        except ShardUnavailableError:
+            self.guard.stats.lost_invalidations += 1
 
     def execute(self, request: Any) -> Any:
         """Dispatch one workload operation.

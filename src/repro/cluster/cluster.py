@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Mapping
 
 from repro.cluster.backend import BackendCacheServer
+from repro.cluster.faults import FaultInjector
 from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.loadmonitor import load_imbalance
 from repro.cluster.storage import PersistentStore
@@ -41,6 +42,10 @@ class CacheCluster:
         default accounting size of values (paper: 750 KB).
     storage:
         the persistent layer; a fresh one is created when omitted.
+    faults:
+        optional :class:`~repro.cluster.faults.FaultInjector` attached to
+        every shard (including shards added later), enabling the chaos
+        experiments' kill/slow/flaky scenarios.
     """
 
     def __init__(
@@ -50,10 +55,12 @@ class CacheCluster:
         virtual_nodes: int = 8192,
         value_size: int = 750 * 1024,
         storage: PersistentStore | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError("num_servers must be >= 1")
         self._value_size = value_size
+        self.faults = faults
         self._servers: dict[str, BackendCacheServer] = {}
         server_ids = [f"cache-{i}" for i in range(num_servers)]
         for server_id in server_ids:
@@ -61,6 +68,7 @@ class CacheCluster:
                 server_id,
                 capacity_bytes=capacity_bytes,
                 default_value_size=value_size,
+                fault_injector=faults,
             )
         self.ring = ConsistentHashRing(server_ids, virtual_nodes=virtual_nodes)
         self.storage = storage if storage is not None else PersistentStore()
@@ -102,6 +110,7 @@ class CacheCluster:
             server_id,
             capacity_bytes=capacity_bytes or template.capacity_bytes,
             default_value_size=self._value_size,
+            fault_injector=self.faults,
         )
         self._servers[server_id] = server
         self.ring.add_server(server_id)
@@ -115,6 +124,35 @@ class CacheCluster:
             raise ClusterError("cannot remove the last server")
         self.ring.remove_server(server_id)
         del self._servers[server_id]
+
+    # --------------------------------------------------------------- faults
+
+    def _require_faults(self) -> FaultInjector:
+        if self.faults is None:
+            raise ClusterError(
+                "this cluster was built without a FaultInjector "
+                "(pass faults=FaultInjector() to CacheCluster)"
+            )
+        return self.faults
+
+    def kill_server(self, server_id: str) -> None:
+        """Take a shard down (cloud instance failure / migration start)."""
+        if server_id not in self._servers:
+            raise ClusterError(f"unknown server: {server_id}")
+        self._require_faults().kill(server_id)
+
+    def revive_server(self, server_id: str, cold: bool = True) -> None:
+        """Bring a shard back.
+
+        ``cold=True`` (default) flushes its contents first — a revived
+        cloud instance restarts with an empty cache, which also removes
+        any copies that went stale while write-path invalidations could
+        not reach the dead shard.
+        """
+        server = self.server(server_id)
+        self._require_faults().revive(server_id)
+        if cold:
+            server.flush()
 
     # ------------------------------------------------------------ aggregate
 

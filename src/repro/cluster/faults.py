@@ -1,0 +1,182 @@
+"""Failure injection for the cluster and simulator layers.
+
+The paper deploys CoT precisely because "cloud instance migration is the
+norm": back-end shards disappear, reappear, slow down, and flake. This
+module is the single switchboard for injecting those behaviours into
+:class:`~repro.cluster.backend.BackendCacheServer` (live, untimed data
+plane) and :class:`~repro.sim.server.SimBackendServer` (discrete-event
+timing plane), so chaos experiments and the retry layer's tests share one
+fault model:
+
+* **kill / revive** — the shard answers nothing while down
+  (:class:`~repro.errors.ShardDownError`);
+* **slowdown** — a service-time multiplier. The simulator inflates the
+  shard's service time by it; the live data plane has no clock, so a
+  slowdown at or beyond ``timeout_factor`` is surfaced as the client's
+  request timer firing (:class:`~repro.errors.ShardTimeoutError`);
+* **flaky** — each request independently fails with probability
+  ``error_rate`` (:class:`~repro.errors.ShardFlakyError`), seeded and
+  deterministic.
+
+A shard with no injected fault pays one ``dict.get`` per request; a
+server whose ``fault_injector`` is ``None`` pays a single ``is None``
+check, keeping the healthy path inside the perf gate's budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import (
+    ConfigurationError,
+    ShardDownError,
+    ShardFailure,
+    ShardFlakyError,
+    ShardTimeoutError,
+)
+
+__all__ = ["FaultInjector", "FaultStats", "ShardFaultProfile"]
+
+
+@dataclass
+class ShardFaultProfile:
+    """The injected condition of one shard (all healthy by default)."""
+
+    down: bool = False
+    slowdown: float = 1.0
+    flaky_rate: float = 0.0
+
+    @property
+    def healthy(self) -> bool:
+        """Whether this profile injects nothing."""
+        return not self.down and self.slowdown == 1.0 and self.flaky_rate == 0.0
+
+
+@dataclass
+class FaultStats:
+    """Counters over everything the injector actually did."""
+
+    kills: int = 0
+    revives: int = 0
+    injected_down: int = 0
+    injected_timeouts: int = 0
+    injected_flaky: int = 0
+
+    @property
+    def injected_total(self) -> int:
+        """All injected request failures, regardless of kind."""
+        return self.injected_down + self.injected_timeouts + self.injected_flaky
+
+
+class FaultInjector:
+    """Per-shard fault switchboard shared by live servers and the simulator.
+
+    Parameters
+    ----------
+    seed:
+        seeds the flaky-error coin so chaos runs are reproducible.
+    timeout_factor:
+        slowdown multiplier at (or beyond) which the live data plane
+        reports a client-side timeout instead of merely serving slowly —
+        the untimed cluster's stand-in for a per-request timer. The
+        simulator, which has a clock, keeps serving below this threshold
+        with inflated service times.
+    """
+
+    def __init__(self, seed: int = 0, timeout_factor: float = 8.0) -> None:
+        if timeout_factor <= 1.0:
+            raise ConfigurationError("timeout_factor must be > 1")
+        self._profiles: dict[str, ShardFaultProfile] = {}
+        self._rng = random.Random(seed)
+        self._timeout_factor = timeout_factor
+        self.stats = FaultStats()
+
+    # ------------------------------------------------------------- controls
+
+    def profile(self, server_id: str) -> ShardFaultProfile:
+        """The (mutable) fault profile of ``server_id``, created on demand."""
+        profile = self._profiles.get(server_id)
+        if profile is None:
+            profile = self._profiles[server_id] = ShardFaultProfile()
+        return profile
+
+    def kill(self, server_id: str) -> None:
+        """Take the shard down; every request fails until :meth:`revive`."""
+        profile = self.profile(server_id)
+        if not profile.down:
+            profile.down = True
+            self.stats.kills += 1
+
+    def revive(self, server_id: str) -> None:
+        """Bring the shard back (breakers re-probe it on their own)."""
+        profile = self.profile(server_id)
+        if profile.down:
+            profile.down = False
+            self.stats.revives += 1
+
+    def set_slowdown(self, server_id: str, factor: float) -> None:
+        """Inflate the shard's service time by ``factor`` (1.0 = healthy)."""
+        if factor < 1.0:
+            raise ConfigurationError("slowdown factor must be >= 1")
+        self.profile(server_id).slowdown = factor
+
+    def set_flaky(self, server_id: str, error_rate: float) -> None:
+        """Make each request fail independently with ``error_rate``."""
+        if not 0.0 <= error_rate <= 1.0:
+            raise ConfigurationError("error_rate must be in [0, 1]")
+        self.profile(server_id).flaky_rate = error_rate
+
+    def clear(self, server_id: str) -> None:
+        """Remove every injected fault from the shard."""
+        self._profiles.pop(server_id, None)
+
+    # ----------------------------------------------------------- inspection
+
+    def is_down(self, server_id: str) -> bool:
+        """Whether the shard is currently killed."""
+        profile = self._profiles.get(server_id)
+        return profile.down if profile is not None else False
+
+    def slowdown(self, server_id: str) -> float:
+        """The shard's current service-time multiplier."""
+        profile = self._profiles.get(server_id)
+        return profile.slowdown if profile is not None else 1.0
+
+    def down_servers(self) -> frozenset[str]:
+        """Ids of every currently-killed shard."""
+        return frozenset(
+            sid for sid, profile in self._profiles.items() if profile.down
+        )
+
+    # ------------------------------------------------------------ injection
+
+    def probe(self, server_id: str) -> ShardFailure | None:
+        """The failure this request suffers, or ``None`` when it succeeds.
+
+        Non-raising form used by the simulator (exceptions do not belong
+        in an event loop); :meth:`check` is the raising form for the live
+        data plane. Stats are counted here, once per failed request.
+        """
+        profile = self._profiles.get(server_id)
+        if profile is None:
+            return None
+        if profile.down:
+            self.stats.injected_down += 1
+            return ShardDownError(f"shard {server_id} is down")
+        if profile.slowdown >= self._timeout_factor:
+            self.stats.injected_timeouts += 1
+            return ShardTimeoutError(
+                f"shard {server_id} exceeded the request deadline "
+                f"({profile.slowdown:g}x slowdown)"
+            )
+        if profile.flaky_rate and self._rng.random() < profile.flaky_rate:
+            self.stats.injected_flaky += 1
+            return ShardFlakyError(f"shard {server_id} flaked")
+        return None
+
+    def check(self, server_id: str) -> None:
+        """Raise the failure this request suffers, if any (live data plane)."""
+        failure = self.probe(server_id)
+        if failure is not None:
+            raise failure

@@ -70,7 +70,14 @@ class ConsistentHashRing:
         return server in self._servers
 
     def add_server(self, server: str) -> None:
-        """Place ``server``'s virtual points on the ring."""
+        """Place ``server``'s virtual points on the ring.
+
+        The ring is kept sorted by ``(point, owner)``: a 32-bit hash
+        collision between two servers' virtual points is broken by owner
+        id, never by insertion order, so ring ownership is a pure
+        function of the member set — a freshly built ring and one that
+        saw arbitrary churn agree on every key.
+        """
         if server in self._servers:
             raise ClusterError(f"server already on ring: {server}")
         self._servers.add(server)
@@ -79,7 +86,7 @@ class ConsistentHashRing:
             (_hash32(f"{server}#{replica}"), server)
             for replica in range(self._virtual_nodes)
         )
-        pairs.sort(key=lambda po: po[0])
+        pairs.sort()
         self._points = [p for p, _ in pairs]
         self._owners = [o for _, o in pairs]
 
@@ -97,11 +104,18 @@ class ConsistentHashRing:
         self._owners = [o for _, o in keep]
 
     def server_for(self, key: Hashable) -> str:
-        """The server responsible for ``key``."""
+        """The server responsible for ``key``.
+
+        ``bisect_left`` realizes "first server point at or after the
+        key's hash": a point equal to the key's hash owns the key, and
+        among colliding points the ``(point, owner)`` order makes the
+        lexicographically smallest owner win — deterministically,
+        independent of add/remove history.
+        """
         if not self._points:
             raise ClusterError("hash ring is empty")
         point = _hash32(str(key))
-        idx = bisect.bisect(self._points, point)
+        idx = bisect.bisect_left(self._points, point)
         if idx == len(self._points):
             idx = 0
         return self._owners[idx]

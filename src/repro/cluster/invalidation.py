@@ -63,27 +63,35 @@ class InvalidationBus:
         self._clients[client.client_id] = client
 
     def note_cached(self, client_id: str, key: Hashable) -> None:
-        """Record that ``client_id`` now holds a copy of ``key``."""
+        """Record that ``client_id`` now holds a copy of ``key``.
+
+        ``directory_size`` is maintained incrementally (+1 on a new
+        incarnation) — recomputing ``sum(len(h))`` here made every cache
+        admission O(directory), quadratic over a run.
+        """
         holders = self._directory.setdefault(key, set())
+        if client_id in holders:
+            return
         holders.add(client_id)
-        self.stats.directory_size = sum(
-            len(h) for h in self._directory.values()
-        )
-        self.stats.peak_directory = max(
-            self.stats.peak_directory, self.stats.directory_size
-        )
+        size = self.stats.directory_size + 1
+        self.stats.directory_size = size
+        if size > self.stats.peak_directory:
+            self.stats.peak_directory = size
 
     def note_dropped(self, client_id: str, key: Hashable) -> None:
         """Record that ``client_id`` no longer holds ``key``."""
         holders = self._directory.get(key)
-        if holders is None:
+        if holders is None or client_id not in holders:
             return
         holders.discard(client_id)
+        self.stats.directory_size -= 1
         if not holders:
             del self._directory[key]
-        self.stats.directory_size = sum(
-            len(h) for h in self._directory.values()
-        )
+
+    def recomputed_directory_size(self) -> int:
+        """O(directory) recount — the invariant check the tests assert
+        against the incremental counter."""
+        return sum(len(h) for h in self._directory.values())
 
     def holders_of(self, key: Hashable) -> frozenset[str]:
         """Front ends currently holding ``key`` (test/analysis hook)."""
@@ -129,10 +137,13 @@ class CoherentFrontEndClient(FrontEndClient):
         )
 
     # The base read path calls ``policy.admit``; intercept around it so
-    # the directory reflects what this front end actually holds.
+    # the directory reflects what this front end actually holds. Only a
+    # state change (miss -> cached) is reported: repeat hits on a key the
+    # directory already tracks must not churn the bus.
     def get(self, key: Hashable):
+        was_cached = key in self.policy
         value = super().get(key)
-        if key in self.policy:
+        if not was_cached and key in self.policy:
             self.bus.note_cached(self.client_id, key)
         return value
 

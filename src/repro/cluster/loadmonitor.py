@@ -48,6 +48,16 @@ class LoadMonitor:
             raise ClusterError("load monitor needs at least one server")
         self._total: dict[str, int] = {s: 0 for s in server_list}
         self._epoch: dict[str, int] = {s: 0 for s in server_list}
+        #: servers first observed inside the current epoch (mid-epoch
+        #: joiners): their partial counts are not representative of a full
+        #: epoch, so churn-safe consumers exclude them for one epoch.
+        self._epoch_new: set[str] = set()
+        #: reads served by storage fallback because the owning shard was
+        #: unavailable, per shard (graceful-degradation instrumentation)
+        self._degraded: dict[str, int] = {}
+        self._epoch_degraded = 0
+        #: accounted extra latency of degraded reads (seconds)
+        self.fallback_latency_total = 0.0
 
     # ------------------------------------------------------------------ api
 
@@ -67,8 +77,18 @@ class LoadMonitor:
         if server not in self._total:
             self._total[server] = 0
             self._epoch[server] = 0
+            self._epoch_new.add(server)
         self._total[server] += 1
         self._epoch[server] += 1
+
+    def record_degraded(self, server: str, penalty: float = 0.0) -> None:
+        """Count one degraded read: ``server`` was unavailable and the
+        value was served from persistent storage instead. ``penalty`` is
+        the extra latency the fallback cost (accounted, not slept)."""
+        self._degraded[server] = self._degraded.get(server, 0) + 1
+        self._epoch_degraded += 1
+        if penalty:
+            self.fallback_latency_total += penalty
 
     def total_loads(self) -> dict[str, int]:
         """Lifetime lookup counts per server."""
@@ -86,6 +106,22 @@ class LoadMonitor:
         """Epoch-window lookups across all servers."""
         return sum(self._epoch.values())
 
+    def epoch_new_servers(self) -> frozenset[str]:
+        """Servers first seen during the current epoch (mid-epoch joiners)."""
+        return frozenset(self._epoch_new)
+
+    def degraded_reads(self) -> int:
+        """Lifetime reads served by storage fallback (all servers)."""
+        return sum(self._degraded.values())
+
+    def epoch_degraded(self) -> int:
+        """Degraded reads since the last epoch reset."""
+        return self._epoch_degraded
+
+    def degraded_by_server(self) -> dict[str, int]:
+        """Lifetime degraded-read counts per unavailable shard."""
+        return dict(self._degraded)
+
     def imbalance(self) -> float:
         """Lifetime ``I`` = max/min over per-server lookup counts."""
         return load_imbalance(self._total)
@@ -98,9 +134,13 @@ class LoadMonitor:
         """Start a new epoch window."""
         for server in self._epoch:
             self._epoch[server] = 0
+        self._epoch_new.clear()
+        self._epoch_degraded = 0
 
     def reset(self) -> None:
         """Zero everything."""
         for server in self._total:
             self._total[server] = 0
+        self._degraded.clear()
+        self.fallback_latency_total = 0.0
         self.reset_epoch()

@@ -29,6 +29,7 @@ from typing import Any, Hashable
 from repro.cluster.client import FrontEndClient
 from repro.cluster.loadmonitor import load_imbalance
 from repro.cluster.cluster import CacheCluster
+from repro.cluster.retry import ClusterGuard
 from repro.core.cache import CoTCache
 from repro.core.decay import DecayPolicy, HalfLifeDecay
 from repro.core.epoch import EpochRecord, EpochSnapshot
@@ -61,6 +62,10 @@ class ElasticCoTClient(FrontEndClient):
         decay policy for Case-2 triggers (default half-life).
     model:
         hotness model for the CoT cache.
+    guard:
+        retry/breaker layer forwarded to
+        :class:`~repro.cluster.client.FrontEndClient`; the chaos
+        experiments pass one with tightened thresholds.
     """
 
     def __init__(
@@ -75,13 +80,14 @@ class ElasticCoTClient(FrontEndClient):
         model: HotnessModel | None = None,
         client_id: str = "elastic-0",
         imbalance_window: int = 32,
+        guard: "ClusterGuard | None" = None,
     ) -> None:
         if base_epoch < 1:
             raise ConfigurationError("base_epoch must be >= 1")
         if imbalance_window < 1:
             raise ConfigurationError("imbalance_window must be >= 1")
         policy = CoTCache(initial_cache, initial_tracker, model=model)
-        super().__init__(cluster, policy, client_id=client_id)
+        super().__init__(cluster, policy, client_id=client_id, guard=guard)
         self.cot: CoTCache = policy
         self.controller = controller or ResizingController(
             target_imbalance=target_imbalance
@@ -146,15 +152,46 @@ class ElasticCoTClient(FrontEndClient):
                 summed[server] = summed.get(server, 0) + count
         return load_imbalance(summed), sum(summed.values())
 
+    def _churn_safe_epoch_loads(self) -> dict[str, int]:
+        """This epoch's per-shard loads, filtered for topology churn.
+
+        Three classes of shard are excluded so that churn cannot
+        fabricate an ``I_c`` spike (and with it a spurious ``EXPAND``):
+
+        * shards no longer on the ring — a removed shard's entry lingers
+          in the monitor at zero load forever, which would floor the
+          imbalance denominator at 1;
+        * shards whose circuit breaker is not closed — a shard that died
+          mid-epoch contributes a partial count that reflects the
+          failure, not workload skew;
+        * shards first seen mid-epoch (scale-out joiners) — their partial
+          window under-counts until the first full epoch.
+        """
+        members = set(self.cluster.server_ids)
+        unavailable = self.guard.unavailable_servers()
+        fresh = self.monitor.epoch_new_servers()
+        return {
+            server: count
+            for server, count in self.monitor.epoch_loads().items()
+            if server in members
+            and server not in unavailable
+            and server not in fresh
+        }
+
     def close_epoch(self) -> EpochRecord:
         """Finish the current epoch: snapshot, decide, apply, archive.
 
         Normally invoked automatically every ``epoch_length`` accesses;
         experiments may call it directly to flush a final partial epoch.
         """
-        self._recent_loads.append(self.monitor.epoch_loads())
+        epoch_loads = self._churn_safe_epoch_loads()
+        if self._recent_loads and set(epoch_loads) != set(self._recent_loads[-1]):
+            # Topology changed under us: loads summed across different
+            # shard sets are not comparable, so the window restarts.
+            self._recent_loads.clear()
+        self._recent_loads.append(epoch_loads)
         imbalance, sample = self._windowed_imbalance()
-        num_servers = len(self.monitor.servers)
+        num_servers = len(epoch_loads) or len(self.monitor.servers)
         if sample > 0 and num_servers > 1:
             # Max/min ratio a perfectly balanced system would show on this
             # finite sample (~3 sigma of the per-shard binomial spread).

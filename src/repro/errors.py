@@ -28,6 +28,36 @@ class ClusterError(ReproError):
     """A back-end cluster operation failed (unknown server, empty ring...)."""
 
 
+class ShardFailure(ClusterError):
+    """Base class for *injected* shard failures (transient by contract).
+
+    Raised by fault injection on the shard side of a request; the retry
+    layer treats every subclass as retryable and feeds it to the owning
+    circuit breaker.
+    """
+
+
+class ShardDownError(ShardFailure):
+    """The shard is killed (instance failure / migration in progress)."""
+
+
+class ShardTimeoutError(ShardFailure):
+    """The shard is so slowed down that the client's request timer fired."""
+
+
+class ShardFlakyError(ShardFailure):
+    """A probabilistic (flaky-network / partial-failure) error."""
+
+
+class ShardUnavailableError(ClusterError):
+    """The retry layer gave up on a shard for this operation.
+
+    Raised client-side when the shard's circuit breaker is open or bounded
+    retries were exhausted; callers degrade gracefully (storage fallback)
+    instead of crashing.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 

@@ -14,6 +14,7 @@ from typing import Callable
 
 from repro.experiments import (
     appendix_tracker_size,
+    extension_chaos,
     extension_decay,
     extension_distributions,
     extension_edge_rtt,
@@ -44,6 +45,7 @@ RUNNERS: dict[str, Callable[[Scale], ExperimentResult | list[ExperimentResult]]]
     "fig8": lambda scale: fig78_adaptive_resizing.run_shrink(scale=scale),
     "figA": lambda scale: appendix_tracker_size.run(scale=scale),
     "ycsb-bug": lambda scale: ycsb_bug.run(scale=scale),
+    "ext-chaos": lambda scale: extension_chaos.run(scale=scale),
     "ext-decay": lambda scale: extension_decay.run(scale=scale),
     "ext-dists": lambda scale: extension_distributions.run(scale=scale),
     "ext-edge-rtt": lambda scale: extension_edge_rtt.run(scale=scale),

@@ -1,0 +1,246 @@
+"""Extension: chaos run — shard failures under an elastic front end.
+
+The paper's evaluation assumes a healthy caching layer; clouds do not.
+This harness drives the usual Zipfian read stream through an
+:class:`~repro.core.elastic.ElasticCoTClient` while a chaos schedule
+kills, revives, replaces and degrades back-end shards, and checks three
+things the fault-tolerant data plane promises:
+
+* **correctness** — every read returns the authoritative storage value
+  even while its owning shard is dead (degraded reads fall back to the
+  persistent layer);
+* **graceful degradation** — outages show up as counted degraded reads,
+  retries and breaker transitions, not as exceptions;
+* **churn-safe elasticity** — the controller issues no spurious
+  ``EXPAND`` during the outage: a dead (or replaced) shard's zero-load
+  entry must not fabricate an ``I_c`` spike.
+
+The run is phased: a healthy warm-up long enough for the Figure-7 style
+expansion to converge, then six chaos phases (kill → sustained outage →
+cold revival → shard replacement → flaky shard → all clear). Each phase
+reports hit rate, degraded reads, retry/breaker activity, resize
+decisions and the worst per-epoch ``I_c`` observed.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.cluster.cluster import CacheCluster
+from repro.cluster.faults import FaultInjector
+from repro.cluster.retry import BreakerConfig, ClusterGuard, RetryPolicy
+from repro.cluster.storage import PersistentStore
+from repro.core.elastic import ElasticCoTClient
+from repro.experiments.common import (
+    STREAM_CHUNK,
+    ExperimentResult,
+    Scale,
+    make_generator,
+)
+from repro.metrics.resilience import summarize_resilience
+from repro.workloads.base import format_key
+
+__all__ = ["run", "EXPERIMENT_ID", "expected_value"]
+
+EXPERIMENT_ID = "ext-chaos"
+
+THETA = 1.2
+TARGET_IMBALANCE = 1.1
+#: flaky-phase injected error rate (retries should absorb nearly all of it)
+FLAKY_RATE = 0.10
+#: breaker trips after this many consecutive failures to one shard
+FAILURE_THRESHOLD = 4
+#: logical operations before an open breaker half-opens to probe
+BREAKER_COOLDOWN = 512.0
+#: an epoch I_c at or above this is a phantom reading — the zero-load
+#: accounting bug produced ratios of ~epoch_length/1 (hundreds), while a
+#: genuine skew reading at these scales stays in low single digits
+PHANTOM_IMBALANCE = 10.0
+
+
+def expected_value(key: Hashable) -> object:
+    """Authoritative value of ``key`` — what every read must return."""
+    return ("chaos-value", key)
+
+
+def _snap(client: ElasticCoTClient) -> dict[str, int]:
+    """Monotone counters, captured at phase boundaries for deltas."""
+    stats = client.policy.stats
+    guard = client.guard.stats
+    transitions = client.guard.breaker_transitions()
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "degraded": client.monitor.degraded_reads(),
+        "retries": guard.retries,
+        "rejections": guard.open_rejections,
+        "opens": transitions["opens"],
+        "closes": transitions["closes"],
+        "epochs": len(client.history),
+    }
+
+
+def _drive(client, generator, accesses: int) -> int:
+    """Run ``accesses`` verified reads; returns how many came back wrong."""
+    incorrect = 0
+    get = client.get
+    keys_array = generator.keys_array
+    remaining = accesses
+    while remaining > 0:
+        n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
+        for raw in keys_array(n):
+            key = format_key(raw)
+            if get(key) != ("chaos-value", key):
+                incorrect += 1
+        remaining -= n
+    return incorrect
+
+
+def run(scale: Scale | None = None, num_servers: int = 4) -> ExperimentResult:
+    """Chaos schedule against an elastic front end; returns per-phase rows."""
+    scale = scale or Scale.default()
+    faults = FaultInjector(seed=scale.seed)
+    storage = PersistentStore(value_factory=expected_value)
+    cluster = CacheCluster(
+        num_servers=num_servers,
+        capacity_bytes=1 << 40,
+        value_size=1,
+        storage=storage,
+        faults=faults,
+    )
+    guard = ClusterGuard(
+        cluster.server_ids,
+        retry=RetryPolicy(max_attempts=2, base_backoff=1e-4),
+        breaker=BreakerConfig(
+            failure_threshold=FAILURE_THRESHOLD, cooldown=BREAKER_COOLDOWN
+        ),
+        seed=scale.seed,
+    )
+    base_epoch = max(500, scale.accesses // 100)
+    client = ElasticCoTClient(
+        cluster,
+        target_imbalance=TARGET_IMBALANCE,
+        initial_cache=2,
+        initial_tracker=4,
+        base_epoch=base_epoch,
+        client_id="chaos-0",
+        guard=guard,
+    )
+    generator = make_generator(f"zipf-{THETA:g}", scale.key_space, scale.seed)
+
+    victim = "cache-1"
+    replaced = "cache-2"
+    flaky = "cache-0"
+    replacement: list[str] = []
+
+    def _replace_shard() -> None:
+        cluster.remove_server(replaced)
+        replacement.append(cluster.add_server().server_id)
+
+    # (label, action run at phase start, counts-as-churn-for-elasticity)
+    schedule = [
+        ("healthy warm-up", None, False),
+        (f"kill {victim}", lambda: cluster.kill_server(victim), True),
+        ("outage continues", None, True),
+        (f"revive {victim} (cold)", lambda: cluster.revive_server(victim), True),
+        (f"replace {replaced}", _replace_shard, True),
+        (f"flaky {flaky} @{FLAKY_RATE:.0%}", lambda: faults.set_flaky(flaky, FLAKY_RATE), False),
+        ("all faults cleared", lambda: faults.clear(flaky), False),
+    ]
+    warmup = scale.accesses // 2
+    chaos_each = (scale.accesses - warmup) // (len(schedule) - 1)
+    phase_accesses = [warmup] + [chaos_each] * (len(schedule) - 1)
+
+    rows: list[list[object]] = []
+    incorrect_total = 0
+    spurious_expands = 0
+    phantom_epochs = 0
+    churn_max_imbalance = 0.0
+    post_warmup_expands = 0
+    for index, (label, action, churn) in enumerate(schedule):
+        if action is not None:
+            action()
+        outage = bool(faults.down_servers())
+        before = _snap(client)
+        incorrect_total += _drive(client, generator, phase_accesses[index])
+        after = _snap(client)
+        reads = phase_accesses[index]
+        hits = after["hits"] - before["hits"]
+        records = client.history[before["epochs"] :]
+        expands = sum(1 for r in records if r.decision == "expand")
+        max_imbalance = max(
+            (r.snapshot.imbalance for r in records), default=0.0
+        )
+        if index > 0:
+            post_warmup_expands += expands
+        phantom_epochs += sum(
+            1 for r in records if r.snapshot.imbalance >= PHANTOM_IMBALANCE
+        )
+        if outage:
+            # An EXPAND riding a phantom I_c would mean the dead shard's
+            # zero-load entry leaked into the controller's reading.
+            spurious_expands += sum(
+                1
+                for r in records
+                if r.decision == "expand"
+                and r.snapshot.imbalance >= PHANTOM_IMBALANCE
+            )
+        if churn:
+            churn_max_imbalance = max(churn_max_imbalance, max_imbalance)
+        rows.append(
+            [
+                index,
+                label,
+                ",".join(sorted(faults.down_servers())) or "-",
+                reads,
+                round(100.0 * hits / reads, 2),
+                after["degraded"] - before["degraded"],
+                after["retries"] - before["retries"],
+                after["rejections"] - before["rejections"],
+                after["opens"] - before["opens"],
+                after["closes"] - before["closes"],
+                expands,
+                round(max_imbalance, 3) if records else "-",
+            ]
+        )
+
+    resilience = summarize_resilience(guard, client.monitor)
+    cache, tracker = client.converged_sizes()
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=(
+            f"Extension — chaos run (Zipf {THETA}, {num_servers} shards, "
+            f"I_t={TARGET_IMBALANCE})"
+        ),
+        headers=[
+            "phase", "event", "down", "reads", "hit_%", "degraded",
+            "retries", "rejected", "opens", "closes", "expands", "max_I_c",
+        ],
+        rows=rows,
+        notes=[
+            f"{scale.accesses:,} verified reads over {scale.key_space:,} keys; "
+            f"base epoch {base_epoch}; warm-up {warmup:,} then "
+            f"{chaos_each:,} per chaos phase",
+            f"retry: 2 attempts; breaker: opens after {FAILURE_THRESHOLD} "
+            f"consecutive failures, cooldown {BREAKER_COOLDOWN:g} ops",
+            "every read is checked against the storage value — "
+            f"{incorrect_total} incorrect",
+            "an EXPAND on a phantom I_c (>= "
+            f"{PHANTOM_IMBALANCE:g}) while a shard is dead would indicate "
+            "its zero-load entry polluting the controller (observed: "
+            f"{spurious_expands}; worst churn-phase I_c "
+            f"{churn_max_imbalance:.3f})",
+        ],
+        extras={
+            "incorrect_reads": incorrect_total,
+            "degraded_reads": resilience.degraded_reads,
+            "spurious_expands": spurious_expands,
+            "phantom_epochs": phantom_epochs,
+            "churn_max_imbalance": churn_max_imbalance,
+            "post_warmup_expands": post_warmup_expands,
+            "replacement_shard": replacement[0] if replacement else None,
+            "final_cache": cache,
+            "final_tracker": tracker,
+            "resilience": resilience.as_row(),
+        },
+    )

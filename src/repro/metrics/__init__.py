@@ -10,10 +10,13 @@ from repro.metrics.imbalance import (
     summarize_loads,
 )
 from repro.metrics.latency import LatencyRecorder, percentile
+from repro.metrics.resilience import ResilienceSummary, summarize_resilience
 from repro.metrics.series import SeriesRecorder, sparkline
 from repro.metrics.table import format_cell, render_table
 
 __all__ = [
+    "ResilienceSummary",
+    "summarize_resilience",
     "ImbalanceSummary",
     "coefficient_of_variation",
     "load_imbalance",

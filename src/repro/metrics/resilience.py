@@ -1,0 +1,77 @@
+"""Fault-tolerance instrumentation rollup.
+
+The resilient data plane scatters its evidence across three places: the
+client's :class:`~repro.cluster.retry.ClusterGuard` (retries, breaker
+transitions, backoff), its :class:`~repro.cluster.loadmonitor.LoadMonitor`
+(degraded reads, fallback latency) and the injector itself (what was
+actually injected). :func:`summarize_resilience` folds them into one
+:class:`ResilienceSummary` the chaos experiment and tests report on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.loadmonitor import LoadMonitor
+from repro.cluster.retry import ClusterGuard
+
+__all__ = ["ResilienceSummary", "summarize_resilience"]
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """One front end's fault-tolerance counters, in report-ready form."""
+
+    operations: int
+    attempts: int
+    retries: int
+    failures: int
+    open_rejections: int
+    backoff_total: float
+    lost_invalidations: int
+    degraded_reads: int
+    degraded_fraction: float
+    fallback_latency: float
+    breaker_opens: int
+    breaker_half_opens: int
+    breaker_closes: int
+
+    def as_row(self) -> dict[str, object]:
+        """Flat mapping for table rendering / JSON export."""
+        return {
+            "operations": self.operations,
+            "retries": self.retries,
+            "failures": self.failures,
+            "open_rejections": self.open_rejections,
+            "degraded_reads": self.degraded_reads,
+            "degraded_%": round(100.0 * self.degraded_fraction, 3),
+            "backoff_s": round(self.backoff_total, 6),
+            "fallback_s": round(self.fallback_latency, 6),
+            "breaker_opens": self.breaker_opens,
+            "breaker_closes": self.breaker_closes,
+        }
+
+
+def summarize_resilience(
+    guard: ClusterGuard, monitor: LoadMonitor
+) -> ResilienceSummary:
+    """Roll one client's guard + monitor counters into a summary."""
+    transitions = guard.breaker_transitions()
+    stats = guard.stats
+    degraded = monitor.degraded_reads()
+    operations = stats.operations
+    return ResilienceSummary(
+        operations=operations,
+        attempts=stats.attempts,
+        retries=stats.retries,
+        failures=stats.failures,
+        open_rejections=stats.open_rejections,
+        backoff_total=stats.backoff_total,
+        lost_invalidations=stats.lost_invalidations,
+        degraded_reads=degraded,
+        degraded_fraction=degraded / operations if operations else 0.0,
+        fallback_latency=monitor.fallback_latency_total,
+        breaker_opens=transitions["opens"],
+        breaker_half_opens=transitions["half_opens"],
+        breaker_closes=transitions["closes"],
+    )

@@ -35,6 +35,11 @@ LOCAL_OP_TIME = 2e-6
 #: quota so exactly ``total_requests`` operations are ever drawn.
 REQUEST_BATCH = 512
 
+#: Extra service time of a degraded read: the persistent store is slower
+#: than a cache shard (disk/SSD + request handling), so falling back when
+#: a shard is down costs this much on top of the network hops.
+STORAGE_FALLBACK_TIME = 500e-6
+
 
 class SimClient:
     """One closed-loop client thread with its own front-end cache.
@@ -82,6 +87,12 @@ class SimClient:
         self.completed = 0
         self.finish_time: float | None = None
         self.latencies_sum = 0.0
+        #: reads served from storage because the owning shard was down
+        self.degraded_reads = 0
+        #: total extra latency those fallbacks cost (seconds)
+        self.fallback_latency_sum = 0.0
+        #: shard-side invalidations lost to a down shard on the write path
+        self.failed_invalidations = 0
         #: full latency distribution (reservoir-sampled) — load-imbalance
         #: hurts the tail first, so the harness reports p50/p99 too.
         self.latency_recorder = LatencyRecorder(seed=client_id)
@@ -148,7 +159,16 @@ class SimClient:
                     self.latency.one_way(), lambda: self._receive(key, value)
                 )
 
-            timed.submit(self.sim, _served)
+            def _failed() -> None:
+                # Degraded read: the shard is down, so the value comes
+                # straight from authoritative storage (correct, slower).
+                value = self.cluster.storage.get(key)
+                self.degraded_reads += 1
+                extra = STORAGE_FALLBACK_TIME + self.latency.one_way()
+                self.fallback_latency_sum += extra
+                self.sim.schedule(extra, lambda: self._receive(key, value))
+
+            timed.submit(self.sim, _served, on_error=_failed)
 
         self.sim.schedule(LOCAL_OP_TIME + one_way, _arrive)
 
@@ -171,6 +191,12 @@ class SimClient:
                 backend.delete(key)
                 self.sim.schedule(self.latency.one_way(), self._complete)
 
-            timed.submit(self.sim, _served)
+            def _failed() -> None:
+                # The storage write already landed; only the shard-side
+                # invalidation is lost (repaired by cold revival).
+                self.failed_invalidations += 1
+                self.sim.schedule(self.latency.one_way(), self._complete)
+
+            timed.submit(self.sim, _served, on_error=_failed)
 
         self.sim.schedule(LOCAL_OP_TIME + one_way, _arrive)

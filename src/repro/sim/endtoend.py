@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.cluster.cluster import CacheCluster
+from repro.cluster.faults import FaultInjector
 from repro.cluster.loadmonitor import load_imbalance
 from repro.errors import ConfigurationError
 from repro.metrics.latency import percentile
@@ -39,6 +40,12 @@ class EndToEndResult:
     p50_latency: float = 0.0
     p99_latency: float = 0.0
     per_client_runtime: list[float] = field(default_factory=list)
+    #: reads served by storage fallback because a shard was down
+    degraded_reads: int = 0
+    #: total extra latency those fallbacks cost (seconds)
+    fallback_latency: float = 0.0
+    #: write-path shard invalidations lost to down shards
+    failed_invalidations: int = 0
 
     @property
     def throughput(self) -> float:
@@ -66,6 +73,12 @@ class EndToEndSimulation:
         per-shard timing parameters.
     latency:
         network model (defaults to the paper's fixed 244 µs RTT).
+    faults:
+        optional fault injector attached to the per-shard *timing*
+        models: killed shards fail requests into the degraded-read path,
+        slowed shards serve with inflated service times. The shared
+        content cluster stays fault-free — content correctness is
+        storage's job, timing faults are modeled here.
     """
 
     def __init__(
@@ -78,6 +91,7 @@ class EndToEndSimulation:
         service_model: ServiceModel | None = None,
         latency: LatencyModel | None = None,
         cluster: CacheCluster | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if num_clients < 1 or requests_per_client < 1:
             raise ConfigurationError("need >= 1 client and >= 1 request")
@@ -85,13 +99,16 @@ class EndToEndSimulation:
         self.cluster = cluster or CacheCluster(
             num_servers=num_servers, capacity_bytes=1 << 40, value_size=1
         )
+        self.faults = faults
         model = service_model or ServiceModel()
         latency = latency or FixedLatency()
         fair = 1.0 / len(self.cluster.server_ids)
         total_counter = [0]
         self.servers: dict[str, SimBackendServer] = {}
         for server_id in self.cluster.server_ids:
-            server = SimBackendServer(server_id, model, fair)
+            server = SimBackendServer(
+                server_id, model, fair, fault_injector=faults
+            )
             server.bind_total_counter(total_counter)
             self.servers[server_id] = server
         self.clients: list[SimClient] = []
@@ -133,4 +150,9 @@ class EndToEndSimulation:
             p50_latency=p50,
             p99_latency=p99,
             per_client_runtime=[c.finish_time or runtime for c in self.clients],
+            degraded_reads=sum(c.degraded_reads for c in self.clients),
+            fallback_latency=sum(c.fallback_latency_sum for c in self.clients),
+            failed_invalidations=sum(
+                c.failed_invalidations for c in self.clients
+            ),
         )

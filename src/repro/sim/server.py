@@ -25,9 +25,13 @@ calibration alongside the results.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.sim.events import Simulator
+
+if TYPE_CHECKING:
+    from repro.cluster.faults import FaultInjector
 
 __all__ = ["ServiceModel", "SimBackendServer"]
 
@@ -49,12 +53,17 @@ class ServiceModel:
         fractional inflation per unit of *excess share*: a shard receiving
         ``s`` of arrivals against a fair share ``f`` serves at
         ``base * (1 + load_penalty * max(0, s/f - 1))``.
+    failure_detect_time:
+        how long a client-side request on a failed shard takes to be
+        recognized as failed (roughly one request timeout; only used when
+        a fault injector is attached).
     """
 
     base_service_time: float = 50e-6
     thrash_threshold: int = 3
     thrash_factor: float = 1.2
     load_penalty: float = 3.0
+    failure_detect_time: float = 500e-6
 
     def __post_init__(self) -> None:
         if self.base_service_time <= 0:
@@ -63,6 +72,8 @@ class ServiceModel:
             raise ConfigurationError("thrash_threshold must be >= 0")
         if self.thrash_factor < 0 or self.load_penalty < 0:
             raise ConfigurationError("inflation factors must be >= 0")
+        if self.failure_detect_time < 0:
+            raise ConfigurationError("failure_detect_time must be >= 0")
 
 
 class SimBackendServer:
@@ -73,6 +84,7 @@ class SimBackendServer:
         server_id: str,
         model: ServiceModel,
         fair_share: float,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         if not 0 < fair_share <= 1:
             raise ConfigurationError("fair_share must be in (0, 1]")
@@ -83,6 +95,9 @@ class SimBackendServer:
         self._in_flight = 0
         self.arrivals = 0
         self.busy_time = 0.0
+        #: requests that failed because of an injected fault
+        self.faulted = 0
+        self.fault_injector = fault_injector
         self._total_arrivals_ref: list[int] | None = None
 
     def bind_total_counter(self, counter: list[int]) -> None:
@@ -113,10 +128,28 @@ class SimBackendServer:
         service *= 1.0 + self.model.thrash_factor * excess_queue
         excess_share = max(0.0, self.share() / self._fair_share - 1.0)
         service *= 1.0 + self.model.load_penalty * excess_share
+        if self.fault_injector is not None:
+            # Injected slowdown: the migrating/overcommitted instance
+            # serves every request proportionally slower.
+            service *= self.fault_injector.slowdown(self.server_id)
         return service
 
-    def submit(self, sim: Simulator, on_complete) -> None:
-        """Accept one request; ``on_complete()`` fires when it is served."""
+    def submit(self, sim: Simulator, on_complete, on_error=None) -> None:
+        """Accept one request; ``on_complete()`` fires when it is served.
+
+        With a fault injector attached and an ``on_error`` callback
+        provided, an injected failure (shard down / flaky error) fires
+        ``on_error()`` after ``failure_detect_time`` instead — the
+        client's request timer noticing the failure. Without
+        ``on_error`` faults are ignored (legacy callers).
+        """
+        if self.fault_injector is not None and on_error is not None:
+            if self.fault_injector.probe(self.server_id) is not None:
+                self.faulted += 1
+                sim.schedule_at(
+                    sim.now + self.model.failure_detect_time, on_error
+                )
+                return
         self.arrivals += 1
         if self._total_arrivals_ref is not None:
             self._total_arrivals_ref[0] += 1

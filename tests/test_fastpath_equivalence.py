@@ -255,3 +255,51 @@ def test_split_lookup_admit_matches_fused() -> None:
     assert set(split.cached_keys()) == set(fused.cached_keys())
     split.check_invariants()
     fused.check_invariants()
+
+
+def test_get_many_matches_sequential_gets() -> None:
+    """The batched client path (probe → per-shard prefetch → in-order
+    ``get_or_admit``) must make exactly the decisions of sequential
+    ``get`` calls — including duplicate keys inside one batch and
+    mid-batch evictions invalidating a prefetch."""
+    from repro.cluster.cluster import CacheCluster
+    from repro.cluster.client import FrontEndClient
+    from repro.workloads.base import format_key
+
+    def new_client():
+        cluster = CacheCluster(num_servers=4, virtual_nodes=256, value_size=1)
+        policy = CoTCache(32, tracker_capacity=128)
+        return FrontEndClient(cluster, policy), cluster
+
+    batched, batched_cluster = new_client()
+    sequential, sequential_cluster = new_client()
+    generator = ZipfianGenerator(2_000, theta=1.1, seed=41)
+    raw = [format_key(k) for k in generator.keys_array(20_000)]
+    offset = 0
+    for batch_size in (1, 7, 64, 256, 512) * 12:
+        batch = raw[offset : offset + batch_size]
+        offset += batch_size
+        values = batched.get_many(batch)
+        for key in batch:
+            assert sequential.get(key) == values[key]
+    b_stats, s_stats = batched.policy.stats, sequential.policy.stats
+    assert b_stats.hits == s_stats.hits
+    assert b_stats.misses == s_stats.misses
+    assert b_stats.insertions == s_stats.insertions
+    assert b_stats.evictions == s_stats.evictions
+    assert set(batched.policy.cached_keys()) == set(
+        sequential.policy.cached_keys()
+    )
+    b_tracker, s_tracker = batched.policy.tracker, sequential.policy.tracker
+    assert {k: b_tracker.hotness_of(k) for k in b_tracker.tracked_keys()} == {
+        k: s_tracker.hotness_of(k) for k in s_tracker.tracked_keys()
+    }
+    # Load accounting is internally consistent on both paths: the
+    # monitor's client-side lookup counts equal the shards' served gets.
+    assert batched.monitor.total_loads() == batched_cluster.loads()
+    assert sequential.monitor.total_loads() == sequential_cluster.loads()
+    # Batching may only *reduce* shard traffic (duplicates of a
+    # non-admitted key are fetched once per batch, not once per access).
+    for shard, lookups in batched.monitor.total_loads().items():
+        assert lookups <= sequential.monitor.total_loads()[shard]
+    batched.policy.check_invariants()

@@ -1,0 +1,457 @@
+"""Chaos/recovery tests for the fault-tolerant data plane.
+
+Covers the resilience triad (retries with backoff, per-shard circuit
+breakers, storage-fallback degraded reads), recovery handling (cold
+revival re-probes and re-closes the breaker), churn-safe elastic
+accounting (a dead or replaced shard must not fabricate an ``I_c`` spike
+and a spurious EXPAND), and the simulator's timing-plane fault model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.client import FrontEndClient
+from repro.cluster.cluster import CacheCluster
+from repro.cluster.faults import FaultInjector
+from repro.cluster.retry import (
+    BreakerConfig,
+    BreakerState,
+    ClusterGuard,
+    RetryPolicy,
+)
+from repro.cluster.storage import PersistentStore
+from repro.core.elastic import ElasticCoTClient
+from repro.errors import (
+    ClusterError,
+    ShardDownError,
+    ShardFlakyError,
+    ShardTimeoutError,
+    ShardUnavailableError,
+)
+from repro.policies.lru import LRUCache
+from repro.sim.endtoend import EndToEndSimulation
+from repro.workloads.base import format_key
+from repro.workloads.mixer import OperationMixer
+from repro.workloads.uniform import UniformGenerator
+from repro.workloads.zipfian import ZipfianGenerator
+
+
+def faulty_cluster(n=4, seed=0, storage=None):
+    faults = FaultInjector(seed=seed)
+    cluster = CacheCluster(
+        num_servers=n, virtual_nodes=256, value_size=1,
+        storage=storage, faults=faults,
+    )
+    return cluster, faults
+
+
+def tight_guard(cluster, threshold=3, cooldown=8.0):
+    return ClusterGuard(
+        cluster.server_ids,
+        retry=RetryPolicy(max_attempts=2, base_backoff=1e-4),
+        breaker=BreakerConfig(failure_threshold=threshold, cooldown=cooldown),
+    )
+
+
+class TestFaultInjector:
+    def test_kill_and_revive(self):
+        injector = FaultInjector()
+        injector.kill("s0")
+        assert injector.is_down("s0")
+        assert injector.down_servers() == frozenset({"s0"})
+        with pytest.raises(ShardDownError):
+            injector.check("s0")
+        injector.revive("s0")
+        assert not injector.is_down("s0")
+        injector.check("s0")  # healthy again: no raise
+        assert injector.stats.kills == 1
+        assert injector.stats.revives == 1
+        assert injector.stats.injected_down == 1
+
+    def test_kill_is_idempotent(self):
+        injector = FaultInjector()
+        injector.kill("s0")
+        injector.kill("s0")
+        assert injector.stats.kills == 1
+
+    def test_extreme_slowdown_is_a_timeout_on_the_live_plane(self):
+        injector = FaultInjector(timeout_factor=8.0)
+        injector.set_slowdown("s0", 4.0)
+        injector.check("s0")  # below the deadline: merely slow
+        injector.set_slowdown("s0", 8.0)
+        with pytest.raises(ShardTimeoutError):
+            injector.check("s0")
+        assert injector.stats.injected_timeouts == 1
+
+    def test_flaky_is_seeded_and_probabilistic(self):
+        outcomes = []
+        for _ in range(2):
+            injector = FaultInjector(seed=7)
+            injector.set_flaky("s0", 0.3)
+            outcomes.append(
+                [injector.probe("s0") is not None for _ in range(200)]
+            )
+        assert outcomes[0] == outcomes[1]  # reproducible
+        failures = sum(outcomes[0])
+        assert 0 < failures < 200
+        injector = FaultInjector(seed=7)
+        injector.set_flaky("s0", 1.0)
+        assert isinstance(injector.probe("s0"), ShardFlakyError)
+
+    def test_clear_restores_health(self):
+        injector = FaultInjector()
+        injector.kill("s0")
+        injector.set_flaky("s0", 1.0)
+        injector.clear("s0")
+        assert injector.profile("s0").healthy
+
+
+class TestRetry:
+    def test_success_needs_no_retry(self):
+        guard = ClusterGuard(["s0"])
+        assert guard.call("s0", lambda: 42) == 42
+        assert guard.stats.retries == 0
+        assert guard.stats.attempts == 1
+
+    def test_transient_failure_is_retried(self):
+        guard = ClusterGuard(["s0"], retry=RetryPolicy(max_attempts=3))
+        calls = [0]
+
+        def flaky_once():
+            calls[0] += 1
+            if calls[0] == 1:
+                raise ShardFlakyError("flake")
+            return "ok"
+
+        assert guard.call("s0", flaky_once) == "ok"
+        assert guard.stats.retries == 1
+        assert guard.stats.failures == 0
+        assert guard.stats.backoff_total > 0.0
+
+    def test_exhausted_retries_raise_unavailable(self):
+        guard = ClusterGuard(
+            ["s0"],
+            retry=RetryPolicy(max_attempts=3),
+            breaker=BreakerConfig(failure_threshold=100),
+        )
+
+        def always_down():
+            raise ShardDownError("down")
+
+        with pytest.raises(ShardUnavailableError):
+            guard.call("s0", always_down)
+        assert guard.stats.attempts == 3
+        assert guard.stats.failures == 1
+
+    def test_backoff_grows_and_jitters_within_bounds(self):
+        import random
+
+        policy = RetryPolicy(base_backoff=1e-3, multiplier=2.0, jitter=0.5)
+        rng = random.Random(3)
+        delays = [policy.backoff(attempt, rng) for attempt in range(5)]
+        for attempt, delay in enumerate(delays):
+            nominal = 1e-3 * 2.0**attempt
+            assert 0.5 * nominal <= delay <= 1.5 * nominal
+
+    def test_non_shard_errors_propagate_untouched(self):
+        guard = ClusterGuard(["s0"])
+
+        def broken():
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError):
+            guard.call("s0", broken)
+
+
+class TestCircuitBreaker:
+    def always_down(self):
+        raise ShardDownError("down")
+
+    def test_opens_after_threshold_and_rejects_instantly(self):
+        guard = tight_guard_for(["s0"], threshold=4, cooldown=1000.0)
+        for _ in range(2):  # 2 ops x 2 attempts = 4 consecutive failures
+            with pytest.raises(ShardUnavailableError):
+                guard.call("s0", self.always_down)
+        assert guard.state("s0") is BreakerState.OPEN
+        attempts_before = guard.stats.attempts
+        with pytest.raises(ShardUnavailableError):
+            guard.call("s0", self.always_down)
+        # Rejected without a single doomed request attempt.
+        assert guard.stats.attempts == attempts_before
+        assert guard.stats.open_rejections == 1
+
+    def test_half_opens_after_cooldown_then_closes_on_success(self):
+        guard = tight_guard_for(["s0", "s1"], threshold=2, cooldown=4.0)
+        with pytest.raises(ShardUnavailableError):
+            guard.call("s0", self.always_down)
+        assert guard.state("s0") is BreakerState.OPEN
+        for _ in range(4):  # healthy traffic elsewhere advances the clock
+            guard.call("s1", lambda: "ok")
+        assert guard.state("s0") is BreakerState.HALF_OPEN
+        assert guard.call("s0", lambda: "recovered") == "recovered"
+        assert guard.state("s0") is BreakerState.CLOSED
+        assert guard.breaker("s0").closes == 1
+        assert guard.breaker("s0").half_opens == 1
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        guard = tight_guard_for(["s0", "s1"], threshold=2, cooldown=4.0)
+        with pytest.raises(ShardUnavailableError):
+            guard.call("s0", self.always_down)
+        for _ in range(4):
+            guard.call("s1", lambda: "ok")
+        with pytest.raises(ShardUnavailableError):  # the probe fails
+            guard.call("s0", self.always_down)
+        assert guard.state("s0") is BreakerState.OPEN
+        with pytest.raises(ShardUnavailableError):  # still cooling down
+            guard.call("s0", lambda: "ok")
+        assert guard.stats.open_rejections == 1
+
+    def test_unavailable_servers_tracks_non_closed_breakers(self):
+        guard = tight_guard_for(["s0", "s1"], threshold=2, cooldown=1000.0)
+        assert guard.unavailable_servers() == frozenset()
+        with pytest.raises(ShardUnavailableError):
+            guard.call("s0", self.always_down)
+        assert guard.unavailable_servers() == frozenset({"s0"})
+
+
+def tight_guard_for(servers, threshold, cooldown):
+    return ClusterGuard(
+        servers,
+        retry=RetryPolicy(max_attempts=2, base_backoff=1e-4),
+        breaker=BreakerConfig(failure_threshold=threshold, cooldown=cooldown),
+    )
+
+
+class TestDegradedReads:
+    def test_reads_stay_correct_while_shard_is_down(self):
+        storage = PersistentStore(value_factory=lambda k: ("auth", k))
+        cluster, faults = faulty_cluster(storage=storage)
+        client = FrontEndClient(
+            cluster, LRUCache(4), guard=tight_guard(cluster)
+        )
+        keys = [format_key(i) for i in range(200)]
+        victim = "cache-1"
+        cluster.kill_server(victim)
+        for key in keys:
+            assert client.get(key) == ("auth", key)
+        assert client.monitor.degraded_reads() > 0
+        assert client.monitor.degraded_by_server()[victim] > 0
+
+    def test_get_many_degrades_per_dead_shard_only(self):
+        storage = PersistentStore(value_factory=lambda k: ("auth", k))
+        cluster, faults = faulty_cluster(storage=storage)
+        client = FrontEndClient(
+            cluster, LRUCache(4), guard=tight_guard(cluster)
+        )
+        cluster.kill_server("cache-2")
+        keys = [format_key(i) for i in range(150)]
+        values = client.get_many(keys)
+        assert values == {key: ("auth", key) for key in keys}
+        degraded = client.monitor.degraded_by_server()
+        assert degraded.get("cache-2", 0) > 0
+        assert all(sid == "cache-2" for sid in degraded)
+
+    def test_fault_errors_counted_on_the_shard(self):
+        cluster, faults = faulty_cluster()
+        client = FrontEndClient(
+            cluster, LRUCache(4), guard=tight_guard(cluster)
+        )
+        cluster.kill_server("cache-0")
+        for i in range(100):
+            client.get(format_key(i))
+        assert cluster.server("cache-0").stats.fault_errors > 0
+        assert faults.stats.injected_down > 0
+
+    def test_kill_without_injector_is_an_error(self):
+        cluster = CacheCluster(num_servers=2, virtual_nodes=64, value_size=1)
+        with pytest.raises(ClusterError):
+            cluster.kill_server("cache-0")
+
+
+class TestRecovery:
+    def test_cold_revival_closes_breaker_and_wipes_staleness(self):
+        cluster, faults = faulty_cluster()
+        guard = tight_guard(cluster, threshold=2, cooldown=8.0)
+        client = FrontEndClient(cluster, LRUCache(64), guard=guard)
+        # Find a key owned by the victim and cache it at the shard.
+        victim = "cache-1"
+        key = next(
+            format_key(i)
+            for i in range(1000)
+            if cluster.ring.server_for(format_key(i)) == victim
+        )
+        client.get(key)
+        cluster.kill_server(victim)
+        # Trip the breaker with reads, then write while the shard is dead:
+        # the shard-side invalidation is lost (and counted).
+        for i in range(50):
+            client.get(format_key(i))
+        assert guard.state(victim) is not BreakerState.CLOSED
+        client.policy.invalidate(key)
+        client.set(key, "fresh")
+        assert guard.stats.lost_invalidations >= 1
+        # Cold revival: the shard restarts empty, so the stale copy that
+        # missed its invalidation cannot be served.
+        cluster.revive_server(victim)
+        for i in range(50):  # traffic advances the logical clock past cooldown
+            client.get(format_key(1000 + i))
+        assert client.get(key) == "fresh"
+        assert guard.state(victim) is BreakerState.CLOSED
+        assert guard.breaker(victim).closes >= 1
+
+    def test_outage_is_transparent_to_callers(self):
+        """Kill → serve → revive, not one exception escapes the client."""
+        cluster, faults = faulty_cluster()
+        client = FrontEndClient(
+            cluster, LRUCache(16), guard=tight_guard(cluster)
+        )
+        generator = ZipfianGenerator(2_000, theta=1.1, seed=5)
+        for phase, action in [
+            (None, None),
+            ("cache-0", cluster.kill_server),
+            ("cache-0", cluster.revive_server),
+        ]:
+            if action is not None:
+                action(phase)
+            for key in generator.keys(500):
+                client.get(format_key(key))
+        assert client.monitor.degraded_reads() > 0
+
+
+class TestChurnSafeElastic:
+    def new_elastic(self, cluster, base_epoch=400, **kwargs):
+        return ElasticCoTClient(
+            cluster,
+            target_imbalance=1.1,
+            base_epoch=base_epoch,
+            guard=tight_guard(cluster, threshold=3, cooldown=64.0),
+            **kwargs,
+        )
+
+    def test_dead_shard_excluded_from_epoch_imbalance(self):
+        cluster, faults = faulty_cluster()
+        client = self.new_elastic(cluster)
+        generator = ZipfianGenerator(5_000, theta=1.1, seed=11)
+        for key in generator.keys(300):
+            client.get(format_key(key))
+        cluster.kill_server("cache-1")
+        for key in generator.keys(2_000):
+            client.get(format_key(key))
+        # The breaker is open, so the dead shard's partial count is out.
+        assert "cache-1" not in client._churn_safe_epoch_loads()
+        for record in client.history:
+            assert record.snapshot.imbalance < 50.0  # no phantom max/1 spike
+
+    def test_removed_shard_zero_load_entry_is_ignored(self):
+        """The monitor remembers removed shards at zero load forever; the
+        controller must not let that floor min-load at 1."""
+        cluster, faults = faulty_cluster()
+        client = self.new_elastic(cluster, base_epoch=400)
+        generator = UniformGenerator(5_000, seed=12)
+        for key in generator.keys(1_200):
+            client.get(format_key(key))
+        cluster.remove_server("cache-1")
+        replacement = cluster.add_server().server_id
+        assert replacement != "cache-1"
+        for key in generator.keys(4_000):
+            client.get(format_key(key))
+        # The stale zero-load entry is still in the monitor...
+        assert "cache-1" in client.monitor.total_loads()
+        # ...but never in the loads the controller sees.
+        assert "cache-1" not in client._churn_safe_epoch_loads()
+        # Uniform workload: no epoch may show the phantom max/1 spike, and
+        # no expansion may ride on an inflated imbalance reading.
+        for record in client.history:
+            assert record.snapshot.imbalance < 50.0
+            if record.decision == "expand":
+                assert record.snapshot.imbalance < 5.0
+        assert replacement in client.monitor.total_loads()
+
+    def test_healthy_cluster_expansion_identical_with_and_without_injector(self):
+        """Fig. 7's expansion must be byte-identical on a healthy cluster
+        whether or not the fault plumbing is attached."""
+
+        def run(with_injector: bool):
+            if with_injector:
+                cluster, _ = faulty_cluster(n=4)
+            else:
+                cluster = CacheCluster(
+                    num_servers=4, virtual_nodes=256, value_size=1
+                )
+            client = ElasticCoTClient(
+                cluster, target_imbalance=1.1, base_epoch=500
+            )
+            generator = ZipfianGenerator(5_000, theta=1.2, seed=21)
+            for key in generator.keys(15_000):
+                client.get(format_key(key))
+            return (
+                client.converged_sizes(),
+                [record.as_row() for record in client.history],
+            )
+
+        assert run(False) == run(True)
+
+    def test_expansion_still_happens_under_skew(self):
+        cluster, faults = faulty_cluster()
+        client = self.new_elastic(cluster, base_epoch=300)
+        generator = ZipfianGenerator(5_000, theta=1.3, seed=22)
+        for key in generator.keys(12_000):
+            client.get(format_key(key))
+        assert client.cot.capacity > 2  # the controller did expand
+        assert any(r.decision == "expand" for r in client.history)
+
+
+class TestSimFaults:
+    def make_sim(self, faults=None, seed=31):
+        return EndToEndSimulation(
+            num_clients=2,
+            requests_per_client=1_500,
+            mixer_factory=lambda cid: OperationMixer(
+                ZipfianGenerator(2_000, theta=1.1, seed=seed + cid),
+                read_fraction=0.9,
+                seed=100 + cid,
+            ),
+            policy_factory=lambda cid: LRUCache(64),
+            num_servers=4,
+            faults=faults,
+        )
+
+    def test_dead_shard_degrades_reads_and_run_completes(self):
+        faults = FaultInjector(seed=1)
+        faults.kill("cache-0")
+        result = self.make_sim(faults=faults).run()
+        assert result.total_requests == 3_000
+        assert result.degraded_reads > 0
+        assert result.fallback_latency > 0.0
+        assert result.failed_invalidations > 0
+
+    def test_fallbacks_cost_latency(self):
+        healthy = self.make_sim(faults=None).run()
+        faults = FaultInjector(seed=1)
+        faults.kill("cache-0")
+        degraded = self.make_sim(faults=faults).run()
+        assert degraded.mean_latency > healthy.mean_latency
+
+    def test_slowdown_inflates_runtime(self):
+        healthy = self.make_sim(faults=FaultInjector(seed=1)).run()
+        faults = FaultInjector(seed=1)
+        faults.set_slowdown("cache-1", 4.0)
+        slowed = self.make_sim(faults=faults).run()
+        assert slowed.runtime > healthy.runtime
+        assert slowed.degraded_reads == 0  # slow, not failed
+
+
+class TestChaosExperiment:
+    def test_smoke_run_meets_acceptance_criteria(self):
+        from repro.experiments import extension_chaos
+        from repro.experiments.common import Scale
+
+        scale = Scale("test", key_space=5_000, accesses=24_000,
+                      num_clients=1, num_servers=4)
+        result = extension_chaos.run(scale, num_servers=4)
+        assert result.extras["incorrect_reads"] == 0
+        assert result.extras["degraded_reads"] > 0
+        assert result.extras["spurious_expands"] == 0
+        assert result.extras["phantom_epochs"] == 0
+        assert result.extras["churn_max_imbalance"] < 5.0

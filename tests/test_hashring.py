@@ -99,3 +99,66 @@ class TestChurn:
         ring = ConsistentHashRing(sorted(subset))
         owner = ring.server_for(format_key(key_id))
         assert owner in subset
+
+
+class TestCollisionDeterminism:
+    """32-bit point collisions must resolve by owner id, never by
+    insertion order — ring ownership is a pure function of the member
+    set (regression: ``add_server`` used to keep insertion order among
+    equal points)."""
+
+    @staticmethod
+    def _colliding_hash(data: str) -> int:
+        # Every virtual node ("name#replica") collides on one point;
+        # keys hash elsewhere (or exactly onto the shared point).
+        if "#" in data:
+            return 100
+        if data == "key-on-point":
+            return 100
+        return 50
+
+    def test_equal_points_resolve_by_owner_id(self, monkeypatch):
+        from repro.cluster import hashring as hashring_module
+
+        monkeypatch.setattr(hashring_module, "_hash32", self._colliding_hash)
+        forward = ConsistentHashRing(["alpha", "beta"], virtual_nodes=4)
+        reverse = ConsistentHashRing(["beta", "alpha"], virtual_nodes=4)
+        # Both orders agree, and the smallest owner id wins the collision.
+        assert forward.server_for("some-key") == "alpha"
+        assert reverse.server_for("some-key") == "alpha"
+
+    def test_key_hash_equal_to_point_owns_at_or_after(self, monkeypatch):
+        from repro.cluster import hashring as hashring_module
+
+        monkeypatch.setattr(hashring_module, "_hash32", self._colliding_hash)
+        ring = ConsistentHashRing(["beta", "alpha"], virtual_nodes=2)
+        # The key lands exactly on the shared point: "at or after" means
+        # the point itself serves it, smallest owner first.
+        assert ring.server_for("key-on-point") == "alpha"
+
+    def test_churned_ring_matches_fresh_ring(self):
+        """A ring that saw arbitrary add/remove history must agree with a
+        freshly built ring on every key."""
+        churned = ConsistentHashRing(["s5", "s2"], virtual_nodes=64)
+        churned.add_server("temp-a")
+        churned.add_server("s0")
+        churned.add_server("temp-b")
+        churned.remove_server("temp-a")
+        churned.add_server("s7")
+        churned.remove_server("temp-b")
+        fresh = ConsistentHashRing(["s0", "s2", "s5", "s7"], virtual_nodes=64)
+        keys = [format_key(i) for i in range(5_000)]
+        assert [churned.server_for(k) for k in keys] == [
+            fresh.server_for(k) for k in keys
+        ]
+
+    def test_build_order_never_matters(self):
+        import itertools
+
+        keys = [format_key(i) for i in range(500)]
+        members = ["s0", "s1", "s2"]
+        mappings = []
+        for order in itertools.permutations(members):
+            ring = ConsistentHashRing(order, virtual_nodes=32)
+            mappings.append(tuple(ring.server_for(k) for k in keys))
+        assert len(set(mappings)) == 1

@@ -122,3 +122,56 @@ class TestCostScaling:
         a.set(key, "v")
         assert bus.stats.stale_dropped == 1
         assert bus.stats.fanout_writes == 1
+
+
+class TestDirectoryAccounting:
+    def test_incremental_size_matches_recount_under_churn(self, cluster):
+        """``directory_size`` is maintained with +1/-1 updates; it must
+        agree with an O(directory) recount at every step."""
+        bus, a, b = make_pair(cluster, capacity=16)
+        rng = random.Random(17)
+        generator = ZipfianGenerator(500, theta=1.1, seed=18)
+        for step in range(3_000):
+            client = a if rng.random() < 0.5 else b
+            key = format_key(generator.next_key())
+            roll = rng.random()
+            if roll < 0.70:
+                client.get(key)
+            elif roll < 0.90:
+                client.set(key, "w")
+            else:
+                client.delete(key)
+            if step % 250 == 0:
+                assert (
+                    bus.stats.directory_size
+                    == bus.recomputed_directory_size()
+                )
+        assert bus.stats.directory_size == bus.recomputed_directory_size()
+        assert bus.stats.peak_directory >= bus.stats.directory_size
+
+    def test_note_cached_idempotent(self, cluster):
+        bus, a, _b = make_pair(cluster)
+        key = format_key(11)
+        bus.note_cached("a", key)
+        bus.note_cached("a", key)
+        assert bus.stats.directory_size == 1
+        assert bus.recomputed_directory_size() == 1
+
+    def test_note_dropped_for_non_holder_is_a_noop(self, cluster):
+        bus, a, _b = make_pair(cluster)
+        bus.note_dropped("a", format_key(12))
+        assert bus.stats.directory_size == 0
+
+    def test_repeat_hits_do_not_renotify_the_bus(self, cluster):
+        """Only the miss -> cached transition may touch the directory;
+        repeat local hits must not churn the bus."""
+        bus, a, _b = make_pair(cluster)
+        calls = []
+        original = bus.note_cached
+        bus.note_cached = lambda cid, key: (
+            calls.append((cid, key)), original(cid, key),
+        )
+        key = format_key(13)
+        for _ in range(10):
+            a.get(key)
+        assert calls == [("a", key)]
