@@ -10,9 +10,28 @@ what hotness-ordered eviction itself is worth.
 from __future__ import annotations
 
 from repro.core.cache import CoTCache
-from repro.experiments.common import run_policy_stream
+from repro.engine import (
+    PolicySpec,
+    PolicyStreamRunner,
+    Scale,
+    ScenarioSpec,
+    WorkloadSpec,
+)
 from repro.policies.tracked_lru import TrackedLRUCache
 from repro.workloads.zipfian import ZipfianGenerator
+
+
+def _hit_rate(policy, accesses: int) -> float:
+    spec = ScenarioSpec(
+        scale=Scale.smoke().scaled(name="bench", key_space=50_000, accesses=accesses),
+        workload=WorkloadSpec(
+            generator_factory=lambda _i: ZipfianGenerator(
+                50_000, theta=0.99, seed=21
+            )
+        ),
+        policy=PolicySpec(factory=lambda _i: policy),
+    )
+    return PolicyStreamRunner().run(spec).telemetry.hit_rate
 
 
 def bench_ablation_cache_order(benchmark):
@@ -21,11 +40,9 @@ def bench_ablation_cache_order(benchmark):
     def run_both() -> tuple[float, float]:
         cot = CoTCache(capacity, tracker_capacity=tracker)
         lru_ordered = TrackedLRUCache(capacity, tracker_capacity=tracker)
-        gen_a = ZipfianGenerator(50_000, theta=0.99, seed=21)
-        gen_b = ZipfianGenerator(50_000, theta=0.99, seed=21)
         return (
-            run_policy_stream(cot, gen_a, accesses),
-            run_policy_stream(lru_ordered, gen_b, accesses),
+            _hit_rate(cot, accesses),
+            _hit_rate(lru_ordered, accesses),
         )
 
     cot_rate, lru_rate = benchmark.pedantic(run_both, rounds=1, iterations=1)

@@ -15,14 +15,29 @@ asserts inheritance never hurts and records both hit rates.
 from __future__ import annotations
 
 from repro.core.cache import CoTCache
-from repro.experiments.common import run_policy_stream
+from repro.engine import (
+    PolicySpec,
+    PolicyStreamRunner,
+    Scale,
+    ScenarioSpec,
+    WorkloadSpec,
+)
 from repro.workloads.zipfian import ZipfianGenerator
 
 
 def _hit_rate(inherit: bool, accesses: int) -> float:
-    cache = CoTCache(32, tracker_capacity=256, inherit_hotness=inherit)
-    generator = ZipfianGenerator(50_000, theta=0.9, seed=77)
-    return run_policy_stream(cache, generator, accesses)
+    spec = ScenarioSpec(
+        scale=Scale.smoke().scaled(name="bench", key_space=50_000, accesses=accesses),
+        workload=WorkloadSpec(
+            generator_factory=lambda _i: ZipfianGenerator(50_000, theta=0.9, seed=77)
+        ),
+        policy=PolicySpec(
+            factory=lambda _i: CoTCache(
+                32, tracker_capacity=256, inherit_hotness=inherit
+            )
+        ),
+    )
+    return PolicyStreamRunner().run(spec).telemetry.hit_rate
 
 
 def bench_ablation_hotness_inheritance(benchmark):

@@ -10,13 +10,14 @@ entry (no EXPAND while a shard is down, no phantom I_c spike).
 
 from __future__ import annotations
 
+from repro.engine import Scale
 from repro.experiments import extension_chaos
-from repro.experiments.common import Scale
 
 
 def bench_extension_chaos(benchmark, record_result):
-    scale = Scale("bench", key_space=20_000, accesses=120_000,
-                  num_clients=1, num_servers=4)
+    scale = Scale.smoke().scaled(
+        name="bench", accesses=120_000, num_clients=1, num_servers=4
+    )
     result = benchmark.pedantic(
         lambda: extension_chaos.run(scale, num_servers=4),
         rounds=1,

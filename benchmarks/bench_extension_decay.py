@@ -7,13 +7,12 @@ faster after each trend change than the no-decay configuration.
 
 from __future__ import annotations
 
+from repro.engine import Scale
 from repro.experiments import extension_decay
-from repro.experiments.common import Scale
 
 
 def bench_extension_decay(benchmark, record_result):
-    scale = Scale("bench", key_space=20_000, accesses=120_000,
-                  num_clients=1, num_servers=8)
+    scale = Scale.smoke().scaled(name="bench", accesses=120_000, num_clients=1)
     result = benchmark.pedantic(
         lambda: extension_decay.run(scale, rotations=4),
         rounds=1,

@@ -8,13 +8,12 @@ recovers the gap to the recency-adaptive policies.
 
 from __future__ import annotations
 
+from repro.engine import Scale
 from repro.experiments import extension_distributions
-from repro.experiments.common import Scale
 
 
 def bench_extension_distributions(benchmark, record_result):
-    scale = Scale("bench", key_space=20_000, accesses=60_000,
-                  num_clients=1, num_servers=8)
+    scale = Scale.smoke().scaled(name="bench", num_clients=1)
     result = benchmark.pedantic(
         lambda: extension_distributions.run(scale),
         rounds=1,

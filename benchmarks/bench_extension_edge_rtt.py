@@ -8,13 +8,12 @@ edge-datacenter (tens of ms) distances.
 
 from __future__ import annotations
 
+from repro.engine import Scale
 from repro.experiments import extension_edge_rtt
-from repro.experiments.common import Scale
 
 
 def bench_extension_edge_rtt(benchmark, record_result):
-    scale = Scale("bench", key_space=20_000, accesses=60_000,
-                  num_clients=4, num_servers=8)
+    scale = Scale.smoke().scaled(name="bench")
     result = benchmark.pedantic(
         lambda: extension_edge_rtt.run(scale),
         rounds=1,

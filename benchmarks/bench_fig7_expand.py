@@ -11,15 +11,13 @@ At the ``default`` CLI scale this reproduces the paper's exact endpoint
 
 from __future__ import annotations
 
+from repro.engine import Scale
 from repro.experiments import fig78_adaptive_resizing
-from repro.experiments.common import Scale
 
 
 def bench_fig7_expand(benchmark, record_result):
     # Enough accesses for both phases to complete at a small key space.
-    scale = Scale(
-        "bench", key_space=20_000, accesses=400_000, num_clients=1, num_servers=8
-    )
+    scale = Scale.smoke().scaled(name="bench", accesses=400_000, num_clients=1)
     result = benchmark.pedantic(
         lambda: fig78_adaptive_resizing.run_expand(scale),
         rounds=1,

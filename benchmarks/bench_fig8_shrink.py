@@ -7,14 +7,12 @@ its way down to negligible sizes without violating the target.
 
 from __future__ import annotations
 
+from repro.engine import Scale
 from repro.experiments import fig78_adaptive_resizing
-from repro.experiments.common import Scale
 
 
 def bench_fig8_shrink(benchmark, record_result):
-    scale = Scale(
-        "bench", key_space=20_000, accesses=400_000, num_clients=1, num_servers=8
-    )
+    scale = Scale.smoke().scaled(name="bench", accesses=400_000, num_clients=1)
     result = benchmark.pedantic(
         lambda: fig78_adaptive_resizing.run_shrink(scale),
         rounds=1,

@@ -14,6 +14,13 @@ import pytest
 from repro.cluster.hashring import ConsistentHashRing
 from repro.core.cache import CoTCache
 from repro.core.spacesaving import SpaceSaving
+from repro.engine import (
+    PolicySpec,
+    PolicyStreamRunner,
+    Scale,
+    ScenarioSpec,
+    WorkloadSpec,
+)
 from repro.policies.base import MISSING
 from repro.policies.registry import make_policy
 from repro.workloads.scrambled import ScrambledZipfianGenerator
@@ -21,6 +28,7 @@ from repro.workloads.zipfian import ZipfianGenerator
 
 KEYS = 10_000
 OPS_PER_ROUND = 2_000
+ENGINE_ACCESSES = 20_000
 
 
 @pytest.fixture(scope="module")
@@ -96,6 +104,31 @@ def bench_scrambled_zipfian_generation(benchmark):
             generator.next_key()
 
     benchmark(run)
+
+
+def bench_engine_policy_stream(benchmark):
+    """Per-access cost of a whole engine-path run (spec → runner → bus).
+
+    Each timed round executes a complete ``PolicyStreamRunner`` scenario —
+    policy construction, generator seeding, the fused chunked drive and
+    the telemetry snapshot — so the number is directly comparable to
+    ``bench_policy_lookup_admit[cot]``: the gap between the two is the
+    engine's total per-run overhead amortized over the stream.
+    """
+    spec = ScenarioSpec(
+        scale=Scale.smoke().scaled(
+            name="bench", key_space=KEYS, accesses=ENGINE_ACCESSES
+        ),
+        workload=WorkloadSpec(dist="zipf-0.99"),
+        policy=PolicySpec(name="cot", cache_lines=512, tracker_lines=2048),
+    )
+    runner = PolicyStreamRunner()
+
+    def run():
+        runner.run(spec)
+
+    benchmark(run)
+    benchmark.extra_info["ops_per_round"] = ENGINE_ACCESSES
 
 
 def bench_cot_resize_cycle(benchmark, key_stream):

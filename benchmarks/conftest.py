@@ -19,7 +19,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.common import ExperimentResult, Scale
+from repro.engine import Scale
+from repro.experiments.common import ExperimentResult
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -27,17 +28,14 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 @pytest.fixture(scope="session")
 def bench_scale() -> Scale:
     """The sizing used across benches (seconds-scale per experiment)."""
-    return Scale(
-        "bench", key_space=20_000, accesses=60_000, num_clients=4, num_servers=8
-    )
+    return Scale.smoke().scaled(name="bench")
 
 
 @pytest.fixture(scope="session")
 def tiny_scale() -> Scale:
     """For the slowest sweeps (table2's many trials)."""
-    return Scale(
-        "bench-tiny", key_space=10_000, accesses=30_000, num_clients=2,
-        num_servers=8,
+    return Scale.smoke().scaled(
+        name="bench-tiny", key_space=10_000, accesses=30_000, num_clients=2
     )
 
 

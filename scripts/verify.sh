@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
-# One-shot verification: the full test suite plus the perf-regression
-# gate, exactly what CI runs. Extra arguments are forwarded to the perf
-# gate (e.g. --threshold 0.10 or --against fastpath).
+# One-shot verification: lint, the full test suite, an engine smoke run
+# and the perf-regression gate, exactly what CI runs. Extra arguments are
+# forwarded to the perf gate (e.g. --threshold 0.10 or --against fastpath).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== lint =="
+if python -m ruff --version >/dev/null 2>&1; then
+    python -m ruff check src tests benchmarks
+else
+    echo "(ruff not installed; falling back to a compile check)"
+    python -m compileall -q src tests benchmarks
+fi
+
 echo "== tests =="
 python -m pytest -x -q
+
+echo "== engine smoke =="
+python -m repro.experiments --list
+python -m repro.experiments all --scale smoke
 
 echo "== perf gate =="
 python benchmarks/run_perf_gate.py --check "$@"

@@ -1,0 +1,66 @@
+"""The scenario engine: one pipeline for every execution substrate.
+
+Layering (see DESIGN.md §8)::
+
+    ScenarioSpec  ──▶  Runner  ──▶  TelemetryBus  ──▶  reporters
+    (declarative       (PolicyStream / (typed counters,  (experiment
+     what-to-run)       Cluster / Sim)  gauges, epochs)   render())
+
+Experiment modules build :class:`ScenarioSpec`s and register themselves
+in the spec registry; the CLI, benches and CI smoke stage enumerate the
+registry instead of hand-maintained lists.
+"""
+
+from repro.engine.registry import (
+    RegisteredExperiment,
+    experiment_ids,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
+from repro.engine.runners import (
+    STREAM_CHUNK,
+    ClusterRunner,
+    PolicyStreamRunner,
+    Runner,
+    ScenarioResult,
+    SimRunner,
+)
+from repro.engine.spec import (
+    Phase,
+    PolicySpec,
+    RunContext,
+    Scale,
+    ScenarioSpec,
+    StreamHooks,
+    TopologySpec,
+    WorkloadSpec,
+    make_generator,
+)
+from repro.engine.telemetry import PhaseTelemetry, TelemetryBus, TelemetrySnapshot
+
+__all__ = [
+    "STREAM_CHUNK",
+    "ClusterRunner",
+    "Phase",
+    "PhaseTelemetry",
+    "PolicySpec",
+    "PolicyStreamRunner",
+    "RegisteredExperiment",
+    "RunContext",
+    "Runner",
+    "Scale",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SimRunner",
+    "StreamHooks",
+    "TelemetryBus",
+    "TelemetrySnapshot",
+    "TopologySpec",
+    "WorkloadSpec",
+    "experiment_ids",
+    "get_experiment",
+    "make_generator",
+    "register_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,527 @@
+"""Pluggable scenario runners behind one :class:`Runner` protocol.
+
+Three runners interpret :class:`~repro.engine.spec.ScenarioSpec`s, one
+per execution substrate:
+
+* :class:`PolicyStreamRunner` — a bare policy against a key stream (the
+  hit-rate setting of Figure 4 and the appendix);
+* :class:`ClusterRunner` — N front ends over one shared cluster, with
+  sequential or interleaved scheduling, warm-up windows, elastic front
+  ends and phased fault/workload schedules (Figures 3, 7, 8, Table 2 and
+  the chaos extension);
+* :class:`SimRunner` — the discrete-event testbed with closed-loop
+  clients, FCFS shard queues and network latency (Figures 5-6).
+
+All three publish into one typed :class:`~repro.engine.telemetry.TelemetryBus`
+and return a :class:`ScenarioResult`. The chunking constants and seeding
+offsets are part of the engine's contract: they reproduce the original
+hand-wired harnesses access-for-access, which is what keeps experiment
+outputs byte-identical across the refactor
+(``tests/test_golden_outputs.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.cluster.client import FrontEndClient
+from repro.cluster.cluster import CacheCluster
+from repro.core.elastic import ElasticCoTClient
+from repro.engine import telemetry as T
+from repro.engine.spec import RunContext, ScenarioSpec, make_generator
+from repro.engine.telemetry import PhaseTelemetry, TelemetryBus, TelemetrySnapshot
+from repro.errors import ConfigurationError
+from repro.metrics.latency import percentile
+from repro.policies.base import MISSING, CachePolicy
+from repro.sim.client import SimClient
+from repro.sim.events import Simulator
+from repro.sim.network import FixedLatency
+from repro.sim.server import ServiceModel, SimBackendServer
+from repro.workloads.base import format_key
+from repro.workloads.mixer import OperationMixer
+
+__all__ = [
+    "STREAM_CHUNK",
+    "ClusterRunner",
+    "PolicyStreamRunner",
+    "Runner",
+    "ScenarioResult",
+    "SimRunner",
+]
+
+#: Keys drawn/driven per batch by the streaming drive paths: large enough
+#: to amortize per-chunk overhead, small enough to keep the materialized
+#: key lists cache- and memory-friendly at paper scale.
+STREAM_CHUNK = 16_384
+
+#: Seed offsets separating a client's operation-mix stream from its key
+#: stream (cluster and sim paths draw from historically distinct offsets;
+#: both are part of the reproducibility contract).
+CLUSTER_MIXER_SEED_OFFSET = 1_000
+SIM_MIXER_SEED_OFFSET = 500
+
+
+@dataclass
+class ScenarioResult:
+    """What a runner hands back: typed telemetry plus the live objects.
+
+    ``telemetry`` is the reporting surface; the live objects (policies,
+    front ends, cluster, sim clients) stay available for deep inspection
+    in tests and ablations.
+    """
+
+    spec: ScenarioSpec
+    telemetry: TelemetrySnapshot
+    policies: list[CachePolicy] = field(default_factory=list)
+    cluster: CacheCluster | None = None
+    front_ends: list[FrontEndClient] = field(default_factory=list)
+    sim_clients: list[SimClient] = field(default_factory=list)
+    servers: dict[str, SimBackendServer] = field(default_factory=dict)
+
+    @property
+    def policy(self) -> CachePolicy:
+        """The single policy of a one-client scenario."""
+        return self.policies[0]
+
+    @property
+    def front_end(self) -> FrontEndClient:
+        """The single front end of a one-client scenario."""
+        return self.front_ends[0]
+
+
+@runtime_checkable
+class Runner(Protocol):
+    """Anything that can execute a :class:`ScenarioSpec`."""
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:  # pragma: no cover
+        """Execute the scenario and return its result."""
+        ...
+
+
+# --------------------------------------------------------------------------
+# policy streams
+
+
+class PolicyStreamRunner:
+    """Drive a bare policy with a key stream; no cluster plumbing.
+
+    The setting of the paper's hit-rate comparisons: every miss is
+    admitted (subject to the policy's own filter). Without hooks the
+    stream runs through the fused batch APIs (``keys_array`` →
+    ``run_stream``); with :class:`~repro.engine.spec.StreamHooks` it runs
+    an exactly decision-equivalent per-access loop exposing the
+    ``before``/``after`` instrumentation points.
+    """
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        policy = spec.policy.build(0)
+        generator = spec.workload.build_generator(
+            spec.scale.key_space, spec.base_seed, 0
+        )
+        accesses = spec.total_accesses
+        hooks = spec.hooks
+        if hooks is None:
+            keys_array = generator.keys_array
+            run_stream = policy.run_stream
+            remaining = accesses
+            while remaining > 0:
+                n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
+                run_stream(keys_array(n))
+                remaining -= n
+        else:
+            before, after = hooks.before, hooks.after
+            next_key = generator.next_key
+            lookup, admit = policy.lookup, policy.admit
+            for i in range(accesses):
+                if before is not None:
+                    before(i)
+                key = next_key()
+                hit = lookup(key) is not MISSING
+                if not hit:
+                    admit(key, key)
+                if after is not None:
+                    after(i, key, hit)
+
+        bus = TelemetryBus()
+        stats = policy.stats
+        bus.inc(T.HITS, stats.hits)
+        bus.inc(T.MISSES, stats.misses)
+        bus.inc(T.ACCESSES, stats.accesses)
+        bus.inc(T.TOTAL_REQUESTS, accesses)
+        return ScenarioResult(spec, bus.snapshot(), policies=[policy])
+
+
+# --------------------------------------------------------------------------
+# cluster runs
+
+
+def _resilience_counts(front_ends: list[FrontEndClient]) -> dict[str, int]:
+    """Monotone resilience/hit counters summed across front ends."""
+    counts = {
+        "hits": 0, "misses": 0, "degraded": 0, "retries": 0,
+        "rejections": 0, "opens": 0, "closes": 0,
+    }
+    for client in front_ends:
+        stats = client.policy.stats
+        guard = client.guard.stats
+        transitions = client.guard.breaker_transitions()
+        counts["hits"] += stats.hits
+        counts["misses"] += stats.misses
+        counts["degraded"] += client.monitor.degraded_reads()
+        counts["retries"] += guard.retries
+        counts["rejections"] += guard.open_rejections
+        counts["opens"] += transitions["opens"]
+        counts["closes"] += transitions["closes"]
+    return counts
+
+
+class ClusterRunner:
+    """Drive N front ends over one shared back-end cluster.
+
+    Scheduling modes (all decision-equivalent to the hand-wired loops
+    they replace):
+
+    * **sequential** (default) — each client drains its whole quota
+      before the next starts, keys drawn through the chunked batch API;
+      ``read_fraction`` below 1 routes through an
+      :class:`~repro.workloads.mixer.OperationMixer` per client.
+    * **interleaved** (``spec.interleave``) — clients advance round-robin
+      one access at a time (Table 2's measurement and the only mode that
+      exercises concurrent front ends against shared shard state); a
+      ``warmup_fraction`` resets the cluster's epoch window mid-run.
+    * **phased** (``spec.phases``) — interleaved drive segmented by a
+      fault/workload schedule: each phase may fire an action against the
+      live cluster, swap the key distribution, and is telemetered as its
+      own :class:`~repro.engine.telemetry.PhaseTelemetry` delta.
+
+    Elastic front ends plug in through ``spec.client_factory``; their
+    epoch records are published to the bus as typed epoch events.
+    """
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        scale = spec.scale
+        topology = spec.topology
+        cluster = CacheCluster(
+            num_servers=spec.num_servers,
+            capacity_bytes=topology.capacity_bytes,
+            value_size=topology.value_size,
+            storage=topology.storage,
+            faults=topology.faults,
+        )
+        num_clients = spec.num_clients
+        if num_clients < 1:
+            raise ConfigurationError("cluster scenario needs >= 1 front end")
+        if spec.client_factory is not None:
+            front_ends = [
+                spec.client_factory(cluster, i) for i in range(num_clients)
+            ]
+        else:
+            front_ends = [
+                FrontEndClient(cluster, spec.policy.build(i), client_id=f"front-{i}")
+                for i in range(num_clients)
+            ]
+
+        bus = TelemetryBus()
+        per_client = spec.total_accesses // num_clients
+        if spec.phases is not None:
+            driven = self._drive_phased(spec, cluster, front_ends, per_client, bus)
+        elif spec.interleave:
+            driven = self._drive_interleaved(spec, cluster, front_ends, per_client)
+        else:
+            driven = self._drive_sequential(spec, front_ends, per_client)
+
+        self._publish(spec, cluster, front_ends, driven, bus)
+        return ScenarioResult(
+            spec,
+            bus.snapshot(),
+            policies=[client.policy for client in front_ends],
+            cluster=cluster,
+            front_ends=front_ends,
+        )
+
+    # ------------------------------------------------------------- drive modes
+
+    def _drive_sequential(
+        self,
+        spec: ScenarioSpec,
+        front_ends: list[FrontEndClient],
+        per_client: int,
+    ) -> int:
+        read_fraction = spec.workload.read_fraction
+        for i, client in enumerate(front_ends):
+            generator = spec.workload.build_generator(
+                spec.scale.key_space, spec.base_seed, i
+            )
+            if read_fraction is None or read_fraction >= 1.0:
+                get = client.get
+                remaining = per_client
+                while remaining > 0:
+                    n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
+                    for key in generator.keys_array(n):
+                        get(format_key(key))
+                    remaining -= n
+            else:
+                mixer = OperationMixer(
+                    generator,
+                    read_fraction=read_fraction,
+                    seed=spec.base_seed + CLUSTER_MIXER_SEED_OFFSET + i,
+                )
+                execute = client.execute
+                remaining = per_client
+                while remaining > 0:
+                    n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
+                    for request in mixer.next_requests(n):
+                        execute(request)
+                    remaining -= n
+        return per_client * len(front_ends)
+
+    def _drive_interleaved(
+        self,
+        spec: ScenarioSpec,
+        cluster: CacheCluster,
+        front_ends: list[FrontEndClient],
+        per_client: int,
+    ) -> int:
+        generators = [
+            spec.workload.build_generator(spec.scale.key_space, spec.base_seed, i)
+            for i in range(len(front_ends))
+        ]
+        warmup = int(per_client * spec.warmup_fraction)
+        for j in range(per_client):
+            if warmup and j == warmup:
+                cluster.reset_epoch()
+            for client, generator in zip(front_ends, generators):
+                client.get(format_key(generator.next_key()))
+        return per_client * len(front_ends)
+
+    def _drive_phased(
+        self,
+        spec: ScenarioSpec,
+        cluster: CacheCluster,
+        front_ends: list[FrontEndClient],
+        per_client: int,
+        bus: TelemetryBus,
+    ) -> int:
+        faults = spec.topology.faults
+        verify = spec.verify_value
+        context = RunContext(
+            spec=spec, cluster=cluster, faults=faults, front_ends=front_ends
+        )
+        generators = [
+            spec.workload.build_generator(spec.scale.key_space, spec.base_seed, i)
+            for i in range(len(front_ends))
+        ]
+        elastic = [c for c in front_ends if isinstance(c, ElasticCoTClient)]
+        published = 0
+        driven = 0
+        for index, phase in enumerate(spec.phases or ()):
+            if phase.action is not None:
+                phase.action(context)
+            if phase.dist is not None:
+                generators = [
+                    make_generator(phase.dist, spec.scale.key_space, spec.base_seed + i)
+                    for i in range(len(front_ends))
+                ]
+            down = tuple(sorted(faults.down_servers())) if faults else ()
+            before = _resilience_counts(front_ends)
+            start_epoch = len(elastic[0].history) if elastic else 0
+            incorrect_before = bus.counter(T.INCORRECT_READS)
+            phase_accesses = per_client if phase.accesses is None else phase.accesses
+            for _j in range(phase_accesses):
+                for client, generator in zip(front_ends, generators):
+                    key = format_key(generator.next_key())
+                    value = client.get(key)
+                    if verify is not None and value != verify(key):
+                        bus.inc(T.INCORRECT_READS)
+            driven += phase_accesses * len(front_ends)
+            after = _resilience_counts(front_ends)
+            # Publish the epochs that closed during this phase.
+            for client in elastic:
+                for record in client.history[published:]:
+                    bus.emit_epoch(record)
+                published = len(client.history)
+            bus.push_phase(PhaseTelemetry(
+                index=index,
+                label=phase.label,
+                down=down,
+                reads=phase_accesses * len(front_ends),
+                hits=after["hits"] - before["hits"],
+                degraded_reads=after["degraded"] - before["degraded"],
+                retries=after["retries"] - before["retries"],
+                open_rejections=after["rejections"] - before["rejections"],
+                breaker_opens=after["opens"] - before["opens"],
+                breaker_closes=after["closes"] - before["closes"],
+                incorrect_reads=bus.counter(T.INCORRECT_READS) - incorrect_before,
+                start_epoch=start_epoch,
+                epoch_events=bus.epoch_events_since(
+                    start_epoch if elastic else 0
+                ) if elastic else (),
+            ))
+        return driven
+
+    # ---------------------------------------------------------------- publish
+
+    def _publish(
+        self,
+        spec: ScenarioSpec,
+        cluster: CacheCluster,
+        front_ends: list[FrontEndClient],
+        driven: int,
+        bus: TelemetryBus,
+    ) -> None:
+        counts = _resilience_counts(front_ends)
+        accesses = sum(c.policy.stats.accesses for c in front_ends)
+        failed = sum(c.guard.stats.lost_invalidations for c in front_ends)
+        bus.inc(T.HITS, counts["hits"])
+        bus.inc(T.MISSES, counts["misses"])
+        bus.inc(T.ACCESSES, accesses)
+        bus.inc(T.TOTAL_REQUESTS, driven)
+        bus.inc(T.DEGRADED_READS, counts["degraded"])
+        bus.inc(T.RETRIES, counts["retries"])
+        bus.inc(T.OPEN_REJECTIONS, counts["rejections"])
+        bus.inc(T.BREAKER_OPENS, counts["opens"])
+        bus.inc(T.BREAKER_CLOSES, counts["closes"])
+        bus.inc(T.FAILED_INVALIDATIONS, failed)
+        bus.record_shard_loads(cluster.loads(), cluster.epoch_loads())
+        bus.fallback_latency = sum(
+            c.monitor.fallback_latency_total for c in front_ends
+        )
+        elastic = [c for c in front_ends if isinstance(c, ElasticCoTClient)]
+        if elastic and spec.phases is None:
+            # Phased runs publish epochs incrementally; publish here
+            # otherwise so plain elastic runs still expose their series.
+            for client in elastic:
+                for record in client.history:
+                    bus.emit_epoch(record)
+        if len(elastic) == 1:
+            cache, tracker = elastic[0].converged_sizes()
+            bus.set_gauge("elastic.final_cache", cache)
+            bus.set_gauge("elastic.final_tracker", tracker)
+            bus.set_gauge(
+                "elastic.alpha_target", elastic[0].controller.alpha_target
+            )
+
+
+# --------------------------------------------------------------------------
+# discrete-event simulation
+
+
+class SimRunner:
+    """Execute a scenario on the discrete-event testbed (Figures 5-6).
+
+    Assembles a shared content cluster, per-shard timing models, a
+    latency model, and N closed-loop clients each with its own front-end
+    policy, runs the event loop to completion, and publishes the
+    *overall running time* (the paper's metric: time until the last
+    client finishes its quota) plus load, latency-percentile and
+    resilience telemetry.
+
+    ``spec.topology.faults`` attaches to the per-shard *timing* models:
+    killed shards fail requests into the degraded-read path, slowed
+    shards serve with inflated service times. The shared content cluster
+    stays fault-free — content correctness is storage's job, timing
+    faults are modeled here.
+    """
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        num_clients = spec.num_clients
+        per_client = spec.requests_per_client
+        if per_client is None:
+            per_client = max(1, spec.total_accesses // max(num_clients, 1))
+        if num_clients < 1 or per_client < 1:
+            raise ConfigurationError("need >= 1 client and >= 1 request")
+        sim = Simulator()
+        topology = spec.topology
+        cluster = CacheCluster(
+            num_servers=spec.num_servers,
+            capacity_bytes=topology.capacity_bytes,
+            value_size=topology.value_size,
+            storage=topology.storage,
+        )
+        faults = topology.faults
+        model = spec.service_model or ServiceModel()
+        latency = spec.latency or FixedLatency()
+        fair = 1.0 / len(cluster.server_ids)
+        total_counter = [0]
+        servers: dict[str, SimBackendServer] = {}
+        for server_id in cluster.server_ids:
+            server = SimBackendServer(server_id, model, fair, fault_injector=faults)
+            server.bind_total_counter(total_counter)
+            servers[server_id] = server
+        clients: list[SimClient] = []
+        for client_id in range(num_clients):
+            client = SimClient(
+                client_id=client_id,
+                sim=sim,
+                mixer=self._build_mixer(spec, client_id),
+                policy=spec.policy.build(client_id),
+                cluster=cluster,
+                servers=servers,
+                latency=latency,
+                total_requests=per_client,
+            )
+            clients.append(client)
+
+        for client in clients:
+            client.start()
+        runtime = sim.run()
+        bus = self._publish(clients, servers, runtime)
+        return ScenarioResult(
+            spec,
+            bus.snapshot(),
+            policies=[client.policy for client in clients],
+            cluster=cluster,
+            sim_clients=clients,
+            servers=servers,
+        )
+
+    def _build_mixer(self, spec: ScenarioSpec, client_id: int) -> OperationMixer:
+        workload = spec.workload
+        if workload.mixer_factory is not None:
+            return workload.mixer_factory(client_id)
+        generator = workload.build_generator(
+            spec.scale.key_space, spec.base_seed, client_id
+        )
+        mixer_seed = spec.base_seed + SIM_MIXER_SEED_OFFSET + client_id
+        if workload.read_fraction is None:
+            return OperationMixer(generator, seed=mixer_seed)
+        return OperationMixer(
+            generator, read_fraction=workload.read_fraction, seed=mixer_seed
+        )
+
+    def _publish(
+        self,
+        clients: list[SimClient],
+        servers: dict[str, SimBackendServer],
+        runtime: float,
+    ) -> TelemetryBus:
+        bus = TelemetryBus()
+        hits = sum(c.policy.stats.hits for c in clients)
+        misses = sum(c.policy.stats.misses for c in clients)
+        accesses = sum(c.policy.stats.accesses for c in clients)
+        total_requests = sum(c.completed for c in clients)
+        bus.inc(T.HITS, hits)
+        bus.inc(T.MISSES, misses)
+        bus.inc(T.ACCESSES, accesses)
+        bus.inc(T.TOTAL_REQUESTS, total_requests)
+        bus.inc(T.DEGRADED_READS, sum(c.degraded_reads for c in clients))
+        bus.inc(
+            T.FAILED_INVALIDATIONS, sum(c.failed_invalidations for c in clients)
+        )
+        bus.record_shard_loads(
+            {sid: server.arrivals for sid, server in servers.items()}
+        )
+        bus.runtime = runtime
+        bus.per_client_runtime = tuple(
+            c.finish_time if c.finish_time is not None else runtime for c in clients
+        )
+        latency_total = sum(c.latencies_sum for c in clients)
+        bus.mean_latency = latency_total / total_requests if total_requests else 0.0
+        samples: list[float] = []
+        for client in clients:
+            samples.extend(client.latency_recorder.samples())
+        bus.p50_latency = percentile(samples, 50) if samples else 0.0
+        bus.p99_latency = percentile(samples, 99) if samples else 0.0
+        bus.fallback_latency = sum(c.fallback_latency_sum for c in clients)
+        return bus

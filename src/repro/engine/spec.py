@@ -1,0 +1,289 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` is the engine's unit of execution: *what* to run
+(workload + policy + topology + fault schedule + scale + seeds) with no
+*how*. Runners (:mod:`repro.engine.runners`) interpret specs; experiment
+modules build them; the spec registry (:mod:`repro.engine.registry`)
+enumerates the experiments that produce them.
+
+``Scale`` lives here as the single source of truth for the
+``smoke``/``default``/``paper`` sizing presets (plus the ``tiny`` test
+preset and ``scaled`` overrides) — experiment modules, tests and benches
+all derive their sizings from these presets instead of re-declaring
+numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, TYPE_CHECKING
+
+from repro.errors import ExperimentError
+from repro.policies.base import CachePolicy
+from repro.policies.registry import make_policy
+from repro.workloads.base import KeyGenerator
+from repro.workloads.mixer import OperationMixer
+from repro.workloads.uniform import UniformGenerator
+from repro.workloads.zipfian import ZipfianGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.cluster.cluster import CacheCluster
+    from repro.cluster.faults import FaultInjector
+    from repro.cluster.client import FrontEndClient
+    from repro.cluster.storage import PersistentStore
+    from repro.sim.network import LatencyModel
+    from repro.sim.server import ServiceModel
+
+__all__ = [
+    "Phase",
+    "PolicySpec",
+    "Scale",
+    "ScenarioSpec",
+    "StreamHooks",
+    "TopologySpec",
+    "WorkloadSpec",
+    "make_generator",
+]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs.
+
+    ``paper`` replicates the paper's workload sizes (slow in pure Python);
+    ``default`` shrinks the key space and access count ~10-20× while
+    preserving every qualitative shape; ``smoke`` is for CI/benchmarks;
+    ``tiny`` is the unit-test sizing. Derived sizings use :meth:`scaled`
+    rather than re-declaring the numbers.
+    """
+
+    name: str
+    key_space: int
+    accesses: int
+    num_clients: int = 20
+    num_servers: int = 8
+    seed: int = 42
+
+    @classmethod
+    def smoke(cls) -> "Scale":
+        """Seconds-scale: CI and pytest-benchmark runs."""
+        return cls("smoke", key_space=20_000, accesses=60_000, num_clients=4)
+
+    @classmethod
+    def default(cls) -> "Scale":
+        """Minutes-scale: the EXPERIMENTS.md numbers."""
+        return cls("default", key_space=100_000, accesses=1_000_000)
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        """The paper's full size (1M keys, 10M accesses)."""
+        return cls("paper", key_space=1_000_000, accesses=10_000_000)
+
+    @classmethod
+    def tiny(cls) -> "Scale":
+        """Sub-second unit-test sizing."""
+        return cls(
+            "tiny", key_space=5_000, accesses=20_000, num_clients=2, num_servers=4
+        )
+
+    @classmethod
+    def named(cls, name: str) -> "Scale":
+        """Resolve a preset by name."""
+        presets = {"smoke": cls.smoke, "default": cls.default, "paper": cls.paper}
+        if name not in presets:
+            raise ExperimentError(
+                f"unknown scale {name!r}; choose from {sorted(presets)}"
+            )
+        return presets[name]()
+
+    def scaled(self, **overrides: Any) -> "Scale":
+        """A copy of this preset with explicit field overrides."""
+        return dataclasses.replace(self, **overrides)
+
+
+def make_generator(dist: str, key_space: int, seed: int) -> KeyGenerator:
+    """Build a generator from a distribution id (``uniform``/``zipf-<s>``)."""
+    if dist == "uniform":
+        return UniformGenerator(key_space, seed=seed)
+    if dist.startswith("zipf-"):
+        theta = float(dist.split("-", 1)[1])
+        return ZipfianGenerator(key_space, theta=theta, seed=seed)
+    raise ExperimentError(f"unknown distribution id: {dist!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What keys/operations the scenario issues.
+
+    ``dist`` names a distribution (``uniform``/``zipf-<s>``) built with
+    the engine's per-client seeding; ``generator_factory`` is the escape
+    hatch for bespoke generators (hotspot, gaussian, rotating hot sets),
+    called with the client index. ``read_fraction`` of ``None`` keeps the
+    consumer's default (pure reads on the cluster path, the
+    :class:`~repro.workloads.mixer.OperationMixer` default on the sim
+    path); ``mixer_factory`` overrides sim-side mixing entirely.
+    """
+
+    dist: str | None = None
+    read_fraction: float | None = None
+    generator_factory: Callable[[int], KeyGenerator] | None = None
+    mixer_factory: Callable[[int], OperationMixer] | None = None
+
+    def build_generator(self, key_space: int, seed: int, client_index: int) -> KeyGenerator:
+        """One client's key stream (independently seeded per client)."""
+        if self.generator_factory is not None:
+            return self.generator_factory(client_index)
+        if self.dist is None:
+            raise ExperimentError("workload needs a dist or a generator_factory")
+        return make_generator(self.dist, key_space, seed + client_index)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Which front-end cache policy each client runs.
+
+    ``name``/``cache_lines``/``tracker_lines`` route through
+    :func:`repro.policies.registry.make_policy` (one policy instance per
+    client); ``factory`` is the escape hatch for pre-configured policies,
+    called with the client index.
+    """
+
+    name: str = "none"
+    cache_lines: int = 0
+    tracker_lines: int | None = None
+    factory: Callable[[int], CachePolicy] | None = None
+
+    def build(self, client_index: int) -> CachePolicy:
+        """Construct this spec's policy for one client."""
+        if self.factory is not None:
+            return self.factory(client_index)
+        if self.name == "none" or self.cache_lines == 0:
+            return make_policy("none", 0)
+        return make_policy(
+            self.name, self.cache_lines, tracker_capacity=self.tracker_lines
+        )
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Cluster shape: shards, front ends, capacities, storage, faults.
+
+    ``None`` fields inherit from the scenario's :class:`Scale`.
+    """
+
+    num_servers: int | None = None
+    num_clients: int | None = None
+    capacity_bytes: int = 1 << 40
+    value_size: int = 1
+    storage: "PersistentStore | None" = None
+    faults: "FaultInjector | None" = None
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of a phased cluster run (fault/workload schedule).
+
+    ``action`` fires against the live run context at phase start (kill a
+    shard, flip a fault, …). ``dist`` of ``None`` continues the current
+    key stream; a distribution id swaps in a fresh stream (the Figure 8
+    workload switch). ``accesses`` of ``None`` uses the scenario's
+    per-client access count.
+    """
+
+    label: str
+    accesses: int | None = None
+    action: Callable[["RunContext"], None] | None = None
+    dist: str | None = None
+
+
+@dataclass(frozen=True)
+class StreamHooks:
+    """Per-access instrumentation for policy-stream scenarios.
+
+    When present, the runner switches from the fused chunked drive to an
+    exactly-equivalent per-access loop and calls ``before(i)`` ahead of
+    each key draw and ``after(i, key, hit)`` behind each access — the
+    hook points the rotation/drift/decay extensions need.
+    """
+
+    before: Callable[[int], None] | None = None
+    after: Callable[[int, Hashable, bool], None] | None = None
+
+
+@dataclass
+class RunContext:
+    """Live objects a phase action may manipulate (set up by the runner)."""
+
+    spec: "ScenarioSpec"
+    cluster: "CacheCluster | None" = None
+    faults: "FaultInjector | None" = None
+    front_ends: list["FrontEndClient"] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described run: the engine's declarative unit.
+
+    Runner-specific knobs are optional fields with inert defaults; each
+    runner documents which it consumes. ``seed`` of ``None`` inherits
+    ``scale.seed`` — sweeps that re-seed per repetition (Figure 5's
+    ``base_seed + 10_000 × rep``) override it explicitly.
+    """
+
+    scale: Scale
+    workload: WorkloadSpec
+    policy: PolicySpec = PolicySpec()
+    topology: TopologySpec = TopologySpec()
+    seed: int | None = None
+    #: total accesses (policy-stream / cluster paths); None -> scale.accesses
+    accesses: int | None = None
+    #: per-client request quota (sim path); None -> derived by the caller
+    requests_per_client: int | None = None
+    #: drive clients round-robin per access instead of sequentially
+    #: (Table 2's interleaved measurement; required for elastic runs)
+    interleave: bool = False
+    #: fraction of the run before the cluster's epoch counters reset
+    #: (Table 2 excludes cold-start misses from its measurement window)
+    warmup_fraction: float = 0.0
+    #: front-end factory for non-standard clients (elastic front ends);
+    #: called with (cluster, client_index)
+    client_factory: Callable[["CacheCluster", int], "FrontEndClient"] | None = None
+    #: fault/workload schedule for phased cluster runs
+    phases: tuple[Phase, ...] | None = None
+    #: per-access instrumentation (policy-stream path)
+    hooks: StreamHooks | None = None
+    #: authoritative-value oracle; when set, every cluster read is checked
+    #: and mismatches are counted as ``INCORRECT_READS``
+    verify_value: Callable[[Hashable], Any] | None = None
+    #: sim-path timing models
+    service_model: "ServiceModel | None" = None
+    latency: "LatencyModel | None" = None
+
+    # ------------------------------------------------------------ resolution
+
+    @property
+    def base_seed(self) -> int:
+        """The run's root seed (per-client streams offset from it)."""
+        return self.scale.seed if self.seed is None else self.seed
+
+    @property
+    def total_accesses(self) -> int:
+        """Accesses across all clients (policy-stream / cluster paths)."""
+        return self.scale.accesses if self.accesses is None else self.accesses
+
+    @property
+    def num_servers(self) -> int:
+        return (
+            self.scale.num_servers
+            if self.topology.num_servers is None
+            else self.topology.num_servers
+        )
+
+    @property
+    def num_clients(self) -> int:
+        return (
+            self.scale.num_clients
+            if self.topology.num_clients is None
+            else self.topology.num_clients
+        )

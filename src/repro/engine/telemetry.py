@@ -1,0 +1,241 @@
+"""Typed telemetry for scenario runs.
+
+Every runner publishes its measurements through one :class:`TelemetryBus`
+instead of handing callers a grab-bag of dicts: counters (monotone event
+counts such as hits or degraded reads), gauges (latest-value readings
+such as converged cache size), per-shard load families, epoch events
+(the elastic controller's :class:`~repro.core.epoch.EpochRecord` stream)
+and phase marks (fault-schedule segments). At the end of a run the bus
+freezes into a :class:`TelemetrySnapshot` — the single typed result
+surface the experiment reporters read, replacing the ad-hoc
+``policy.stats``/``cluster.loads()``/simulation-result dict pokes the
+three legacy harnesses used to hand-wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.loadmonitor import load_imbalance
+from repro.core.epoch import EpochRecord
+
+__all__ = [
+    "ACCESSES",
+    "BREAKER_CLOSES",
+    "BREAKER_OPENS",
+    "DEGRADED_READS",
+    "FAILED_INVALIDATIONS",
+    "HITS",
+    "INCORRECT_READS",
+    "MISSES",
+    "OPEN_REJECTIONS",
+    "RETRIES",
+    "TOTAL_REQUESTS",
+    "PhaseTelemetry",
+    "TelemetryBus",
+    "TelemetrySnapshot",
+]
+
+# Canonical counter names shared by every runner. Keeping them as module
+# constants (rather than stringly-typed call sites) is what lets the
+# reporters stay in sync with the runners.
+HITS = "policy.hits"
+MISSES = "policy.misses"
+ACCESSES = "policy.accesses"
+TOTAL_REQUESTS = "run.requests"
+DEGRADED_READS = "resilience.degraded_reads"
+RETRIES = "resilience.retries"
+OPEN_REJECTIONS = "resilience.open_rejections"
+BREAKER_OPENS = "resilience.breaker_opens"
+BREAKER_CLOSES = "resilience.breaker_closes"
+FAILED_INVALIDATIONS = "resilience.failed_invalidations"
+INCORRECT_READS = "verify.incorrect_reads"
+
+
+@dataclass(frozen=True)
+class PhaseTelemetry:
+    """One fault-schedule phase of a cluster scenario, fully accounted.
+
+    All count fields are *deltas over the phase*, captured from the same
+    monotone counters the lifetime snapshot reports; ``epoch_events``
+    holds the elastic epochs that closed during the phase.
+    """
+
+    index: int
+    label: str
+    #: shard ids down while the phase ran (set at phase start, after the
+    #: phase action fired)
+    down: tuple[str, ...]
+    reads: int
+    hits: int
+    degraded_reads: int
+    retries: int
+    open_rejections: int
+    breaker_opens: int
+    breaker_closes: int
+    incorrect_reads: int
+    #: elastic epoch index at phase start (``switch_epoch`` for Figure 8)
+    start_epoch: int
+    epoch_events: tuple[EpochRecord, ...]
+
+    @property
+    def hit_rate(self) -> float:
+        """Front-end hit rate over this phase's reads."""
+        return self.hits / self.reads if self.reads else 0.0
+
+    @property
+    def max_imbalance(self) -> float:
+        """Worst per-epoch ``I_c`` closed during the phase (0 if none)."""
+        return max((r.snapshot.imbalance for r in self.epoch_events), default=0.0)
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Immutable end-of-run view of a scenario's telemetry.
+
+    The generic channels (``counters``/``gauges``) stay available for
+    extensions, but the standard measurements all have typed accessors so
+    reporters never reach back into live runner objects.
+    """
+
+    counters: Mapping[str, int]
+    gauges: Mapping[str, float]
+    #: lifetime lookups per back-end shard (the load-balance measurement)
+    shard_loads: Mapping[str, int]
+    #: lookups per shard since the last epoch reset (Table 2's window)
+    epoch_shard_loads: Mapping[str, int]
+    epoch_events: tuple[EpochRecord, ...]
+    phases: tuple[PhaseTelemetry, ...]
+    #: simulated wall-clock of the run (0 for untimed drive paths)
+    runtime: float = 0.0
+    per_client_runtime: tuple[float, ...] = ()
+    mean_latency: float = 0.0
+    p50_latency: float = 0.0
+    p99_latency: float = 0.0
+    fallback_latency: float = 0.0
+
+    # ------------------------------------------------------ typed accessors
+
+    def counter(self, name: str) -> int:
+        """Read one counter (0 when the runner never touched it)."""
+        return self.counters.get(name, 0)
+
+    @property
+    def hits(self) -> int:
+        return self.counter(HITS)
+
+    @property
+    def misses(self) -> int:
+        return self.counter(MISSES)
+
+    @property
+    def accesses(self) -> int:
+        return self.counter(ACCESSES)
+
+    @property
+    def hit_rate(self) -> float:
+        """Front-end hit rate over all policy accesses."""
+        accesses = self.accesses
+        return self.hits / accesses if accesses else 0.0
+
+    @property
+    def total_requests(self) -> int:
+        return self.counter(TOTAL_REQUESTS)
+
+    @property
+    def degraded_reads(self) -> int:
+        return self.counter(DEGRADED_READS)
+
+    @property
+    def failed_invalidations(self) -> int:
+        return self.counter(FAILED_INVALIDATIONS)
+
+    @property
+    def incorrect_reads(self) -> int:
+        return self.counter(INCORRECT_READS)
+
+    @property
+    def backend_imbalance(self) -> float:
+        """Lifetime max/min shard-load ratio."""
+        return load_imbalance(dict(self.shard_loads))
+
+    @property
+    def throughput(self) -> float:
+        """Requests per simulated second (timed runs only)."""
+        return self.total_requests / self.runtime if self.runtime else 0.0
+
+
+class TelemetryBus:
+    """Mutable collection side of the telemetry pipeline.
+
+    Runners ``inc``/``set_gauge``/``emit_epoch``/``push_phase`` while
+    driving; :meth:`snapshot` freezes the state for the reporters.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._shard_loads: dict[str, int] = {}
+        self._epoch_shard_loads: dict[str, int] = {}
+        self._epoch_events: list[EpochRecord] = []
+        self._phases: list[PhaseTelemetry] = []
+        self.runtime: float = 0.0
+        self.per_client_runtime: tuple[float, ...] = ()
+        self.mean_latency: float = 0.0
+        self.p50_latency: float = 0.0
+        self.p99_latency: float = 0.0
+        self.fallback_latency: float = 0.0
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name``."""
+        return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of gauge ``name``."""
+        self._gauges[name] = value
+
+    def record_shard_loads(
+        self, total: Mapping[str, int], epoch: Mapping[str, int] | None = None
+    ) -> None:
+        """Publish the per-shard load families (lifetime + epoch window)."""
+        self._shard_loads = dict(total)
+        if epoch is not None:
+            self._epoch_shard_loads = dict(epoch)
+
+    def emit_epoch(self, record: EpochRecord) -> None:
+        """Publish one closed elastic epoch."""
+        self._epoch_events.append(record)
+
+    def push_phase(self, phase: PhaseTelemetry) -> None:
+        """Publish one completed fault-schedule phase."""
+        self._phases.append(phase)
+
+    def epoch_event_count(self) -> int:
+        """Epoch events emitted so far (phase-delta bookkeeping)."""
+        return len(self._epoch_events)
+
+    def epoch_events_since(self, start: int) -> tuple[EpochRecord, ...]:
+        """Epoch events emitted at or after index ``start``."""
+        return tuple(self._epoch_events[start:])
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Freeze the bus into an immutable result surface."""
+        return TelemetrySnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            shard_loads=dict(self._shard_loads),
+            epoch_shard_loads=dict(self._epoch_shard_loads),
+            epoch_events=tuple(self._epoch_events),
+            phases=tuple(self._phases),
+            runtime=self.runtime,
+            per_client_runtime=self.per_client_runtime,
+            mean_latency=self.mean_latency,
+            p50_latency=self.p50_latency,
+            p99_latency=self.p99_latency,
+            fallback_latency=self.fallback_latency,
+        )

@@ -1,10 +1,15 @@
 """Harnesses that regenerate every table and figure of the paper's
-evaluation (Section 5 + appendix), one module per artifact. See
-DESIGN.md's per-experiment index and ``python -m repro.experiments``."""
+evaluation (Section 5 + appendix), one module per artifact. Importing
+this package imports every experiment module, which registers each one
+in the engine's spec registry (:mod:`repro.engine.registry`) — the CLI
+(``python -m repro.experiments``) and the benches enumerate that registry
+rather than a hand-maintained list. See DESIGN.md's per-experiment
+index."""
 
-from repro.experiments import (  # noqa: F401  (re-exported for the CLI)
+from repro.experiments import (  # noqa: F401  (imported to register specs)
     appendix_tracker_size,
     export,
+    extension_chaos,
     extension_decay,
     extension_distributions,
     extension_edge_rtt,
@@ -23,6 +28,7 @@ __all__ = [
     "Scale",
     "appendix_tracker_size",
     "export",
+    "extension_chaos",
     "extension_decay",
     "extension_distributions",
     "extension_edge_rtt",

@@ -1,8 +1,9 @@
 """CLI dispatcher: ``python -m repro.experiments <id> [--scale NAME]``.
 
-Experiment ids match DESIGN.md's per-experiment index: fig3, fig4,
-table2, fig5, fig6, fig7, fig8, figA, ycsb-bug — plus ``all`` to run the
-whole evaluation and print every table.
+Experiment ids are enumerated dynamically from the engine's spec
+registry (every module in :mod:`repro.experiments` registers itself at
+import time) — ``--list`` prints the catalog, ``all`` runs the whole
+evaluation in the canonical paper order.
 """
 
 from __future__ import annotations
@@ -10,46 +11,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
 
-from repro.experiments import (
-    appendix_tracker_size,
-    extension_chaos,
-    extension_decay,
-    extension_distributions,
-    extension_edge_rtt,
-    fig3_cache_size_sweep,
-    fig4_hit_rates,
-    fig5_end_to_end,
-    fig6_single_client,
-    fig78_adaptive_resizing,
-    table2_min_cache,
-    ycsb_bug,
-)
-from repro.experiments.common import ExperimentResult, Scale
+import repro.experiments  # noqa: F401  (imports register every experiment)
+from repro.engine.registry import experiment_ids, get_experiment
+from repro.experiments.common import Scale
 
-__all__ = ["main", "RUNNERS"]
-
-
-def _run_fig4(scale: Scale) -> list[ExperimentResult]:
-    return fig4_hit_rates.run_all(scale=scale)
-
-
-RUNNERS: dict[str, Callable[[Scale], ExperimentResult | list[ExperimentResult]]] = {
-    "fig3": lambda scale: fig3_cache_size_sweep.run(scale=scale),
-    "fig4": _run_fig4,
-    "table2": lambda scale: table2_min_cache.run(scale=scale),
-    "fig5": lambda scale: fig5_end_to_end.run(scale=scale),
-    "fig6": lambda scale: fig6_single_client.run(scale=scale),
-    "fig7": lambda scale: fig78_adaptive_resizing.run_expand(scale=scale),
-    "fig8": lambda scale: fig78_adaptive_resizing.run_shrink(scale=scale),
-    "figA": lambda scale: appendix_tracker_size.run(scale=scale),
-    "ycsb-bug": lambda scale: ycsb_bug.run(scale=scale),
-    "ext-chaos": lambda scale: extension_chaos.run(scale=scale),
-    "ext-decay": lambda scale: extension_decay.run(scale=scale),
-    "ext-dists": lambda scale: extension_distributions.run(scale=scale),
-    "ext-edge-rtt": lambda scale: extension_edge_rtt.run(scale=scale),
-}
+__all__ = ["main"]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -61,8 +28,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*RUNNERS, "all"],
-        help="which table/figure to regenerate",
+        nargs="?",
+        choices=[*experiment_ids(), "all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list the registered experiments and exit",
     )
     parser.add_argument(
         "--scale",
@@ -72,12 +46,21 @@ def main(argv: list[str] | None = None) -> int:
         "full 1M-key/10M-access setup and is slow in pure Python)",
     )
     args = parser.parse_args(argv)
-    scale = Scale.named(args.scale)
 
-    ids = list(RUNNERS) if args.experiment == "all" else [args.experiment]
+    if args.list_experiments:
+        width = max(len(eid) for eid in experiment_ids())
+        for experiment_id in experiment_ids():
+            entry = get_experiment(experiment_id)
+            print(f"{experiment_id:<{width}}  {entry.description}")
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment id (or 'all' or --list) is required")
+
+    scale = Scale.named(args.scale)
+    ids = list(experiment_ids()) if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:
         started = time.perf_counter()
-        outcome = RUNNERS[experiment_id](scale)
+        outcome = get_experiment(experiment_id).run(scale=scale)
         elapsed = time.perf_counter() - started
         results = outcome if isinstance(outcome, list) else [outcome]
         for result in results:

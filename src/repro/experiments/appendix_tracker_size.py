@@ -10,13 +10,9 @@ until the gain disappears.
 
 from __future__ import annotations
 
-from repro.core.cache import CoTCache
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    make_generator,
-    run_policy_stream,
-)
+from repro.engine import PolicySpec, PolicyStreamRunner, ScenarioSpec, WorkloadSpec
+from repro.engine.registry import register_experiment
+from repro.experiments.common import ExperimentResult, Scale
 
 __all__ = ["run", "EXPERIMENT_ID"]
 
@@ -39,17 +35,23 @@ def run(scale: Scale | None = None, sizes: list[int] | None = None) -> Experimen
     """Regenerate the appendix tracker-size sweep."""
     scale = scale or Scale.default()
     sizes = sizes if sizes is not None else cache_sizes(scale.key_space)
+    runner = PolicyStreamRunner()
     rows: list[list[object]] = []
     saturation_ratio: dict[int, int] = {}
     for cache_size in sizes:
         row: list[object] = [cache_size]
         previous = None
         for ratio in RATIOS:
-            policy = CoTCache(cache_size, tracker_capacity=ratio * cache_size)
-            generator = make_generator(
-                f"zipf-{THETA:g}", scale.key_space, scale.seed
+            spec = ScenarioSpec(
+                scale=scale,
+                workload=WorkloadSpec(dist=f"zipf-{THETA:g}"),
+                policy=PolicySpec(
+                    name="cot",
+                    cache_lines=cache_size,
+                    tracker_lines=ratio * cache_size,
+                ),
             )
-            hit_rate = run_policy_stream(policy, generator, scale.accesses)
+            hit_rate = runner.run(spec).telemetry.hit_rate
             row.append(round(hit_rate * 100, 2))
             if previous is not None and hit_rate - previous < 0.002:
                 saturation_ratio.setdefault(cache_size, ratio)
@@ -68,3 +70,11 @@ def run(scale: Scale | None = None, sizes: list[int] | None = None) -> Experimen
         ],
         extras={"saturation_ratio": saturation_ratio, "scale": scale.name},
     )
+
+
+register_experiment(
+    EXPERIMENT_ID,
+    "CoT hit rate vs tracker:cache ratio (tracker-size saturation)",
+    run,
+    order=80,
+)

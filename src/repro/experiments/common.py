@@ -5,10 +5,17 @@ package that regenerates it. All of them:
 
 * accept a :class:`Scale` (``smoke`` for CI/benchmarks, ``default`` for
   minutes-scale runs, ``paper`` for the full 1M-key / 10M-access setup);
+* build :class:`~repro.engine.spec.ScenarioSpec`s and execute them
+  through the engine's runners (:mod:`repro.engine.runners`);
 * return an :class:`ExperimentResult` carrying the same rows/series the
   paper reports, renderable as an aligned text table;
-* are reachable from the CLI (``python -m repro.experiments <id>``) and
-  from ``benchmarks/``.
+* register themselves in the spec registry (:mod:`repro.engine.registry`),
+  which is how the CLI (``python -m repro.experiments``) and
+  ``benchmarks/`` resolve them.
+
+``Scale``/``make_generator``/``STREAM_CHUNK`` live in :mod:`repro.engine`
+now (the engine owns sizing and drive mechanics); they are re-exported
+here because experiment modules are their heaviest consumers.
 """
 
 from __future__ import annotations
@@ -16,24 +23,17 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Sequence
 
-from repro.cluster.cluster import CacheCluster
-from repro.cluster.client import FrontEndClient
+from repro.engine.runners import STREAM_CHUNK
+from repro.engine.spec import Scale, make_generator
 from repro.errors import ExperimentError
 from repro.metrics.table import render_table
-from repro.policies.base import CachePolicy
-from repro.workloads.base import KeyGenerator, format_key
-from repro.workloads.mixer import OperationMixer
-from repro.workloads.uniform import UniformGenerator
-from repro.workloads.zipfian import ZipfianGenerator
 
 __all__ = [
     "Scale",
     "ExperimentResult",
     "make_generator",
-    "run_policy_stream",
-    "run_cluster_workload",
     "STREAM_CHUNK",
     "mean_confidence",
     "TRACKER_RATIOS",
@@ -48,48 +48,6 @@ TRACKER_RATIOS: dict[str, int] = {
     "zipf-1.5": 4,
     "uniform": 4,
 }
-
-
-@dataclass(frozen=True)
-class Scale:
-    """Experiment sizing knobs.
-
-    ``paper`` replicates the paper's workload sizes (slow in pure Python);
-    ``default`` shrinks the key space and access count ~10-20× while
-    preserving every qualitative shape; ``smoke`` is for tests/benchmarks.
-    """
-
-    name: str
-    key_space: int
-    accesses: int
-    num_clients: int = 20
-    num_servers: int = 8
-    seed: int = 42
-
-    @classmethod
-    def smoke(cls) -> "Scale":
-        """Seconds-scale: CI and pytest-benchmark runs."""
-        return cls("smoke", key_space=20_000, accesses=60_000, num_clients=4)
-
-    @classmethod
-    def default(cls) -> "Scale":
-        """Minutes-scale: the EXPERIMENTS.md numbers."""
-        return cls("default", key_space=100_000, accesses=1_000_000)
-
-    @classmethod
-    def paper(cls) -> "Scale":
-        """The paper's full size (1M keys, 10M accesses)."""
-        return cls("paper", key_space=1_000_000, accesses=10_000_000)
-
-    @classmethod
-    def named(cls, name: str) -> "Scale":
-        """Resolve a preset by name."""
-        presets = {"smoke": cls.smoke, "default": cls.default, "paper": cls.paper}
-        if name not in presets:
-            raise ExperimentError(
-                f"unknown scale {name!r}; choose from {sorted(presets)}"
-            )
-        return presets[name]()
 
 
 @dataclass
@@ -114,91 +72,6 @@ class ExperimentResult:
         """Extract one column by header name."""
         idx = self.headers.index(header)
         return [row[idx] for row in self.rows]
-
-
-def make_generator(dist: str, key_space: int, seed: int) -> KeyGenerator:
-    """Build a generator from a distribution id (``uniform``/``zipf-<s>``)."""
-    if dist == "uniform":
-        return UniformGenerator(key_space, seed=seed)
-    if dist.startswith("zipf-"):
-        theta = float(dist.split("-", 1)[1])
-        return ZipfianGenerator(key_space, theta=theta, seed=seed)
-    raise ExperimentError(f"unknown distribution id: {dist!r}")
-
-
-#: Keys drawn/driven per batch by the streaming harnesses: large enough to
-#: amortize per-chunk overhead, small enough to keep the materialized key
-#: lists cache- and memory-friendly at paper scale.
-STREAM_CHUNK = 16_384
-
-
-def run_policy_stream(
-    policy: CachePolicy,
-    generator: KeyGenerator,
-    accesses: int,
-) -> float:
-    """Drive a bare policy with a read-only key stream; returns hit rate.
-
-    The fast path used by the hit-rate experiments (Figure 4 and the
-    appendix): no cluster plumbing, every miss is admitted, exactly the
-    setting of the paper's hit-rate comparison. Keys are generated and
-    consumed in chunks through the batch APIs (``keys_array`` →
-    ``run_stream``), which fuse per-access work into single-probe loops.
-    """
-    keys_array = generator.keys_array
-    run_stream = policy.run_stream
-    remaining = accesses
-    while remaining > 0:
-        n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
-        run_stream(keys_array(n))
-        remaining -= n
-    return policy.stats.hit_rate
-
-
-def run_cluster_workload(
-    dist: str,
-    scale: Scale,
-    policy_factory: Callable[[int], CachePolicy],
-    read_fraction: float = 1.0,
-    cluster: CacheCluster | None = None,
-) -> tuple[CacheCluster, list[FrontEndClient]]:
-    """Run ``scale.accesses`` operations through a full cluster.
-
-    Each of ``scale.num_clients`` front ends gets an independently seeded
-    stream of the same distribution and its own policy instance; reads
-    and writes follow ``read_fraction``. Returns the cluster (per-shard
-    loads = the experiment's measurements) and the clients.
-    """
-    cluster = cluster or CacheCluster(
-        num_servers=scale.num_servers, capacity_bytes=1 << 40, value_size=1
-    )
-    clients = [
-        FrontEndClient(cluster, policy_factory(i), client_id=f"front-{i}")
-        for i in range(scale.num_clients)
-    ]
-    per_client = scale.accesses // scale.num_clients
-    for i, client in enumerate(clients):
-        generator = make_generator(dist, scale.key_space, scale.seed + i)
-        if read_fraction >= 1.0:
-            get = client.get
-            remaining = per_client
-            while remaining > 0:
-                n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
-                for key in generator.keys_array(n):
-                    get(format_key(key))
-                remaining -= n
-        else:
-            mixer = OperationMixer(
-                generator, read_fraction=read_fraction, seed=scale.seed + 1000 + i
-            )
-            execute = client.execute
-            remaining = per_client
-            while remaining > 0:
-                n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
-                for request in mixer.next_requests(n):
-                    execute(request)
-                remaining -= n
-    return cluster, clients
 
 
 def mean_confidence(values: Sequence[float]) -> tuple[float, float]:

@@ -15,30 +15,35 @@ things the fault-tolerant data plane promises:
   ``EXPAND`` during the outage: a dead (or replaced) shard's zero-load
   entry must not fabricate an ``I_c`` spike.
 
-The run is phased: a healthy warm-up long enough for the Figure-7 style
-expansion to converge, then six chaos phases (kill → sustained outage →
-cold revival → shard replacement → flaky shard → all clear). Each phase
-reports hit rate, degraded reads, retry/breaker activity, resize
-decisions and the worst per-epoch ``I_c`` observed.
+The run is the engine's phased cluster mode: a healthy warm-up phase
+long enough for the Figure-7 style expansion to converge, then six chaos
+phases (kill → sustained outage → cold revival → shard replacement →
+flaky shard → all clear), each a :class:`~repro.engine.spec.Phase` whose
+action fires against the live cluster. Each phase's
+:class:`~repro.engine.telemetry.PhaseTelemetry` reports hit rate,
+degraded reads, retry/breaker activity, resize decisions and the worst
+per-epoch ``I_c`` observed.
 """
 
 from __future__ import annotations
 
 from typing import Hashable
 
-from repro.cluster.cluster import CacheCluster
 from repro.cluster.faults import FaultInjector
 from repro.cluster.retry import BreakerConfig, ClusterGuard, RetryPolicy
 from repro.cluster.storage import PersistentStore
 from repro.core.elastic import ElasticCoTClient
-from repro.experiments.common import (
-    STREAM_CHUNK,
-    ExperimentResult,
-    Scale,
-    make_generator,
+from repro.engine import (
+    ClusterRunner,
+    Phase,
+    RunContext,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
 )
+from repro.engine.registry import register_experiment
+from repro.experiments.common import ExperimentResult, Scale
 from repro.metrics.resilience import summarize_resilience
-from repro.workloads.base import format_key
 
 __all__ = ["run", "EXPERIMENT_ID", "expected_value"]
 
@@ -63,93 +68,98 @@ def expected_value(key: Hashable) -> object:
     return ("chaos-value", key)
 
 
-def _snap(client: ElasticCoTClient) -> dict[str, int]:
-    """Monotone counters, captured at phase boundaries for deltas."""
-    stats = client.policy.stats
-    guard = client.guard.stats
-    transitions = client.guard.breaker_transitions()
-    return {
-        "hits": stats.hits,
-        "misses": stats.misses,
-        "degraded": client.monitor.degraded_reads(),
-        "retries": guard.retries,
-        "rejections": guard.open_rejections,
-        "opens": transitions["opens"],
-        "closes": transitions["closes"],
-        "epochs": len(client.history),
-    }
-
-
-def _drive(client, generator, accesses: int) -> int:
-    """Run ``accesses`` verified reads; returns how many came back wrong."""
-    incorrect = 0
-    get = client.get
-    keys_array = generator.keys_array
-    remaining = accesses
-    while remaining > 0:
-        n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
-        for raw in keys_array(n):
-            key = format_key(raw)
-            if get(key) != ("chaos-value", key):
-                incorrect += 1
-        remaining -= n
-    return incorrect
-
-
 def run(scale: Scale | None = None, num_servers: int = 4) -> ExperimentResult:
     """Chaos schedule against an elastic front end; returns per-phase rows."""
     scale = scale or Scale.default()
     faults = FaultInjector(seed=scale.seed)
     storage = PersistentStore(value_factory=expected_value)
-    cluster = CacheCluster(
-        num_servers=num_servers,
-        capacity_bytes=1 << 40,
-        value_size=1,
-        storage=storage,
-        faults=faults,
-    )
-    guard = ClusterGuard(
-        cluster.server_ids,
-        retry=RetryPolicy(max_attempts=2, base_backoff=1e-4),
-        breaker=BreakerConfig(
-            failure_threshold=FAILURE_THRESHOLD, cooldown=BREAKER_COOLDOWN
-        ),
-        seed=scale.seed,
-    )
     base_epoch = max(500, scale.accesses // 100)
-    client = ElasticCoTClient(
-        cluster,
-        target_imbalance=TARGET_IMBALANCE,
-        initial_cache=2,
-        initial_tracker=4,
-        base_epoch=base_epoch,
-        client_id="chaos-0",
-        guard=guard,
-    )
-    generator = make_generator(f"zipf-{THETA:g}", scale.key_space, scale.seed)
+
+    def client_factory(cluster, _i: int) -> ElasticCoTClient:
+        guard = ClusterGuard(
+            cluster.server_ids,
+            retry=RetryPolicy(max_attempts=2, base_backoff=1e-4),
+            breaker=BreakerConfig(
+                failure_threshold=FAILURE_THRESHOLD, cooldown=BREAKER_COOLDOWN
+            ),
+            seed=scale.seed,
+        )
+        return ElasticCoTClient(
+            cluster,
+            target_imbalance=TARGET_IMBALANCE,
+            initial_cache=2,
+            initial_tracker=4,
+            base_epoch=base_epoch,
+            client_id="chaos-0",
+            guard=guard,
+        )
 
     victim = "cache-1"
     replaced = "cache-2"
     flaky = "cache-0"
     replacement: list[str] = []
 
-    def _replace_shard() -> None:
-        cluster.remove_server(replaced)
-        replacement.append(cluster.add_server().server_id)
+    def _replace_shard(ctx: RunContext) -> None:
+        ctx.cluster.remove_server(replaced)
+        replacement.append(ctx.cluster.add_server().server_id)
 
-    # (label, action run at phase start, counts-as-churn-for-elasticity)
-    schedule = [
-        ("healthy warm-up", None, False),
-        (f"kill {victim}", lambda: cluster.kill_server(victim), True),
-        ("outage continues", None, True),
-        (f"revive {victim} (cold)", lambda: cluster.revive_server(victim), True),
-        (f"replace {replaced}", _replace_shard, True),
-        (f"flaky {flaky} @{FLAKY_RATE:.0%}", lambda: faults.set_flaky(flaky, FLAKY_RATE), False),
-        ("all faults cleared", lambda: faults.clear(flaky), False),
-    ]
     warmup = scale.accesses // 2
-    chaos_each = (scale.accesses - warmup) // (len(schedule) - 1)
-    phase_accesses = [warmup] + [chaos_each] * (len(schedule) - 1)
+    chaos_each = (scale.accesses - warmup) // 6
+    # (phase, counts-as-churn-for-elasticity)
+    schedule: list[tuple[Phase, bool]] = [
+        (Phase("healthy warm-up", accesses=warmup), False),
+        (
+            Phase(
+                f"kill {victim}",
+                accesses=chaos_each,
+                action=lambda ctx: ctx.cluster.kill_server(victim),
+            ),
+            True,
+        ),
+        (Phase("outage continues", accesses=chaos_each), True),
+        (
+            Phase(
+                f"revive {victim} (cold)",
+                accesses=chaos_each,
+                action=lambda ctx: ctx.cluster.revive_server(victim),
+            ),
+            True,
+        ),
+        (Phase(f"replace {replaced}", accesses=chaos_each, action=_replace_shard), True),
+        (
+            Phase(
+                f"flaky {flaky} @{FLAKY_RATE:.0%}",
+                accesses=chaos_each,
+                action=lambda ctx: ctx.faults.set_flaky(flaky, FLAKY_RATE),
+            ),
+            False,
+        ),
+        (
+            Phase(
+                "all faults cleared",
+                accesses=chaos_each,
+                action=lambda ctx: ctx.faults.clear(flaky),
+            ),
+            False,
+        ),
+    ]
+
+    spec = ScenarioSpec(
+        scale=scale,
+        workload=WorkloadSpec(dist=f"zipf-{THETA:g}"),
+        topology=TopologySpec(
+            num_servers=num_servers,
+            num_clients=1,
+            storage=storage,
+            faults=faults,
+        ),
+        client_factory=client_factory,
+        phases=tuple(phase for phase, _churn in schedule),
+        verify_value=expected_value,
+    )
+    result = ClusterRunner().run(spec)
+    client = result.front_end
+    guard = client.guard
 
     rows: list[list[object]] = []
     incorrect_total = 0
@@ -157,21 +167,13 @@ def run(scale: Scale | None = None, num_servers: int = 4) -> ExperimentResult:
     phantom_epochs = 0
     churn_max_imbalance = 0.0
     post_warmup_expands = 0
-    for index, (label, action, churn) in enumerate(schedule):
-        if action is not None:
-            action()
-        outage = bool(faults.down_servers())
-        before = _snap(client)
-        incorrect_total += _drive(client, generator, phase_accesses[index])
-        after = _snap(client)
-        reads = phase_accesses[index]
-        hits = after["hits"] - before["hits"]
-        records = client.history[before["epochs"] :]
+    for phase, (_spec_phase, churn) in zip(result.telemetry.phases, schedule):
+        outage = bool(phase.down)
+        incorrect_total += phase.incorrect_reads
+        records = phase.epoch_events
         expands = sum(1 for r in records if r.decision == "expand")
-        max_imbalance = max(
-            (r.snapshot.imbalance for r in records), default=0.0
-        )
-        if index > 0:
+        max_imbalance = phase.max_imbalance
+        if phase.index > 0:
             post_warmup_expands += expands
         phantom_epochs += sum(
             1 for r in records if r.snapshot.imbalance >= PHANTOM_IMBALANCE
@@ -189,16 +191,16 @@ def run(scale: Scale | None = None, num_servers: int = 4) -> ExperimentResult:
             churn_max_imbalance = max(churn_max_imbalance, max_imbalance)
         rows.append(
             [
-                index,
-                label,
-                ",".join(sorted(faults.down_servers())) or "-",
-                reads,
-                round(100.0 * hits / reads, 2),
-                after["degraded"] - before["degraded"],
-                after["retries"] - before["retries"],
-                after["rejections"] - before["rejections"],
-                after["opens"] - before["opens"],
-                after["closes"] - before["closes"],
+                phase.index,
+                phase.label,
+                ",".join(phase.down) or "-",
+                phase.reads,
+                round(100.0 * phase.hit_rate, 2),
+                phase.degraded_reads,
+                phase.retries,
+                phase.open_rejections,
+                phase.breaker_opens,
+                phase.breaker_closes,
                 expands,
                 round(max_imbalance, 3) if records else "-",
             ]
@@ -244,3 +246,11 @@ def run(scale: Scale | None = None, num_servers: int = 4) -> ExperimentResult:
             "resilience": resilience.as_row(),
         },
     )
+
+
+register_experiment(
+    EXPERIMENT_ID,
+    "chaos schedule (kill/revive/replace/flaky shards) under elasticity",
+    run,
+    order=100,
+)

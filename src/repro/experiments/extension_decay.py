@@ -7,17 +7,26 @@ extension closes that gap: a Zipfian hot set is rotated every ``period``
 accesses (the "#miami → #ny" trend change), and CoT is run with decay
 disabled, half-life decay, and continuous exponential decay.
 
-Metric: lifetime hit rate. Without decay, stale hotness accumulated by
-old trends keeps dead keys in the cache long after rotation; decay
-forgets them and re-converges faster.
+The rotation/decay/trigger schedule rides the engine's per-access
+:class:`~repro.engine.spec.StreamHooks` (the instrumented policy-stream
+mode). Metric: lifetime hit rate. Without decay, stale hotness
+accumulated by old trends keeps dead keys in the cache long after
+rotation; decay forgets them and re-converges faster.
 """
 
 from __future__ import annotations
 
 from repro.core.cache import CoTCache
 from repro.core.decay import DecayPolicy, ExponentialDecay, HalfLifeDecay, NoDecay
+from repro.engine import (
+    PolicySpec,
+    PolicyStreamRunner,
+    ScenarioSpec,
+    StreamHooks,
+    WorkloadSpec,
+)
+from repro.engine.registry import register_experiment
 from repro.experiments.common import ExperimentResult, Scale
-from repro.policies.base import MISSING
 from repro.workloads.shift import RotatingHotSetGenerator
 from repro.workloads.zipfian import ZipfianGenerator
 
@@ -41,32 +50,34 @@ def _run_variant(
         ZipfianGenerator(scale.key_space, theta=THETA, seed=scale.seed)
     )
     period = scale.accesses // (rotations + 1)
-    post_rotation_hits = 0
-    post_rotation_accesses = 0
-    for i in range(scale.accesses):
+    window = {"hits": 0, "accesses": 0}
+
+    def before(i: int) -> None:
         if i > 0 and i % period == 0:
             generator.rotate(scale.key_space // 3)
-        key = generator.next_key()
-        hit = cache.lookup(key) is not MISSING
-        if not hit:
-            cache.admit(key, key)
+
+    def after(i: int, _key, hit: bool) -> None:
         # The interesting window: right after each rotation, how quickly
         # does the cache recover?
         phase_position = i % period
         if i >= period and phase_position < period // 4:
-            post_rotation_accesses += 1
-            post_rotation_hits += int(hit)
+            window["accesses"] += 1
+            window["hits"] += int(hit)
         if decay_every and i % decay_every == 0 and i > 0:
             decay.on_epoch(cache)
         # Emulate the controller's Case-2 trigger: tracked keys hotter
         # than cached ones right after rotation.
         if i > 0 and i % period == period // 20:
             decay.on_trigger(cache)
-    post = (
-        post_rotation_hits / post_rotation_accesses
-        if post_rotation_accesses
-        else 0.0
+
+    spec = ScenarioSpec(
+        scale=scale,
+        workload=WorkloadSpec(generator_factory=lambda _i: generator),
+        policy=PolicySpec(factory=lambda _i: cache),
+        hooks=StreamHooks(before=before, after=after),
     )
+    PolicyStreamRunner().run(spec)
+    post = window["hits"] / window["accesses"] if window["accesses"] else 0.0
     return cache.stats.hit_rate, post
 
 
@@ -99,3 +110,11 @@ def run(scale: Scale | None = None, rotations: int = 4) -> ExperimentResult:
         ],
         extras={"scale": scale.name},
     )
+
+
+register_experiment(
+    EXPERIMENT_ID,
+    "decay policies (none/half-life/exponential) under hot-set rotation",
+    run,
+    order=110,
+)

@@ -9,13 +9,26 @@ check that CoT's tracker-filter advantage is not a Zipf artifact:
 * **hotspot** — a hard hotness cliff (the tracker's easiest case);
 * **gaussian** — smooth hotness without a heavy tail;
 * **latest** — recency-defined hotness (LRU's home turf, CoT's hardest).
+
+The bespoke generators plug into the engine through
+``WorkloadSpec.generator_factory``; the drifting-latest variant uses
+per-access :class:`~repro.engine.spec.StreamHooks` for its insert/decay
+schedule.
 """
 
 from __future__ import annotations
 
+from repro.engine import (
+    PolicySpec,
+    PolicyStreamRunner,
+    ScenarioSpec,
+    StreamHooks,
+    WorkloadSpec,
+)
+from repro.engine.registry import register_experiment
 from repro.errors import ExperimentError
-from repro.experiments.common import ExperimentResult, Scale, run_policy_stream
-from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.experiments.common import ExperimentResult, Scale
+from repro.policies.registry import POLICY_NAMES
 from repro.workloads.base import KeyGenerator
 from repro.workloads.gaussian import GaussianGenerator
 from repro.workloads.hotspot import HotspotGenerator
@@ -55,38 +68,58 @@ def _run_latest_with_drift(policy, scale: Scale, decay=None) -> float:
     (a :class:`~repro.core.decay.DecayPolicy`) is applied per drift step
     when given — the configuration the ``cot+decay`` column measures.
     """
-    from repro.policies.base import MISSING
-
     generator = _build("latest", scale)
     drift_every = max(1, scale.accesses // (scale.key_space // 200 + 1))
-    for i in range(scale.accesses):
+
+    def before(i: int) -> None:
         if i % drift_every == 0 and i > 0:
             generator.advance()
             if decay is not None:
                 decay.on_epoch(policy)
-        key = generator.next_key()
-        if policy.lookup(key) is MISSING:
-            policy.admit(key, key)
-    return policy.stats.hit_rate
+
+    spec = ScenarioSpec(
+        scale=scale,
+        workload=WorkloadSpec(generator_factory=lambda _i: generator),
+        policy=PolicySpec(factory=lambda _i: policy),
+        hooks=StreamHooks(before=before),
+    )
+    return PolicyStreamRunner().run(spec).telemetry.hit_rate
+
+
+def _run_stream(policy_spec: PolicySpec, dist: str, scale: Scale) -> float:
+    spec = ScenarioSpec(
+        scale=scale,
+        workload=WorkloadSpec(generator_factory=lambda _i: _build(dist, scale)),
+        policy=policy_spec,
+    )
+    return PolicyStreamRunner().run(spec).telemetry.hit_rate
 
 
 def run(scale: Scale | None = None, cache_lines: int = CACHE_LINES) -> ExperimentResult:
     """Hit rates of every policy under the non-Zipfian distributions."""
     from repro.core.decay import ExponentialDecay
+    from repro.policies.registry import make_policy
 
     scale = scale or Scale.default()
     rows: list[list[object]] = []
     for dist in DISTRIBUTIONS:
         row: list[object] = [dist]
         for name in POLICY_NAMES:
-            policy = make_policy(
-                name, cache_lines, tracker_capacity=RATIO * cache_lines
-            )
             if dist == "latest":
+                policy = make_policy(
+                    name, cache_lines, tracker_capacity=RATIO * cache_lines
+                )
                 hit_rate = _run_latest_with_drift(policy, scale)
             else:
-                generator = _build(dist, scale)
-                hit_rate = run_policy_stream(policy, generator, scale.accesses)
+                hit_rate = _run_stream(
+                    PolicySpec(
+                        name=name,
+                        cache_lines=cache_lines,
+                        tracker_lines=RATIO * cache_lines,
+                    ),
+                    dist,
+                    scale,
+                )
             row.append(round(hit_rate * 100, 2))
         # The extension column: CoT with continuous exponential decay,
         # retiring stale hotness as the hot spot drifts.
@@ -116,3 +149,11 @@ def run(scale: Scale | None = None, cache_lines: int = CACHE_LINES) -> Experimen
         ],
         extras={"scale": scale.name, "cache_lines": cache_lines},
     )
+
+
+register_experiment(
+    EXPERIMENT_ID,
+    "hit rates on non-Zipfian workloads (hotspot/gaussian/latest)",
+    run,
+    order=120,
+)

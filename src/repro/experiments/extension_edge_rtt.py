@@ -15,11 +15,16 @@ relative reduction ceiling.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Scale, make_generator
-from repro.policies.registry import make_policy
-from repro.sim.endtoend import EndToEndSimulation
+from repro.engine import (
+    PolicySpec,
+    ScenarioSpec,
+    SimRunner,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.engine.registry import register_experiment
+from repro.experiments.common import ExperimentResult, Scale
 from repro.sim.network import FixedLatency
-from repro.workloads.mixer import OperationMixer
 
 __all__ = ["run", "EXPERIMENT_ID", "RTTS"]
 
@@ -34,27 +39,23 @@ RATIO = 8
 def _runtime(scale: Scale, rtt: float, cached: bool) -> float:
     clients = min(scale.num_clients, 8)
     per_client = max(200, scale.accesses // (clients * 20))
-
-    def mixer_factory(i: int) -> OperationMixer:
-        generator = make_generator(DIST, scale.key_space, scale.seed + i)
-        return OperationMixer(generator, seed=scale.seed + 500 + i)
-
-    def policy_factory(_i: int):
-        if not cached:
-            return make_policy("none", 0)
-        return make_policy(
-            "cot", CACHE_LINES, tracker_capacity=RATIO * CACHE_LINES
+    if cached:
+        policy = PolicySpec(
+            name="cot",
+            cache_lines=CACHE_LINES,
+            tracker_lines=RATIO * CACHE_LINES,
         )
-
-    simulation = EndToEndSimulation(
-        num_clients=clients,
+    else:
+        policy = PolicySpec()
+    spec = ScenarioSpec(
+        scale=scale,
+        workload=WorkloadSpec(dist=DIST),
+        policy=policy,
+        topology=TopologySpec(num_clients=clients),
         requests_per_client=per_client,
-        mixer_factory=mixer_factory,
-        policy_factory=policy_factory,
-        num_servers=scale.num_servers,
         latency=FixedLatency(rtt),
     )
-    return simulation.run().runtime
+    return SimRunner().run(spec).telemetry.runtime
 
 
 def run(scale: Scale | None = None) -> ExperimentResult:
@@ -99,3 +100,11 @@ def run(scale: Scale | None = None) -> ExperimentResult:
         ],
         extras={"scale": scale.name},
     )
+
+
+register_experiment(
+    EXPERIMENT_ID,
+    "CoT's end-to-end gain vs front-end/back-end RTT (edge claim)",
+    run,
+    order=130,
+)

@@ -17,8 +17,9 @@ The sweep's maximum cache size scales with the key space (the paper's
 from __future__ import annotations
 
 from repro.core.cache import CoTCache
-from repro.experiments.common import ExperimentResult, Scale, run_cluster_workload
-from repro.metrics.imbalance import load_imbalance
+from repro.engine import ClusterRunner, PolicySpec, ScenarioSpec, WorkloadSpec
+from repro.engine.registry import register_experiment
+from repro.experiments.common import ExperimentResult, Scale
 
 __all__ = ["run", "EXPERIMENT_ID"]
 
@@ -41,31 +42,38 @@ def sweep_sizes(key_space: int) -> list[int]:
     return sizes
 
 
+def _policy_factory(size: int):
+    def factory(_i: int) -> CoTCache:
+        # Size 0 is represented by a 1-line cache that never admits
+        # (tracker must exceed cache); simpler: capacity-0 CoT.
+        if size == 0:
+            return CoTCache(0, tracker_capacity=2)
+        return CoTCache(size, tracker_capacity=TRACKER_RATIO * size)
+
+    return factory
+
+
 def run(scale: Scale | None = None, sizes: list[int] | None = None) -> ExperimentResult:
     """Regenerate Figure 3 at the given scale."""
     scale = scale or Scale.default()
     sizes = sizes if sizes is not None else sweep_sizes(scale.key_space)
     dist = f"zipf-{THETA}"
 
+    runner = ClusterRunner()
     rows: list[list[object]] = []
     baseline_lookups: int | None = None
     reached_at: int | None = None
     for cache_size in sizes:
-        def factory(_i: int, size: int = cache_size) -> CoTCache:
-            # Size 0 is represented by a 1-line cache that never admits
-            # (tracker must exceed cache); simpler: capacity-0 CoT.
-            if size == 0:
-                return CoTCache(0, tracker_capacity=2)
-            return CoTCache(size, tracker_capacity=TRACKER_RATIO * size)
-
-        cluster, clients = run_cluster_workload(dist, scale, factory)
-        loads = cluster.loads()
-        total = sum(loads.values())
+        spec = ScenarioSpec(
+            scale=scale,
+            workload=WorkloadSpec(dist=dist),
+            policy=PolicySpec(factory=_policy_factory(cache_size)),
+        )
+        telemetry = runner.run(spec).telemetry
+        total = sum(telemetry.shard_loads.values())
         if baseline_lookups is None:
             baseline_lookups = total
-        imbalance = load_imbalance(loads)
-        hits = sum(c.policy.stats.hits for c in clients)
-        accesses = sum(c.policy.stats.accesses for c in clients)
+        imbalance = telemetry.backend_imbalance
         relative = total / baseline_lookups if baseline_lookups else 1.0
         if reached_at is None and imbalance <= TARGET_IMBALANCE:
             reached_at = cache_size
@@ -74,7 +82,7 @@ def run(scale: Scale | None = None, sizes: list[int] | None = None) -> Experimen
                 cache_size,
                 round(imbalance, 2),
                 round(relative, 4),
-                round(hits / accesses if accesses else 0.0, 4),
+                round(telemetry.hit_rate, 4),
             ]
         )
 
@@ -98,3 +106,11 @@ def run(scale: Scale | None = None, sizes: list[int] | None = None) -> Experimen
         notes=notes,
         extras={"target_reached_at": reached_at, "scale": scale.name},
     )
+
+
+register_experiment(
+    EXPERIMENT_ID,
+    "load-imbalance & relative back-end load vs front-end cache size",
+    run,
+    order=10,
+)

@@ -13,14 +13,10 @@ lines and ARC's with ~50% fewer; the CoT advantage narrows as skew grows.
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    TRACKER_RATIOS,
-    make_generator,
-    run_policy_stream,
-)
-from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.engine import PolicySpec, PolicyStreamRunner, ScenarioSpec, WorkloadSpec
+from repro.engine.registry import register_experiment
+from repro.experiments.common import ExperimentResult, Scale, TRACKER_RATIOS
+from repro.policies.registry import POLICY_NAMES
 from repro.workloads.zipfian import zipf_cdf
 
 __all__ = ["run", "run_all", "EXPERIMENT_ID", "SKEWS"]
@@ -51,15 +47,21 @@ def run(
     ratio = TRACKER_RATIOS.get(f"zipf-{theta:g}", 4)
     dist = f"zipf-{theta:g}"
 
+    runner = PolicyStreamRunner()
     rows: list[list[object]] = []
     for cache_size in sizes:
         row: list[object] = [cache_size]
         for name in POLICY_NAMES:
-            policy = make_policy(
-                name, cache_size, tracker_capacity=ratio * cache_size
+            spec = ScenarioSpec(
+                scale=scale,
+                workload=WorkloadSpec(dist=dist),
+                policy=PolicySpec(
+                    name=name,
+                    cache_lines=cache_size,
+                    tracker_lines=ratio * cache_size,
+                ),
             )
-            generator = make_generator(dist, scale.key_space, scale.seed)
-            hit_rate = run_policy_stream(policy, generator, scale.accesses)
+            hit_rate = runner.run(spec).telemetry.hit_rate
             row.append(round(hit_rate * 100, 2))
         row.append(round(zipf_cdf(cache_size, scale.key_space, theta) * 100, 2))
         rows.append(row)
@@ -82,3 +84,11 @@ def run(
 def run_all(scale: Scale | None = None) -> list[ExperimentResult]:
     """All three panels (s = 0.90, 0.99, 1.2)."""
     return [run(theta, scale=scale) for theta in SKEWS]
+
+
+register_experiment(
+    EXPERIMENT_ID,
+    "hit rate vs cache size for every policy (three Zipfian skews)",
+    run_all,
+    order=20,
+)

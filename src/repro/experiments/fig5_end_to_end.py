@@ -17,17 +17,22 @@ Shapes to reproduce (absolute times are simulated, not testbed seconds):
 
 from __future__ import annotations
 
+from repro.engine import (
+    PolicySpec,
+    ScenarioSpec,
+    SimRunner,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.engine.registry import register_experiment
 from repro.experiments.common import (
     ExperimentResult,
     Scale,
     TRACKER_RATIOS,
-    make_generator,
     mean_confidence,
 )
-from repro.policies.registry import POLICY_NAMES, make_policy
-from repro.sim.endtoend import EndToEndSimulation
+from repro.policies.registry import POLICY_NAMES
 from repro.sim.server import ServiceModel
-from repro.workloads.mixer import OperationMixer
 
 __all__ = ["run", "EXPERIMENT_ID", "DISTS", "CACHE_LINES"]
 
@@ -58,26 +63,24 @@ def run_one(
     ratio = TRACKER_RATIOS.get(dist, 4)
     base_seed = scale.seed + repetition * 10_000
 
-    def mixer_factory(i: int) -> OperationMixer:
-        generator = make_generator(dist, scale.key_space, base_seed + i)
-        return OperationMixer(generator, seed=base_seed + 500 + i)
-
-    def policy_factory(i: int):
-        if policy_name == "none":
-            return make_policy("none", 0)
-        return make_policy(
-            policy_name, cache_lines, tracker_capacity=ratio * cache_lines
+    if policy_name == "none":
+        policy = PolicySpec()
+    else:
+        policy = PolicySpec(
+            name=policy_name,
+            cache_lines=cache_lines,
+            tracker_lines=ratio * cache_lines,
         )
-
-    simulation = EndToEndSimulation(
-        num_clients=clients,
+    spec = ScenarioSpec(
+        scale=scale,
+        workload=WorkloadSpec(dist=dist),
+        policy=policy,
+        topology=TopologySpec(num_clients=clients),
+        seed=base_seed,
         requests_per_client=per_client,
-        mixer_factory=mixer_factory,
-        policy_factory=policy_factory,
-        num_servers=scale.num_servers,
         service_model=service_model,
     )
-    return simulation.run().runtime
+    return SimRunner().run(spec).telemetry.runtime
 
 
 def run(
@@ -127,3 +130,11 @@ def run(
         notes=notes,
         extras={"scale": scale.name, "repetitions": repetitions},
     )
+
+
+register_experiment(
+    EXPERIMENT_ID,
+    "end-to-end running time, 20 closed-loop clients over 8 shards",
+    run,
+    order=40,
+)

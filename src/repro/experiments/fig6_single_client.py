@@ -19,6 +19,7 @@ hot-shard slowdown the paper measured on real hardware is modeled by the
 
 from __future__ import annotations
 
+from repro.engine.registry import register_experiment
 from repro.experiments.common import ExperimentResult, Scale, mean_confidence
 from repro.experiments.fig5_end_to_end import ALL_CONFIGS, CACHE_LINES, DISTS, run_one
 
@@ -63,3 +64,11 @@ def run(scale: Scale | None = None, repetitions: int = 3) -> ExperimentResult:
         ],
         extras={"scale": scale.name, "repetitions": repetitions},
     )
+
+
+register_experiment(
+    EXPERIMENT_ID,
+    "end-to-end running time with a single client thread",
+    run,
+    order=50,
+)

@@ -13,17 +13,27 @@ signal (alpha_c, alpha_k_c) collapses, CoT resets the ratio to 2:1 and
 halves both sizes epoch over epoch down to negligible values — all while
 keeping I_c within the target.
 
-Both experiments emit the epoch-by-epoch series the paper plots: cache
-size, tracker size, I_c, alpha_c, alpha_t.
+Both experiments run through the engine's phased cluster mode — the dist
+switch of Figure 8 is one :class:`~repro.engine.spec.Phase` boundary —
+and emit the epoch-by-epoch series the paper plots: cache size, tracker
+size, I_c, alpha_c, alpha_t.
 """
 
 from __future__ import annotations
 
-from repro.cluster.cluster import CacheCluster
 from repro.core.elastic import ElasticCoTClient
-from repro.experiments.common import ExperimentResult, Scale, make_generator
+from repro.engine import (
+    ClusterRunner,
+    Phase,
+    PolicySpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.engine.registry import register_experiment
+from repro.engine.runners import ScenarioResult
+from repro.experiments.common import ExperimentResult, Scale
 from repro.metrics.series import SeriesRecorder
-from repro.workloads.base import format_key
 
 __all__ = ["run_expand", "run_shrink", "EXPERIMENT_ID_EXPAND", "EXPERIMENT_ID_SHRINK"]
 
@@ -35,14 +45,30 @@ TARGET_IMBALANCE = 1.1
 EPOCH = 5000
 
 
-def _drive(client: ElasticCoTClient, dist: str, scale: Scale, accesses: int) -> None:
-    generator = make_generator(dist, scale.key_space, scale.seed)
-    for key in generator.keys(accesses):
-        client.get(format_key(key))
+def _elastic_factory(cluster, _i: int) -> ElasticCoTClient:
+    return ElasticCoTClient(
+        cluster,
+        target_imbalance=TARGET_IMBALANCE,
+        initial_cache=2,
+        initial_tracker=4,
+        base_epoch=EPOCH,
+    )
+
+
+def _run_phases(scale: Scale, phases: tuple[Phase, ...]) -> ScenarioResult:
+    spec = ScenarioSpec(
+        scale=scale,
+        workload=WorkloadSpec(dist=f"zipf-{THETA:g}"),
+        policy=PolicySpec(),
+        topology=TopologySpec(num_clients=1),
+        client_factory=_elastic_factory,
+        phases=phases,
+    )
+    return ClusterRunner().run(spec)
 
 
 def _history_result(
-    client: ElasticCoTClient,
+    result: ScenarioResult,
     experiment_id: str,
     title: str,
     notes: list[str],
@@ -50,7 +76,7 @@ def _history_result(
 ) -> ExperimentResult:
     recorder = SeriesRecorder()
     rows: list[list[object]] = []
-    for record in client.history:
+    for record in result.telemetry.epoch_events:
         if record.index < start_epoch:
             continue
         row = record.as_row()
@@ -73,7 +99,9 @@ def _history_result(
                 row["phase"],
             ]
         )
-    cache, tracker = client.converged_sizes()
+    telemetry = result.telemetry
+    cache = int(telemetry.gauges["elastic.final_cache"])
+    tracker = int(telemetry.gauges["elastic.final_tracker"])
     notes = [*notes, f"final sizes: C={cache}, K={tracker}"]
     return ExperimentResult(
         experiment_id=experiment_id,
@@ -88,33 +116,17 @@ def _history_result(
             "series": recorder,
             "final_cache": cache,
             "final_tracker": tracker,
-            "alpha_target": client.controller.alpha_target,
+            "alpha_target": telemetry.gauges["elastic.alpha_target"],
         },
     )
 
 
-def _new_client(scale: Scale) -> ElasticCoTClient:
-    cluster = CacheCluster(
-        num_servers=scale.num_servers, capacity_bytes=1 << 40, value_size=1
-    )
-    return ElasticCoTClient(
-        cluster,
-        target_imbalance=TARGET_IMBALANCE,
-        initial_cache=2,
-        initial_tracker=4,
-        base_epoch=EPOCH,
-    )
-
-
-def run_expand(
-    scale: Scale | None = None, client: ElasticCoTClient | None = None
-) -> ExperimentResult:
+def run_expand(scale: Scale | None = None) -> ExperimentResult:
     """Figure 7: elastic expansion from a tiny cache to the I_t answer."""
     scale = scale or Scale.default()
-    client = client or _new_client(scale)
-    _drive(client, f"zipf-{THETA:g}", scale, scale.accesses)
+    result = _run_phases(scale, (Phase("expand", accesses=scale.accesses),))
     return _history_result(
-        client,
+        result,
         EXPERIMENT_ID_EXPAND,
         f"Figure 7 — elastic expansion (Zipf {THETA}, I_t={TARGET_IMBALANCE})",
         [
@@ -129,12 +141,16 @@ def run_expand(
 def run_shrink(scale: Scale | None = None) -> ExperimentResult:
     """Figure 8: run expansion, switch to uniform, watch the shrink."""
     scale = scale or Scale.default()
-    client = _new_client(scale)
-    _drive(client, f"zipf-{THETA:g}", scale, scale.accesses)
-    switch_epoch = client.epoch_index
-    _drive(client, "uniform", scale, scale.accesses)
+    result = _run_phases(
+        scale,
+        (
+            Phase("expand", accesses=scale.accesses),
+            Phase("shrink", accesses=scale.accesses, dist="uniform"),
+        ),
+    )
+    switch_epoch = result.telemetry.phases[1].start_epoch
     return _history_result(
-        client,
+        result,
         EXPERIMENT_ID_SHRINK,
         "Figure 8 — elastic shrinking after a switch to uniform",
         [
@@ -144,3 +160,17 @@ def run_shrink(scale: Scale | None = None) -> ExperimentResult:
         ],
         start_epoch=max(0, switch_epoch - 3),
     )
+
+
+register_experiment(
+    EXPERIMENT_ID_EXPAND,
+    "elastic expansion: tiny CoT cache grows to the I_t answer",
+    run_expand,
+    order=60,
+)
+register_experiment(
+    EXPERIMENT_ID_SHRINK,
+    "elastic shrinking after a workload switch to uniform",
+    run_shrink,
+    order=70,
+)

@@ -24,16 +24,12 @@ from __future__ import annotations
 
 import math
 
-from repro.cluster.client import FrontEndClient
 from repro.cluster.cluster import CacheCluster
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    TRACKER_RATIOS,
-    make_generator,
-)
+from repro.engine import ClusterRunner, PolicySpec, ScenarioSpec, WorkloadSpec
+from repro.engine.registry import register_experiment
+from repro.experiments.common import ExperimentResult, Scale, TRACKER_RATIOS
 from repro.metrics.imbalance import load_imbalance
-from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.policies.registry import POLICY_NAMES
 from repro.workloads.base import format_key
 
 __all__ = ["run", "EXPERIMENT_ID", "TARGET_IMBALANCE"]
@@ -57,41 +53,30 @@ def _measure(
 ) -> tuple[float, int]:
     """Measure steady-state back-end imbalance for one configuration.
 
-    Clients are interleaved round-robin over independently seeded streams;
-    per-shard lookups are counted only after the warm-up fraction. When
-    ``shares`` (the ring's key-count share per shard) is given, loads are
-    normalized by them before taking max/min, removing the hashing
-    layer's systematic spread from the measurement. Returns
-    ``(imbalance, measured_lookups)``.
+    Clients are interleaved round-robin over independently seeded streams
+    (the engine's interleaved mode); per-shard lookups are counted only
+    after the warm-up fraction. When ``shares`` (the ring's key-count
+    share per shard) is given, loads are normalized by them before taking
+    max/min, removing the hashing layer's systematic spread from the
+    measurement. Returns ``(imbalance, measured_lookups)``.
     """
     ratio = TRACKER_RATIOS.get(dist, 4)
-
-    def factory(_i: int):
-        if policy_name is None or cache_size == 0:
-            return make_policy("none", 0)
-        return make_policy(
-            policy_name, cache_size, tracker_capacity=ratio * cache_size
+    if policy_name is None or cache_size == 0:
+        policy = PolicySpec()
+    else:
+        policy = PolicySpec(
+            name=policy_name,
+            cache_lines=cache_size,
+            tracker_lines=ratio * cache_size,
         )
-
-    cluster = CacheCluster(
-        num_servers=scale.num_servers, capacity_bytes=1 << 40, value_size=1
+    spec = ScenarioSpec(
+        scale=scale,
+        workload=WorkloadSpec(dist=dist),
+        policy=policy,
+        interleave=True,
+        warmup_fraction=WARMUP_FRACTION,
     )
-    clients = [
-        FrontEndClient(cluster, factory(i), client_id=f"front-{i}")
-        for i in range(scale.num_clients)
-    ]
-    generators = [
-        make_generator(dist, scale.key_space, scale.seed + i)
-        for i in range(scale.num_clients)
-    ]
-    per_client = scale.accesses // scale.num_clients
-    warmup = int(per_client * WARMUP_FRACTION)
-    for j in range(per_client):
-        if j == warmup:
-            cluster.reset_epoch()
-        for client, generator in zip(clients, generators):
-            client.get(format_key(generator.next_key()))
-    loads = cluster.epoch_loads()
+    loads = dict(ClusterRunner().run(spec).telemetry.epoch_shard_loads)
     sample = sum(loads.values())
     if shares is None:
         return load_imbalance(loads), sample
@@ -184,3 +169,11 @@ def run(scale: Scale | None = None, target: float = TARGET_IMBALANCE) -> Experim
         ],
         extras={"target": target, "scale": scale.name},
     )
+
+
+register_experiment(
+    EXPERIMENT_ID,
+    "minimum cache-lines per policy to reach back-end balance",
+    run,
+    order=30,
+)

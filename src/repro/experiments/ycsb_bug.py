@@ -14,6 +14,7 @@ moves with the requested skew — the bug in numbers.
 
 from __future__ import annotations
 
+from repro.engine.registry import register_experiment
 from repro.experiments.common import ExperimentResult, Scale
 from repro.workloads.analytical import estimate_zipf_exponent, head_mass
 from repro.workloads.scrambled import ScrambledZipfianGenerator
@@ -67,3 +68,11 @@ def run(scale: Scale | None = None) -> ExperimentResult:
         ],
         extras={"scale": scale.name},
     )
+
+
+register_experiment(
+    EXPERIMENT_ID,
+    "YCSB ScrambledZipfian bug: promised vs delivered skew",
+    run,
+    order=90,
+)

@@ -1,9 +1,10 @@
 """Discrete-event simulation of the paper's testbed timing behaviour:
 closed-loop clients, FCFS shard queues with thrashing and load-dependent
-slowdown, and a 244 µs-RTT network (Figures 5-6's substrate)."""
+slowdown, and a 244 µs-RTT network (Figures 5-6's substrate). Runs are
+assembled and executed by the engine's
+:class:`~repro.engine.runners.SimRunner`."""
 
 from repro.sim.client import SimClient
-from repro.sim.endtoend import EndToEndResult, EndToEndSimulation
 from repro.sim.events import Simulator
 from repro.sim.network import (
     PAPER_RTT,
@@ -15,8 +16,6 @@ from repro.sim.server import ServiceModel, SimBackendServer
 
 __all__ = [
     "SimClient",
-    "EndToEndResult",
-    "EndToEndSimulation",
     "Simulator",
     "FixedLatency",
     "JitteredLatency",

@@ -183,3 +183,43 @@ class TestCLI:
 
         with pytest.raises(SystemExit):
             main(["unknown-experiment"])
+
+    def test_main_requires_experiment_or_list(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_list_enumerates_registry(self, capsys):
+        from repro.engine import experiment_ids
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert [line.split()[0] for line in lines] == list(experiment_ids())
+        # every line carries the registered description, not just the id
+        assert all(len(line.split(None, 1)) == 2 for line in lines)
+
+
+class TestRegistry:
+    def test_canonical_order(self):
+        from repro.engine import experiment_ids
+
+        ids = list(experiment_ids())
+        assert ids[:5] == ["fig3", "fig4", "table2", "fig5", "fig6"]
+        assert set(ids) >= {"fig7", "fig8", "figA", "ycsb-bug", "ext-chaos"}
+
+    def test_duplicate_registration_rejected(self):
+        from repro.engine import register_experiment
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            register_experiment("fig3", "dup", lambda scale: None, order=10)
+
+    def test_unknown_experiment_rejected(self):
+        from repro.engine import get_experiment
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")

@@ -133,8 +133,11 @@ class TestExtensionExperiments:
         assert rows["latest"][decay_idx] > rows["latest"][cot_idx]
 
     def test_extensions_reachable_from_cli(self):
-        from repro.experiments.__main__ import RUNNERS
+        import repro.experiments  # noqa: F401  (registers the catalog)
+        from repro.engine import experiment_ids
 
-        assert "ext-decay" in RUNNERS
-        assert "ext-edge-rtt" in RUNNERS
-        assert "ext-dists" in RUNNERS
+        ids = experiment_ids()
+        assert "ext-chaos" in ids
+        assert "ext-decay" in ids
+        assert "ext-edge-rtt" in ids
+        assert "ext-dists" in ids

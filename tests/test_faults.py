@@ -22,6 +22,14 @@ from repro.cluster.retry import (
 )
 from repro.cluster.storage import PersistentStore
 from repro.core.elastic import ElasticCoTClient
+from repro.engine import (
+    PolicySpec,
+    Scale,
+    ScenarioSpec,
+    SimRunner,
+    TopologySpec,
+    WorkloadSpec,
+)
 from repro.errors import (
     ClusterError,
     ShardDownError,
@@ -30,7 +38,6 @@ from repro.errors import (
     ShardUnavailableError,
 )
 from repro.policies.lru import LRUCache
-from repro.sim.endtoend import EndToEndSimulation
 from repro.workloads.base import format_key
 from repro.workloads.mixer import OperationMixer
 from repro.workloads.uniform import UniformGenerator
@@ -403,41 +410,43 @@ class TestChurnSafeElastic:
 
 
 class TestSimFaults:
-    def make_sim(self, faults=None, seed=31):
-        return EndToEndSimulation(
-            num_clients=2,
-            requests_per_client=1_500,
-            mixer_factory=lambda cid: OperationMixer(
-                ZipfianGenerator(2_000, theta=1.1, seed=seed + cid),
-                read_fraction=0.9,
-                seed=100 + cid,
+    def run_sim(self, faults=None, seed=31):
+        spec = ScenarioSpec(
+            scale=Scale.tiny(),
+            workload=WorkloadSpec(
+                mixer_factory=lambda cid: OperationMixer(
+                    ZipfianGenerator(2_000, theta=1.1, seed=seed + cid),
+                    read_fraction=0.9,
+                    seed=100 + cid,
+                )
             ),
-            policy_factory=lambda cid: LRUCache(64),
-            num_servers=4,
-            faults=faults,
+            policy=PolicySpec(factory=lambda cid: LRUCache(64)),
+            topology=TopologySpec(num_servers=4, num_clients=2, faults=faults),
+            requests_per_client=1_500,
         )
+        return SimRunner().run(spec).telemetry
 
     def test_dead_shard_degrades_reads_and_run_completes(self):
         faults = FaultInjector(seed=1)
         faults.kill("cache-0")
-        result = self.make_sim(faults=faults).run()
-        assert result.total_requests == 3_000
-        assert result.degraded_reads > 0
-        assert result.fallback_latency > 0.0
-        assert result.failed_invalidations > 0
+        telemetry = self.run_sim(faults=faults)
+        assert telemetry.total_requests == 3_000
+        assert telemetry.degraded_reads > 0
+        assert telemetry.fallback_latency > 0.0
+        assert telemetry.failed_invalidations > 0
 
     def test_fallbacks_cost_latency(self):
-        healthy = self.make_sim(faults=None).run()
+        healthy = self.run_sim(faults=None)
         faults = FaultInjector(seed=1)
         faults.kill("cache-0")
-        degraded = self.make_sim(faults=faults).run()
+        degraded = self.run_sim(faults=faults)
         assert degraded.mean_latency > healthy.mean_latency
 
     def test_slowdown_inflates_runtime(self):
-        healthy = self.make_sim(faults=FaultInjector(seed=1)).run()
+        healthy = self.run_sim(faults=FaultInjector(seed=1))
         faults = FaultInjector(seed=1)
         faults.set_slowdown("cache-1", 4.0)
-        slowed = self.make_sim(faults=faults).run()
+        slowed = self.run_sim(faults=faults)
         assert slowed.runtime > healthy.runtime
         assert slowed.degraded_reads == 0  # slow, not failed
 

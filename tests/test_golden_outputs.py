@@ -1,0 +1,40 @@
+"""Golden-file regression tests for the scenario engine.
+
+These pin the rendered smoke-scale output of three representative
+experiments byte-for-byte: fig4 (policy-stream path), fig6 (simulator
+path), and table2 (cluster path).  Together they cover all three
+runners behind the engine, so any drift in seeding, drive order, or
+rendering shows up as a diff against ``tests/golden/``.
+
+To regenerate after an intentional change::
+
+    PYTHONPATH=src python -m repro.experiments <id> --scale smoke
+
+and paste the rendered tables (without the trailing timing line) into
+the matching ``tests/golden/<id>.smoke.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.experiments  # noqa: F401  (imports register every experiment)
+from repro.engine import Scale, get_experiment
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def rendered_output(experiment_id: str) -> str:
+    outcome = get_experiment(experiment_id).run(scale=Scale.smoke())
+    results = outcome if isinstance(outcome, list) else [outcome]
+    return "\n\n".join(result.render() for result in results) + "\n"
+
+
+@pytest.mark.parametrize("experiment_id", ["fig4", "fig6", "table2"])
+def test_smoke_output_matches_golden(experiment_id):
+    golden = (GOLDEN_DIR / f"{experiment_id}.smoke.txt").read_text(
+        encoding="utf-8"
+    )
+    assert rendered_output(experiment_id) == golden

@@ -4,10 +4,17 @@ from __future__ import annotations
 
 import pytest
 
+from repro.engine import (
+    PolicySpec,
+    Scale,
+    ScenarioSpec,
+    SimRunner,
+    TopologySpec,
+    WorkloadSpec,
+)
 from repro.errors import ConfigurationError, SimulationError
 from repro.policies.lru import LRUCache
 from repro.policies.nullcache import NullCache
-from repro.sim.endtoend import EndToEndSimulation
 from repro.sim.events import Simulator
 from repro.sim.network import FixedLatency, JitteredLatency, PAPER_RTT
 from repro.sim.server import ServiceModel, SimBackendServer
@@ -153,7 +160,7 @@ class TestSimBackendServer:
 
 
 class TestEndToEnd:
-    def make_sim(self, dist, policy_factory, clients=4, reqs=500):
+    def make_spec(self, dist, policy_factory, clients=4, reqs=500):
         def mixer(i):
             if dist == "uniform":
                 gen = UniformGenerator(2_000, seed=100 + i)
@@ -161,55 +168,58 @@ class TestEndToEnd:
                 gen = ZipfianGenerator(2_000, theta=dist, seed=100 + i)
             return OperationMixer(gen, seed=200 + i)
 
-        return EndToEndSimulation(
-            num_clients=clients,
+        return ScenarioSpec(
+            scale=Scale.tiny(),
+            workload=WorkloadSpec(mixer_factory=mixer),
+            policy=PolicySpec(factory=policy_factory),
+            topology=TopologySpec(num_servers=4, num_clients=clients),
             requests_per_client=reqs,
-            mixer_factory=mixer,
-            policy_factory=policy_factory,
-            num_servers=4,
         )
 
+    def run(self, *args, **kwargs):
+        return SimRunner().run(self.make_spec(*args, **kwargs))
+
     def test_validation(self):
+        spec = self.make_spec("uniform", lambda i: NullCache(), clients=0)
         with pytest.raises(ConfigurationError):
-            self.make_sim("uniform", lambda i: NullCache(), clients=0)
+            SimRunner().run(spec)
 
     def test_all_requests_complete(self):
-        sim = self.make_sim("uniform", lambda i: NullCache())
-        result = sim.run()
-        assert result.total_requests == 4 * 500
-        assert result.runtime > 0
-        assert result.throughput > 0
-        assert len(result.per_client_runtime) == 4
+        telemetry = self.run("uniform", lambda i: NullCache()).telemetry
+        assert telemetry.total_requests == 4 * 500
+        assert telemetry.runtime > 0
+        assert telemetry.throughput > 0
+        assert len(telemetry.per_client_runtime) == 4
 
     def test_skew_slower_than_uniform_without_cache(self):
-        uniform = self.make_sim("uniform", lambda i: NullCache()).run()
-        skewed = self.make_sim(1.2, lambda i: NullCache()).run()
+        uniform = self.run("uniform", lambda i: NullCache()).telemetry
+        skewed = self.run(1.2, lambda i: NullCache()).telemetry
         assert skewed.runtime > uniform.runtime
         assert skewed.backend_imbalance > uniform.backend_imbalance
 
     def test_front_end_cache_cuts_skewed_runtime(self):
-        no_cache = self.make_sim(1.2, lambda i: NullCache()).run()
-        cached = self.make_sim(1.2, lambda i: LRUCache(64)).run()
+        no_cache = self.run(1.2, lambda i: NullCache()).telemetry
+        cached = self.run(1.2, lambda i: LRUCache(64)).telemetry
         assert cached.runtime < no_cache.runtime
-        assert cached.front_end_hit_rate > 0.2
+        assert cached.hit_rate > 0.2
         assert cached.backend_imbalance < no_cache.backend_imbalance
 
     def test_mean_latency_positive(self):
-        result = self.make_sim("uniform", lambda i: NullCache()).run()
-        assert result.mean_latency > PAPER_RTT / 2
+        telemetry = self.run("uniform", lambda i: NullCache()).telemetry
+        assert telemetry.mean_latency > PAPER_RTT / 2
 
     def test_write_path_executes(self):
         def mixer(i):
             gen = UniformGenerator(100, seed=i)
             return OperationMixer(gen, read_fraction=0.5, seed=300 + i)
 
-        sim = EndToEndSimulation(
-            num_clients=2,
+        spec = ScenarioSpec(
+            scale=Scale.tiny(),
+            workload=WorkloadSpec(mixer_factory=mixer),
+            policy=PolicySpec(factory=lambda i: LRUCache(16)),
+            topology=TopologySpec(num_servers=2, num_clients=2),
             requests_per_client=200,
-            mixer_factory=mixer,
-            policy_factory=lambda i: LRUCache(16),
-            num_servers=2,
         )
-        result = sim.run()
-        assert result.total_requests == 400
-        assert sim.cluster.storage.stats.writes > 0
+        result = SimRunner().run(spec)
+        assert result.telemetry.total_requests == 400
+        assert result.cluster.storage.stats.writes > 0

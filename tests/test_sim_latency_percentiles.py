@@ -1,15 +1,23 @@
 """Tests for tail-latency reporting in the end-to-end simulation.
 
 The paper motivates CoT with tail-latency damage from load-imbalance;
-the simulator therefore reports p50/p99, and these tests pin that the
-tail contracts when a front-end cache removes the hot-shard bottleneck.
+the simulator therefore reports p50/p99 through the telemetry bus, and
+these tests pin that the tail contracts when a front-end cache removes
+the hot-shard bottleneck.
 """
 
 from __future__ import annotations
 
+from repro.engine import (
+    PolicySpec,
+    Scale,
+    ScenarioSpec,
+    SimRunner,
+    TopologySpec,
+    WorkloadSpec,
+)
 from repro.policies.lru import LRUCache
 from repro.policies.nullcache import NullCache
-from repro.sim.endtoend import EndToEndSimulation
 from repro.workloads.mixer import OperationMixer
 from repro.workloads.zipfian import ZipfianGenerator
 
@@ -20,24 +28,25 @@ def build(policy_factory, clients=6, reqs=800):
             ZipfianGenerator(2_000, theta=1.3, seed=40 + i), seed=90 + i
         )
 
-    return EndToEndSimulation(
-        num_clients=clients,
+    spec = ScenarioSpec(
+        scale=Scale.tiny(),
+        workload=WorkloadSpec(mixer_factory=mixer),
+        policy=PolicySpec(factory=policy_factory),
+        topology=TopologySpec(num_servers=4, num_clients=clients),
         requests_per_client=reqs,
-        mixer_factory=mixer,
-        policy_factory=policy_factory,
-        num_servers=4,
     )
+    return SimRunner().run(spec)
 
 
 class TestTailLatency:
     def test_percentiles_ordered(self):
-        result = build(lambda i: NullCache()).run()
-        assert 0 < result.p50_latency <= result.p99_latency
-        assert result.p50_latency <= result.mean_latency * 3
+        telemetry = build(lambda i: NullCache()).telemetry
+        assert 0 < telemetry.p50_latency <= telemetry.p99_latency
+        assert telemetry.p50_latency <= telemetry.mean_latency * 3
 
     def test_cache_contracts_the_tail(self):
-        bare = build(lambda i: NullCache()).run()
-        cached = build(lambda i: LRUCache(64)).run()
+        bare = build(lambda i: NullCache()).telemetry
+        cached = build(lambda i: LRUCache(64)).telemetry
         # The tail contracts dramatically: the cached p99 beats even the
         # bare *median*, because the hot-shard queue (a tail phenomenon)
         # is what the front-end cache removes.
@@ -45,9 +54,8 @@ class TestTailLatency:
         assert cached.p99_latency < bare.p50_latency * 2
 
     def test_per_client_recorders_populated(self):
-        simulation = build(lambda i: NullCache(), clients=2, reqs=100)
-        result = simulation.run()
-        for client in simulation.clients:
+        result = build(lambda i: NullCache(), clients=2, reqs=100)
+        for client in result.sim_clients:
             assert client.latency_recorder.count == 100
             assert client.latency_recorder.mean > 0
-        assert result.total_requests == 200
+        assert result.telemetry.total_requests == 200
