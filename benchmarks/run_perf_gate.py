@@ -26,6 +26,16 @@ compares to a specific recorded entry instead of the latest.
 Throughput is reported as operations per second: pytest-benchmark's
 ``1 / mean-round-time`` scaled by the bench's ``ops_per_round`` extra-info
 when present (the policy/ sketch loops run 2000 ops per timed round).
+
+Tracing-overhead gate
+---------------------
+Both modes also measure the request tracer's cost on the hot path: the
+same ``FrontEndClient.get`` loop (cot policy, lookup+admit) is timed with
+``tracer=None`` and with a low-rate sampling :class:`~repro.obs.trace.Tracer`
+attached, best-of-N rounds each. The gate fails when the traced loop's
+throughput drops more than ``--overhead-threshold`` (default 5%) below the
+untraced loop — observability must stay effectively free when it is not
+sampling. ``--tracing-overhead`` runs only this measurement.
 """
 
 from __future__ import annotations
@@ -37,11 +47,21 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = REPO_ROOT / "BENCH_ops.json"
 SUITE = "benchmarks/bench_ops_throughput.py"
+
+#: ops per timed round / timing rounds / warmup ops for the tracing gate
+TRACE_OPS = 40_000
+TRACE_ROUNDS = 9
+TRACE_WARMUP = 20_000
+#: sampling rate used for the traced run — realistic production setting
+#: (one request in 1024 records a span tree; the rest pay one accumulator
+#: bump in ``Tracer.start``)
+TRACE_SAMPLE_RATE = 1.0 / 1024.0
 
 
 def run_suite() -> dict[str, dict[str, float]]:
@@ -87,6 +107,115 @@ def run_suite() -> dict[str, dict[str, float]]:
     return results
 
 
+def _build_traced_client(tracer):
+    """A warmed ``FrontEndClient`` (cot policy) plus its key stream."""
+    from repro.cluster.client import FrontEndClient
+    from repro.cluster.cluster import CacheCluster
+    from repro.policies.registry import make_policy
+    from repro.workloads.zipfian import ZipfianGenerator
+
+    generator = ZipfianGenerator(10_000, theta=0.99, seed=42)
+    keys = [f"usertable:{k}" for k in generator.keys_array(TRACE_OPS)]
+    cluster = CacheCluster(num_servers=8, value_size=1, virtual_nodes=1024)
+    client = FrontEndClient(
+        cluster, make_policy("cot", 512, tracker_capacity=2048), tracer=tracer
+    )
+    warmup = keys * (TRACE_WARMUP // len(keys) + 1)
+    for key in warmup[:TRACE_WARMUP]:
+        client.get(key)
+    return client, keys
+
+
+def _sweep(client, keys) -> float:
+    """Wall time of one sweep of the key stream."""
+    get = client.get
+    started = time.perf_counter()
+    for key in keys:
+        get(key)
+    return time.perf_counter() - started
+
+
+def measure_tracing_overhead() -> dict[str, float]:
+    """Time the cot lookup+admit hot path untraced vs. traced.
+
+    Runs in-process (no pytest-benchmark) because the comparison is
+    relative. The measurement is *paired*: one client object runs every
+    sweep, with the tracer attached or detached between sweeps — two
+    separately-built clients differ by several percent from memory layout
+    alone, which would swamp the effect being gated. Sweep order
+    alternates per round so within-round drift cancels too; a traced
+    request takes the same cache/guard/monitor decisions as an untraced
+    one, so flipping the tracer does not perturb the policy state the
+    paired sweeps share.
+    """
+    import gc
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.trace import Tracer
+
+    client, keys = _build_traced_client(None)
+    tracer = Tracer(sample_rate=TRACE_SAMPLE_RATE)
+    # Warm both branch shapes (adaptive-interpreter specialization) before
+    # any timed sweep, and keep the collector out of the timing windows.
+    for config in (tracer, None):
+        client.tracer = config
+        _sweep(client, keys)
+    untraced = traced = float("inf")
+    ratios: list[float] = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for round_index in range(TRACE_ROUNDS):
+            # Each round yields one traced/untraced ratio from two
+            # temporally adjacent sweeps; the median of the per-round
+            # ratios shrugs off the heavy-tailed scheduler noise that
+            # makes a global best-of comparison flap.
+            if round_index % 2 == 0:
+                client.tracer = None
+                gc.collect()
+                plain = _sweep(client, keys)
+                client.tracer = tracer
+                sampled = _sweep(client, keys)
+            else:
+                client.tracer = tracer
+                gc.collect()
+                sampled = _sweep(client, keys)
+                client.tracer = None
+                plain = _sweep(client, keys)
+            untraced = min(untraced, plain)
+            traced = min(traced, sampled)
+            ratios.append(sampled / plain)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+    return {
+        "untraced_ops_per_sec": len(keys) / untraced,
+        "traced_ops_per_sec": len(keys) / traced,
+        "overhead_fraction": median_ratio - 1.0,
+        "sample_rate": TRACE_SAMPLE_RATE,
+    }
+
+
+def check_tracing_overhead(threshold: float) -> int:
+    """Gate: traced throughput must stay within ``threshold`` of untraced."""
+    metrics = measure_tracing_overhead()
+    overhead = metrics["overhead_fraction"]
+    print(
+        f"tracing overhead on cot lookup+admit "
+        f"(sample rate 1/{round(1 / metrics['sample_rate'])}):"
+    )
+    print(f"  untraced {metrics['untraced_ops_per_sec']:>14,.0f} ops/s")
+    print(f"  traced   {metrics['traced_ops_per_sec']:>14,.0f} ops/s")
+    print(f"  overhead {overhead:>+14.2%}  (threshold +{threshold:.0%})")
+    if overhead > threshold:
+        print("\ntracing-overhead gate FAILED")
+        return 1
+    print("tracing-overhead gate passed")
+    return 0
+
+
 def load_entries() -> list[dict]:
     if not BENCH_FILE.exists():
         return []
@@ -122,7 +251,7 @@ def record(label: str) -> None:
         print(f"  {name:45s} {metrics['ops_per_sec']:>14,.0f} ops/s")
 
 
-def check(threshold: float, against: str | None) -> int:
+def check(threshold: float, against: str | None, overhead_threshold: float) -> int:
     entries = load_entries()
     if not entries:
         raise SystemExit(
@@ -160,8 +289,8 @@ def check(threshold: float, against: str | None) -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\nperf gate passed")
-    return 0
+    print("\nperf gate passed\n")
+    return check_tracing_overhead(overhead_threshold)
 
 
 def main() -> int:
@@ -188,9 +317,23 @@ def main() -> int:
         default=0.25,
         help="allowed fractional throughput drop before failing (default 0.25)",
     )
+    parser.add_argument(
+        "--tracing-overhead",
+        action="store_true",
+        help="run only the traced-vs-untraced overhead gate",
+    )
+    parser.add_argument(
+        "--overhead-threshold",
+        type=float,
+        default=0.05,
+        help="allowed fractional slowdown from an attached low-rate tracer "
+        "on the cot lookup+admit hot path (default 0.05)",
+    )
     args = parser.parse_args()
+    if args.tracing_overhead:
+        return check_tracing_overhead(args.overhead_threshold)
     if args.check:
-        return check(args.threshold, args.against)
+        return check(args.threshold, args.against, args.overhead_threshold)
     record(args.label)
     return 0
 

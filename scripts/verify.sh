@@ -7,6 +7,14 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== hygiene =="
+# Committed bytecode / tool caches are repo rot: fail fast if any sneak in.
+if git ls-files | grep -E '(^|/)__pycache__/|\.py[cod]$|(^|/)\.pytest_cache/|(^|/)\.benchmarks/|\.egg-info(/|$)' ; then
+    echo "tracked build/bytecode artifacts found (see above); git rm them" >&2
+    exit 1
+fi
+echo "(no tracked bytecode or tool-cache artifacts)"
+
 echo "== lint =="
 if python -m ruff --version >/dev/null 2>&1; then
     python -m ruff check src tests benchmarks
@@ -20,7 +28,17 @@ python -m pytest -x -q
 
 echo "== engine smoke =="
 python -m repro.experiments --list
-python -m repro.experiments all --scale smoke
+metrics_out="$(mktemp)"
+python -m repro.experiments all --scale smoke --metrics-out "$metrics_out"
+# The exported page must round-trip through the strict parser.
+python - "$metrics_out" <<'PY'
+import sys
+from repro.obs.export import parse_prometheus
+series = parse_prometheus(open(sys.argv[1], encoding="utf-8").read())
+assert any(name.endswith("_total") for name in series), "no counters exported"
+print(f"(metrics page OK: {len(series)} series)")
+PY
+rm -f "$metrics_out"
 
 echo "== perf gate =="
 python benchmarks/run_perf_gate.py --check "$@"

@@ -27,6 +27,7 @@ from repro.cluster.cluster import CacheCluster
 from repro.cluster.loadmonitor import LoadMonitor
 from repro.cluster.retry import ClusterGuard
 from repro.errors import ShardUnavailableError
+from repro.obs.trace import Trace, Tracer
 from repro.policies.base import MISSING, CachePolicy
 from repro.workloads.request import OpType, Request
 
@@ -59,6 +60,12 @@ class FrontEndClient:
         accounted extra latency (seconds) of one storage-fallback read,
         fed to :meth:`LoadMonitor.record_degraded` (the untimed data
         plane measures time, it does not spend it).
+    tracer:
+        optional sampling :class:`~repro.obs.trace.Tracer`; sampled reads
+        record a span tree (front-end cache → ring route → shard lookup →
+        retry/breaker → storage fallback). ``None`` (and any sampling
+        rate of 0) leaves the hot path untouched — decisions, counters
+        and outputs are identical with and without it.
     """
 
     def __init__(
@@ -68,6 +75,7 @@ class FrontEndClient:
         client_id: str = "front-0",
         guard: ClusterGuard | None = None,
         fallback_penalty: float = 0.0,
+        tracer: Tracer | None = None,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
@@ -75,6 +83,7 @@ class FrontEndClient:
         self.monitor = LoadMonitor(cluster.server_ids)
         self.guard = guard or ClusterGuard(cluster.server_ids)
         self.fallback_penalty = fallback_penalty
+        self.tracer = tracer
 
     # ------------------------------------------------------------- protocol
 
@@ -84,8 +93,65 @@ class FrontEndClient:
         Dispatches through the policy's fused ``get_or_admit`` entry
         point: the policy resolves the key once, and only on a local miss
         does :meth:`_fetch_from_backend` route to the owning shard.
+
+        The sampling gate is inlined (credit accumulator arithmetic, no
+        method call) so an attached low-rate tracer costs almost nothing
+        on unsampled requests — the perf gate pins the overhead at <5%.
         """
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.credit += tracer.sample_rate
+            if tracer.credit >= 1.0:
+                return self._traced_get(
+                    key, tracer.start_sampled("request.get")
+                )
         return self.policy.get_or_admit(key, self._fetch_from_backend)
+
+    def _traced_get(self, key: Hashable, trace: Trace) -> Any:
+        """Sampled read: same decisions as :meth:`get`, plus a span tree.
+
+        The policy/guard/monitor calls are identical to the untraced path
+        (the equivalence test pins this); only span bookkeeping is added
+        around them, so a traced run's counters and outputs match an
+        untraced run access-for-access.
+        """
+        trace.note("key", key)
+        trace.note("outcome", "hit")
+        try:
+            with trace.span("frontend.cache"):
+                return self.policy.get_or_admit(
+                    key, lambda k: self._traced_fetch(k, trace)
+                )
+        finally:
+            self.tracer.finish(trace)
+
+    def _traced_fetch(self, key: Hashable, trace: Trace) -> Any:
+        """Traced twin of :meth:`_fetch_from_backend` (span per stage)."""
+        trace.note("outcome", "miss")
+        with trace.span("ring.route"):
+            server = self.cluster.server_for(key)
+        server_id = server.server_id
+        self.monitor.record_lookup(server_id)
+        stats = self.guard.stats
+        retries_before = stats.retries
+        try:
+            with trace.span("shard.lookup", shard=server_id) as span:
+                try:
+                    value = self.guard.call(server_id, lambda: server.get(key))
+                finally:
+                    retried = stats.retries - retries_before
+                    if retried:
+                        span.meta["retries"] = retried
+        except ShardUnavailableError:
+            trace.note("outcome", "degraded")
+            with trace.span("storage.degraded_read", shard=server_id):
+                return self._degraded_read(server_id, key)
+        if value is MISSING:
+            with trace.span("storage.fallback"):
+                value = self.cluster.storage.get(key)
+            with trace.span("shard.backfill", shard=server_id):
+                self._backfill(server, key, value)
+        return value
 
     def _fetch_from_backend(self, key: Hashable) -> Any:
         """Miss loader: guarded shard lookup with storage backfill.

@@ -36,6 +36,7 @@ from repro.core.epoch import EpochRecord, EpochSnapshot
 from repro.core.hotness import HotnessModel
 from repro.core.resizing import ResizingController
 from repro.errors import ConfigurationError
+from repro.obs.trace import Tracer
 
 __all__ = ["ElasticCoTClient"]
 
@@ -66,6 +67,10 @@ class ElasticCoTClient(FrontEndClient):
         retry/breaker layer forwarded to
         :class:`~repro.cluster.client.FrontEndClient`; the chaos
         experiments pass one with tightened thresholds.
+    tracer:
+        optional sampling request tracer, forwarded to
+        :class:`~repro.cluster.client.FrontEndClient` — elastic reads
+        trace through the same span tree as plain front-end reads.
     """
 
     def __init__(
@@ -81,13 +86,16 @@ class ElasticCoTClient(FrontEndClient):
         client_id: str = "elastic-0",
         imbalance_window: int = 32,
         guard: "ClusterGuard | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if base_epoch < 1:
             raise ConfigurationError("base_epoch must be >= 1")
         if imbalance_window < 1:
             raise ConfigurationError("imbalance_window must be >= 1")
         policy = CoTCache(initial_cache, initial_tracker, model=model)
-        super().__init__(cluster, policy, client_id=client_id, guard=guard)
+        super().__init__(
+            cluster, policy, client_id=client_id, guard=guard, tracer=tracer
+        )
         self.cot: CoTCache = policy
         self.controller = controller or ResizingController(
             target_imbalance=target_imbalance

@@ -32,7 +32,8 @@ from repro.engine import telemetry as T
 from repro.engine.spec import RunContext, ScenarioSpec, make_generator
 from repro.engine.telemetry import PhaseTelemetry, TelemetryBus, TelemetrySnapshot
 from repro.errors import ConfigurationError
-from repro.metrics.latency import percentile
+from repro.metrics.latency import LatencyRecorder
+from repro.obs.hist import LatencyHistogram
 from repro.policies.base import MISSING, CachePolicy
 from repro.sim.client import SimClient
 from repro.sim.events import Simulator
@@ -221,6 +222,11 @@ class ClusterRunner:
                 FrontEndClient(cluster, spec.policy.build(i), client_id=f"front-{i}")
                 for i in range(num_clients)
             ]
+        if spec.tracer is not None:
+            # One shared tracer across the run's front ends (covers
+            # factory-built clients, e.g. elastic ones, as well).
+            for client in front_ends:
+                client.tracer = spec.tracer
 
         bus = TelemetryBus()
         per_client = spec.total_accesses // num_clients
@@ -460,6 +466,7 @@ class SimRunner:
                 servers=servers,
                 latency=latency,
                 total_requests=per_client,
+                tracer=spec.tracer,
             )
             clients.append(client)
 
@@ -518,10 +525,18 @@ class SimRunner:
         )
         latency_total = sum(c.latencies_sum for c in clients)
         bus.mean_latency = latency_total / total_requests if total_requests else 0.0
-        samples: list[float] = []
-        for client in clients:
-            samples.extend(client.latency_recorder.samples())
-        bus.p50_latency = percentile(samples, 50) if samples else 0.0
-        bus.p99_latency = percentile(samples, 99) if samples else 0.0
+        # Cross-client percentiles go through the count-weighted reservoir
+        # merge — concatenating raw reservoirs weighs every client equally
+        # once any reservoir saturates, biasing the merged p50/p99 toward
+        # low-traffic clients. The fixed-bucket histogram merge is exact
+        # and is what the bus publishes as the full distribution.
+        merged = LatencyRecorder.merged(
+            (c.latency_recorder for c in clients), seed=0
+        )
+        bus.p50_latency = merged.percentile(50) if merged.count else 0.0
+        bus.p99_latency = merged.percentile(99) if merged.count else 0.0
+        histogram = LatencyHistogram.merged(c.latency_histogram for c in clients)
+        if histogram.count:
+            bus.record_histogram(T.REQUEST_LATENCY, histogram)
         bus.fallback_latency = sum(c.fallback_latency_sum for c in clients)
         return bus

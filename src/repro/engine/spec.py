@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.cluster.faults import FaultInjector
     from repro.cluster.client import FrontEndClient
     from repro.cluster.storage import PersistentStore
+    from repro.obs.trace import Tracer
     from repro.sim.network import LatencyModel
     from repro.sim.server import ServiceModel
 
@@ -259,6 +260,11 @@ class ScenarioSpec:
     #: sim-path timing models
     service_model: "ServiceModel | None" = None
     latency: "LatencyModel | None" = None
+    #: sampling request tracer shared by every client of the run; the
+    #: runners attach it to front ends / sim clients (factory-built
+    #: clients included). ``None`` — and any tracer at sample rate 0 —
+    #: is observationally inert: outputs stay byte-identical.
+    tracer: "Tracer | None" = None
 
     # ------------------------------------------------------------ resolution
 

@@ -14,11 +14,12 @@ three legacy harnesses used to hand-wire.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
 
 from repro.cluster.loadmonitor import load_imbalance
 from repro.core.epoch import EpochRecord
+from repro.obs.hist import LatencyHistogram
 
 __all__ = [
     "ACCESSES",
@@ -30,11 +31,14 @@ __all__ = [
     "INCORRECT_READS",
     "MISSES",
     "OPEN_REJECTIONS",
+    "REQUEST_LATENCY",
     "RETRIES",
     "TOTAL_REQUESTS",
     "PhaseTelemetry",
     "TelemetryBus",
     "TelemetrySnapshot",
+    "add_snapshot_listener",
+    "remove_snapshot_listener",
 ]
 
 # Canonical counter names shared by every runner. Keeping them as module
@@ -51,6 +55,32 @@ BREAKER_OPENS = "resilience.breaker_opens"
 BREAKER_CLOSES = "resilience.breaker_closes"
 FAILED_INVALIDATIONS = "resilience.failed_invalidations"
 INCORRECT_READS = "verify.incorrect_reads"
+
+#: Canonical histogram name for the per-request latency distribution
+#: (timed runners publish it; the Prometheus exporter renders it as a
+#: ``*_seconds`` histogram family).
+REQUEST_LATENCY = "request.latency"
+
+
+#: Observers notified with every frozen :class:`TelemetrySnapshot`
+#: (read-only: listeners must never mutate runs; the golden tests pin
+#: that attaching one is strictly additive). The experiment CLI's
+#: ``--metrics-out`` collector plugs in here.
+_snapshot_listeners: list[Callable[["TelemetrySnapshot"], None]] = []
+
+
+def add_snapshot_listener(listener: Callable[["TelemetrySnapshot"], None]) -> None:
+    """Subscribe ``listener`` to every snapshot the engine freezes."""
+    if listener not in _snapshot_listeners:
+        _snapshot_listeners.append(listener)
+
+
+def remove_snapshot_listener(listener: Callable[["TelemetrySnapshot"], None]) -> None:
+    """Unsubscribe a previously-added snapshot listener."""
+    try:
+        _snapshot_listeners.remove(listener)
+    except ValueError:
+        pass
 
 
 @dataclass(frozen=True)
@@ -86,8 +116,15 @@ class PhaseTelemetry:
 
     @property
     def max_imbalance(self) -> float:
-        """Worst per-epoch ``I_c`` closed during the phase (0 if none)."""
-        return max((r.snapshot.imbalance for r in self.epoch_events), default=0.0)
+        """Worst per-epoch ``I_c`` closed during the phase.
+
+        A phase in which no epoch closed is *vacuously balanced*: the
+        default matches :func:`~repro.cluster.loadmonitor.load_imbalance`'s
+        empty-input value of 1.0 (max/min of nothing), so reporters that
+        compare phases against ``I_t`` never see an impossible ``I_c`` of
+        0 (every real imbalance ratio is >= 1).
+        """
+        return max((r.snapshot.imbalance for r in self.epoch_events), default=1.0)
 
 
 @dataclass(frozen=True)
@@ -111,9 +148,15 @@ class TelemetrySnapshot:
     runtime: float = 0.0
     per_client_runtime: tuple[float, ...] = ()
     mean_latency: float = 0.0
+    #: percentile scalars are *derived* from the latency pipeline (exact
+    #: histogram merge / count-weighted reservoir merge) — never from
+    #: concatenated per-client reservoirs
     p50_latency: float = 0.0
     p99_latency: float = 0.0
     fallback_latency: float = 0.0
+    #: full latency distributions by name (fixed-bucket, exactly merged
+    #: across clients); :data:`REQUEST_LATENCY` is the canonical family
+    histograms: Mapping[str, LatencyHistogram] = field(default_factory=dict)
 
     # ------------------------------------------------------ typed accessors
 
@@ -165,6 +208,15 @@ class TelemetrySnapshot:
         """Requests per simulated second (timed runs only)."""
         return self.total_requests / self.runtime if self.runtime else 0.0
 
+    def histogram(self, name: str) -> LatencyHistogram | None:
+        """One named latency histogram, or ``None`` if never recorded."""
+        return self.histograms.get(name)
+
+    @property
+    def request_latency(self) -> LatencyHistogram | None:
+        """The canonical per-request latency distribution (timed runs)."""
+        return self.histograms.get(REQUEST_LATENCY)
+
 
 class TelemetryBus:
     """Mutable collection side of the telemetry pipeline.
@@ -180,6 +232,7 @@ class TelemetryBus:
         self._epoch_shard_loads: dict[str, int] = {}
         self._epoch_events: list[EpochRecord] = []
         self._phases: list[PhaseTelemetry] = []
+        self._histograms: dict[str, LatencyHistogram] = {}
         self.runtime: float = 0.0
         self.per_client_runtime: tuple[float, ...] = ()
         self.mean_latency: float = 0.0
@@ -198,6 +251,25 @@ class TelemetryBus:
     def set_gauge(self, name: str, value: float) -> None:
         """Record the latest value of gauge ``name``."""
         self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to histogram ``name`` (created lazily)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LatencyHistogram()
+        histogram.record(value)
+
+    def record_histogram(self, name: str, histogram: LatencyHistogram) -> None:
+        """Publish a pre-built histogram (merged into any existing one)."""
+        existing = self._histograms.get(name)
+        if existing is None:
+            self._histograms[name] = histogram.copy()
+        else:
+            existing.merge(histogram)
+
+    def histogram(self, name: str) -> LatencyHistogram | None:
+        """The live histogram named ``name`` (``None`` if never touched)."""
+        return self._histograms.get(name)
 
     def record_shard_loads(
         self, total: Mapping[str, int], epoch: Mapping[str, int] | None = None
@@ -224,8 +296,13 @@ class TelemetryBus:
         return tuple(self._epoch_events[start:])
 
     def snapshot(self) -> TelemetrySnapshot:
-        """Freeze the bus into an immutable result surface."""
-        return TelemetrySnapshot(
+        """Freeze the bus into an immutable result surface.
+
+        Registered snapshot listeners (:func:`add_snapshot_listener`) are
+        notified with the frozen snapshot — the hook the Prometheus
+        export surface collects through.
+        """
+        snap = TelemetrySnapshot(
             counters=dict(self._counters),
             gauges=dict(self._gauges),
             shard_loads=dict(self._shard_loads),
@@ -238,4 +315,11 @@ class TelemetryBus:
             p50_latency=self.p50_latency,
             p99_latency=self.p99_latency,
             fallback_latency=self.fallback_latency,
+            histograms={
+                name: histogram.copy()
+                for name, histogram in self._histograms.items()
+            },
         )
+        for listener in _snapshot_listeners:
+            listener(snap)
+        return snap

@@ -15,6 +15,7 @@ import time
 import repro.experiments  # noqa: F401  (imports register every experiment)
 from repro.engine.registry import experiment_ids, get_experiment
 from repro.experiments.common import Scale
+from repro.obs.export import SnapshotCollector
 
 __all__ = ["main"]
 
@@ -45,6 +46,15 @@ def main(argv: list[str] | None = None) -> int:
         help="workload sizing preset (default: 'default'; 'paper' is the "
         "full 1M-key/10M-access setup and is slow in pure Python)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write every run's telemetry as a Prometheus text-format "
+        "(exposition 0.0.4) metrics page to PATH — counters, gauges, "
+        "per-shard load families and latency histograms, one 'run' label "
+        "per scenario executed",
+    )
     args = parser.parse_args(argv)
 
     if args.list_experiments:
@@ -58,16 +68,30 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = Scale.named(args.scale)
     ids = list(experiment_ids()) if args.experiment == "all" else [args.experiment]
-    for experiment_id in ids:
-        started = time.perf_counter()
-        outcome = get_experiment(experiment_id).run(scale=scale)
-        elapsed = time.perf_counter() - started
-        results = outcome if isinstance(outcome, list) else [outcome]
-        for result in results:
-            print(result.render())
+    collector = SnapshotCollector().install() if args.metrics_out else None
+    try:
+        for experiment_id in ids:
+            started = time.perf_counter()
+            outcome = get_experiment(experiment_id).run(scale=scale)
+            elapsed = time.perf_counter() - started
+            results = outcome if isinstance(outcome, list) else [outcome]
+            for result in results:
+                print(result.render())
+                print()
+            print(
+                f"[{experiment_id} completed in {elapsed:.1f}s at scale={scale.name}]"
+            )
             print()
-        print(f"[{experiment_id} completed in {elapsed:.1f}s at scale={scale.name}]")
-        print()
+    finally:
+        if collector is not None:
+            collector.uninstall()
+    if collector is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(collector.render())
+        print(
+            f"[{len(collector.snapshots)} telemetry snapshot(s) exported to "
+            f"{args.metrics_out}]"
+        )
     return 0
 
 

@@ -4,12 +4,20 @@ End-to-end experiments report means; tail latency is what load-imbalance
 actually hurts first (the paper cites drastic tail-latency increases), so
 the harness records full distributions via reservoir sampling with a
 fixed memory bound and exact small-sample behaviour.
+
+Multi-client summaries must go through :meth:`LatencyRecorder.merge` (or
+:meth:`LatencyRecorder.merged`): concatenating raw reservoirs weighs
+every client equally once any reservoir saturates, which biases merged
+percentiles toward low-traffic clients. The merge draws from each
+reservoir proportionally to the *stream count* it represents, so a
+client that served 100× the traffic contributes 100× the weight.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from typing import Iterable
 
 from repro.errors import ConfigurationError
 
@@ -68,8 +76,90 @@ class LatencyRecorder:
                 self._samples[slot] = value
 
     def samples(self) -> list[float]:
-        """A copy of the current reservoir (for merging across clients)."""
+        """A copy of the current reservoir.
+
+        Do **not** concatenate reservoirs from multiple recorders to
+        estimate merged percentiles — that path is biased once any
+        reservoir saturates; use :meth:`merge`/:meth:`merged` instead.
+        """
         return list(self._samples)
+
+    @property
+    def reservoir_size(self) -> int:
+        """Configured reservoir capacity."""
+        return self._reservoir_size
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold ``other`` into this recorder, count-weighted; returns self.
+
+        Streaming stats (count/total/min/max) combine exactly. The merged
+        reservoir is rebuilt by drawing from the two reservoirs with
+        probability proportional to the *stream counts* they represent
+        (``self.count`` vs ``other.count``), not their reservoir lengths —
+        the fix for the saturated-reservoir concatenation bias. When the
+        combined reservoirs fit inside the capacity and neither recorder
+        has dropped a sample, the merge is the exact concatenation.
+        """
+        if other.count == 0:
+            return self
+        size = self._reservoir_size
+        mine, theirs = self._samples, other._samples
+        exact = (
+            len(mine) == self.count
+            and len(theirs) == other.count
+            and self.count + other.count <= size
+        )
+        if exact:
+            merged = mine + list(theirs)
+        else:
+            rng = self._rng
+            pool_a = list(mine)
+            pool_b = list(theirs)
+            rng.shuffle(pool_a)
+            rng.shuffle(pool_b)
+            weight_a, weight_b = float(self.count), float(other.count)
+            take = min(size, len(pool_a) + len(pool_b))
+            merged = []
+            ia = ib = 0
+            for _ in range(take):
+                pick_a = ia < len(pool_a) and (
+                    ib >= len(pool_b)
+                    or rng.random() * (weight_a + weight_b) < weight_a
+                )
+                if pick_a:
+                    merged.append(pool_a[ia])
+                    ia += 1
+                else:
+                    merged.append(pool_b[ib])
+                    ib += 1
+        self._samples = merged
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        return self
+
+    @classmethod
+    def merged(
+        cls,
+        recorders: Iterable["LatencyRecorder"],
+        reservoir_size: int | None = None,
+        seed: int | None = 0,
+    ) -> "LatencyRecorder":
+        """A fresh recorder holding the count-weighted merge of ``recorders``.
+
+        This is the one entry point for cross-client percentile summaries
+        (the engine's sim path routes through it).
+        """
+        recorder_list = list(recorders)
+        if reservoir_size is None:
+            reservoir_size = max(
+                (r._reservoir_size for r in recorder_list), default=10_000
+            )
+        out = cls(reservoir_size, seed=seed)
+        for recorder in recorder_list:
+            out.merge(recorder)
+        return out
 
     @property
     def mean(self) -> float:

@@ -1,0 +1,40 @@
+"""Observability layer: tracing, histograms, export, profiling.
+
+The production-shaped lens over the engine's telemetry (DESIGN.md §9)::
+
+    Tracer ──▶ span trees ──▶ slow-request exemplars (render_trace)
+    LatencyHistogram ──▶ exact cross-client merge ──▶ TelemetrySnapshot
+    TelemetrySnapshot ──▶ PrometheusExporter ──▶ metrics page (--metrics-out)
+    SectionTimer / PeriodicSnapshotter ──▶ per-subsystem attribution
+
+Everything here is strictly additive: attaching a tracer at sample rate
+0 or a :class:`SnapshotCollector` to a run leaves experiment output
+byte-identical (``tests/test_golden_outputs.py`` +
+``tests/test_obs.py`` pin this).
+"""
+
+from repro.obs.hist import LatencyHistogram
+from repro.obs.trace import Span, Trace, Tracer, render_trace
+from repro.obs.export import (
+    PrometheusExporter,
+    SnapshotCollector,
+    parse_prometheus,
+    render_prometheus,
+    write_metrics,
+)
+from repro.obs.profile import PeriodicSnapshotter, SectionTimer
+
+__all__ = [
+    "LatencyHistogram",
+    "PeriodicSnapshotter",
+    "PrometheusExporter",
+    "SectionTimer",
+    "SnapshotCollector",
+    "Span",
+    "Trace",
+    "Tracer",
+    "parse_prometheus",
+    "render_prometheus",
+    "render_trace",
+    "write_metrics",
+]

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from repro.cluster.cluster import CacheCluster
 from repro.metrics.latency import LatencyRecorder
+from repro.obs.hist import LatencyHistogram
+from repro.obs.trace import Tracer
 from repro.policies.base import MISSING, CachePolicy
 from repro.sim.events import Simulator
 from repro.sim.network import LatencyModel
@@ -63,6 +65,11 @@ class SimClient:
         network latency model.
     total_requests:
         how many operations this client issues before stopping.
+    tracer:
+        optional sampling :class:`~repro.obs.trace.Tracer`; sampled
+        requests record span trees on *simulated* timestamps (explicit
+        ``at=`` times, not wall clock), so a span's duration is the
+        modeled network/queueing/service time it covers.
     """
 
     def __init__(
@@ -75,6 +82,7 @@ class SimClient:
         servers: dict[str, SimBackendServer],
         latency: LatencyModel,
         total_requests: int,
+        tracer: Tracer | None = None,
     ) -> None:
         self.client_id = client_id
         self.sim = sim
@@ -96,6 +104,11 @@ class SimClient:
         #: full latency distribution (reservoir-sampled) — load-imbalance
         #: hurts the tail first, so the harness reports p50/p99 too.
         self.latency_recorder = LatencyRecorder(seed=client_id)
+        #: fixed-bucket twin of the reservoir: merges *exactly* across
+        #: clients, which is what the engine publishes to the bus
+        self.latency_histogram = LatencyHistogram()
+        self.tracer = tracer
+        self._active_trace = None
         self._started_at = 0.0
         self._pending: list = []
         self._pending_idx = 0
@@ -136,28 +149,66 @@ class SimClient:
         elapsed = self.sim.now - self._started_at
         self.latencies_sum += elapsed
         self.latency_recorder.record(elapsed)
+        self.latency_histogram.record(elapsed)
+        trace = self._active_trace
+        if trace is not None:
+            self._active_trace = None
+            self.tracer.finish(trace, at=self.sim.now)
         self._issue_next()
 
+    def _start_trace(self, name: str, key: str):
+        """Begin a sampled trace on the simulation clock (or ``None``)."""
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        trace = tracer.start(name, at=self.sim.now)
+        if trace is not None:
+            trace.note("key", key)
+            self._active_trace = trace
+        return trace
+
     def _do_get(self, key: str) -> None:
+        trace = self._start_trace("request.get", key)
+        issued = self.sim.now
         value = self.policy.lookup(key)
         if value is not MISSING:
             # Local hit: served after the local bookkeeping cost only.
+            if trace is not None:
+                trace.note("outcome", "hit")
+                trace.add_span("frontend.lookup", issued, issued + LOCAL_OP_TIME)
             self.sim.schedule(LOCAL_OP_TIME, self._complete)
             return
         backend = self.cluster.server_for(key)
-        timed = self.servers[backend.server_id]
+        shard = backend.server_id
+        timed = self.servers[shard]
         one_way = self.latency.one_way()
+        if trace is not None:
+            trace.note("outcome", "miss")
+            trace.add_span("frontend.lookup", issued, issued + LOCAL_OP_TIME)
+            trace.add_span(
+                "net.request",
+                issued + LOCAL_OP_TIME,
+                issued + LOCAL_OP_TIME + one_way,
+                shard=shard,
+            )
 
         def _arrive() -> None:
+            arrived = self.sim.now
+
             def _served() -> None:
+                served = self.sim.now
                 value = backend.get(key)
                 if value is MISSING:
                     # Caching-layer miss: fetch from storage and populate.
                     value = self.cluster.storage.get(key)
                     backend.set(key, value)
-                self.sim.schedule(
-                    self.latency.one_way(), lambda: self._receive(key, value)
-                )
+                    if trace is not None:
+                        trace.note("outcome", "layer_miss")
+                reply = self.latency.one_way()
+                if trace is not None:
+                    trace.add_span("shard.service", arrived, served, shard=shard)
+                    trace.add_span("net.reply", served, served + reply)
+                self.sim.schedule(reply, lambda: self._receive(key, value))
 
             def _failed() -> None:
                 # Degraded read: the shard is down, so the value comes
@@ -166,6 +217,14 @@ class SimClient:
                 self.degraded_reads += 1
                 extra = STORAGE_FALLBACK_TIME + self.latency.one_way()
                 self.fallback_latency_sum += extra
+                if trace is not None:
+                    trace.note("outcome", "degraded")
+                    trace.add_span(
+                        "storage.degraded_read",
+                        self.sim.now,
+                        self.sim.now + extra,
+                        shard=shard,
+                    )
                 self.sim.schedule(extra, lambda: self._receive(key, value))
 
             timed.submit(self.sim, _served, on_error=_failed)
@@ -180,21 +239,42 @@ class SimClient:
         # Client-driven write path: storage write, local invalidation, and
         # a delete at the owning shard; the ack costs one RTT plus the
         # shard's service line (deletes queue like gets do).
+        trace = self._start_trace("request.set", key)
+        issued = self.sim.now
         self.cluster.storage.set(key, value)
         self.policy.record_update(key)
         backend = self.cluster.server_for(key)
-        timed = self.servers[backend.server_id]
+        shard = backend.server_id
+        timed = self.servers[shard]
         one_way = self.latency.one_way()
+        if trace is not None:
+            trace.add_span("storage.write", issued, issued + LOCAL_OP_TIME)
+            trace.add_span(
+                "net.request",
+                issued + LOCAL_OP_TIME,
+                issued + LOCAL_OP_TIME + one_way,
+                shard=shard,
+            )
 
         def _arrive() -> None:
+            arrived = self.sim.now
+
             def _served() -> None:
                 backend.delete(key)
-                self.sim.schedule(self.latency.one_way(), self._complete)
+                reply = self.latency.one_way()
+                if trace is not None:
+                    trace.add_span(
+                        "shard.invalidate", arrived, self.sim.now, shard=shard
+                    )
+                    trace.add_span("net.reply", self.sim.now, self.sim.now + reply)
+                self.sim.schedule(reply, self._complete)
 
             def _failed() -> None:
                 # The storage write already landed; only the shard-side
                 # invalidation is lost (repaired by cold revival).
                 self.failed_invalidations += 1
+                if trace is not None:
+                    trace.note("outcome", "lost_invalidation")
                 self.sim.schedule(self.latency.one_way(), self._complete)
 
             timed.submit(self.sim, _served, on_error=_failed)

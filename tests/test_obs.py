@@ -1,0 +1,578 @@
+"""Tests for the observability layer: tracing, histograms, export.
+
+Covers the four tentpole surfaces of :mod:`repro.obs`:
+
+* deterministic trace sampling and the span-tree renderer;
+* traced-vs-untraced decision equivalence on the cluster data plane
+  (tracing observes, it never steers);
+* exact histogram merging and bounded percentile error;
+* Prometheus text-format round-trips (render → parse) covering every
+  canonical telemetry counter;
+* the golden-output guarantee: a rate-0 tracer plus an attached
+  snapshot collector leave experiment output byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from pathlib import Path
+
+import pytest
+
+import repro.experiments  # noqa: F401  (imports register every experiment)
+from repro.cluster.client import FrontEndClient
+from repro.cluster.cluster import CacheCluster
+from repro.cluster.faults import FaultInjector
+from repro.engine import Scale, get_experiment
+from repro.engine import runners as engine_runners
+from repro.engine import telemetry as T
+from repro.engine.telemetry import TelemetryBus
+from repro.errors import ConfigurationError, ExperimentError
+from repro.obs.export import (
+    PrometheusExporter,
+    SnapshotCollector,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.hist import LatencyHistogram
+from repro.obs.profile import PeriodicSnapshotter, SectionTimer
+from repro.obs.trace import Trace, Tracer, render_trace
+from repro.policies.registry import make_policy
+from repro.workloads.zipfian import ZipfianGenerator
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+class FakeClock:
+    """Deterministic clock for span timing tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        self.now += dt
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# tracer sampling
+
+
+class TestTracerSampling:
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            Tracer(sample_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            Tracer(max_exemplars=0)
+
+    def test_rate_zero_never_samples(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert all(tracer.start("request.get") is None for _ in range(100))
+        assert tracer.traces_started == 0
+
+    def test_rate_one_samples_everything(self):
+        tracer = Tracer(sample_rate=1.0)
+        traces = [tracer.start("request.get") for _ in range(50)]
+        assert all(trace is not None for trace in traces)
+        assert tracer.traces_started == 50
+
+    def test_fractional_rate_is_deterministic_and_exact(self):
+        tracer = Tracer(sample_rate=0.25)
+        sampled = [
+            i for i in range(100) if tracer.start("request.get") is not None
+        ]
+        assert len(sampled) == 25
+        # Error-diffusion accumulator: exactly every 4th request.
+        assert sampled == list(range(3, 100, 4))
+        # A second identically-configured tracer samples the same requests.
+        twin = Tracer(sample_rate=0.25)
+        assert sampled == [
+            i for i in range(100) if twin.start("request.get") is not None
+        ]
+
+    def test_inline_gate_matches_start(self):
+        """The hot path's inlined credit gate samples identically."""
+        reference = Tracer(sample_rate=1.0 / 3.0)
+        inlined = Tracer(sample_rate=1.0 / 3.0)
+        via_start = [
+            i for i in range(60) if reference.start("r") is not None
+        ]
+        via_gate = []
+        for i in range(60):
+            inlined.credit += inlined.sample_rate
+            if inlined.credit >= 1.0:
+                assert inlined.start_sampled("r") is not None
+                via_gate.append(i)
+        assert via_start == via_gate
+
+    def test_exemplars_keep_slowest_first(self):
+        clock = FakeClock()
+        tracer = Tracer(sample_rate=1.0, clock=clock, max_exemplars=3)
+        for duration in (0.004, 0.001, 0.009, 0.002, 0.007):
+            trace = tracer.start("request.get")
+            clock.advance(duration)
+            tracer.finish(trace)
+        durations = [t.duration for t in tracer.exemplars()]
+        assert durations == sorted(durations, reverse=True)
+        assert len(durations) == 3
+        assert durations[0] == pytest.approx(0.009)
+
+    def test_render_slowest_empty(self):
+        assert "no traces" in Tracer(sample_rate=1.0).render_slowest()
+
+
+# ---------------------------------------------------------------------------
+# span trees
+
+
+class TestSpanTrees:
+    def test_nested_spans_and_parents(self):
+        clock = FakeClock()
+        trace = Trace("request.get", clock)
+        with trace.span("frontend.cache"):
+            clock.advance(1e-6)
+            with trace.span("ring.route"):
+                clock.advance(2e-6)
+        trace.finish()
+        names = [span.name for span in trace.spans]
+        assert names == ["request.get", "frontend.cache", "ring.route"]
+        assert trace.spans[1].parent == 0
+        assert trace.spans[2].parent == 1
+        assert trace.spans[2].duration == pytest.approx(2e-6)
+        assert trace.duration == pytest.approx(3e-6)
+
+    def test_finish_closes_abandoned_spans(self):
+        clock = FakeClock()
+        trace = Trace("request.get", clock)
+        trace.span("shard.lookup")  # never exited (exception path)
+        clock.advance(5e-6)
+        trace.finish()
+        assert not math.isnan(trace.spans[1].end)
+        assert trace.spans[1].duration == pytest.approx(5e-6)
+
+    def test_explicit_timestamps(self):
+        trace = Trace("request.get", FakeClock(), at=10.0)
+        trace.add_span("net.request", 10.0, 10.5, shard="cache-3")
+        trace.finish(at=11.0)
+        assert trace.duration == pytest.approx(1.0)
+        (span,) = trace.find("net.request")
+        assert span.meta == {"shard": "cache-3"}
+
+    def test_render_trace_shape(self):
+        clock = FakeClock()
+        trace = Trace("request.get", clock)
+        trace.note("outcome", "miss")
+        with trace.span("ring.route"):
+            clock.advance(2e-6)
+        with trace.span("shard.lookup", shard="cache-3"):
+            clock.advance(1e-3)
+        trace.finish()
+        text = render_trace(trace)
+        lines = text.splitlines()
+        assert lines[0].startswith("request.get ")
+        assert "outcome=miss" in lines[0]
+        assert "├─ ring.route 2.0µs" in text
+        assert "└─ shard.lookup" in text and "shard=cache-3" in text
+
+
+# ---------------------------------------------------------------------------
+# traced cluster path: equivalence + span content
+
+
+def drive(client: FrontEndClient, accesses: int = 2_000) -> list:
+    generator = ZipfianGenerator(500, theta=0.99, seed=7)
+    keys = [f"usertable:{k}" for k in generator.keys_array(accesses)]
+    return [client.get(key) for key in keys]
+
+
+class TestTracedClusterPath:
+    def build(self, tracer, faults=None):
+        cluster = CacheCluster(
+            num_servers=4, value_size=1, virtual_nodes=512, faults=faults
+        )
+        policy = make_policy("cot", 64, tracker_capacity=256)
+        return FrontEndClient(cluster, policy, tracer=tracer)
+
+    def test_traced_run_matches_untraced_decisions(self):
+        plain = self.build(None)
+        traced = self.build(Tracer(sample_rate=1.0))
+        values_plain = drive(plain)
+        values_traced = drive(traced)
+        assert values_plain == values_traced
+        assert plain.policy.stats.hits == traced.policy.stats.hits
+        assert plain.policy.stats.misses == traced.policy.stats.misses
+        assert plain.monitor.total_loads() == traced.monitor.total_loads()
+
+    def test_sampled_miss_records_full_span_tree(self):
+        tracer = Tracer(sample_rate=1.0)
+        client = self.build(tracer)
+        client.get("usertable:1")  # cold miss → full fetch pipeline
+        trace = tracer.exemplars()[0]
+        assert trace.meta["outcome"] == "miss"
+        names = {span.name for span in trace.spans}
+        assert {
+            "request.get",
+            "frontend.cache",
+            "ring.route",
+            "shard.lookup",
+            "storage.fallback",
+            "shard.backfill",
+        } <= names
+
+    def test_hit_trace_is_lean(self):
+        tracer = Tracer(sample_rate=1.0)
+        client = self.build(tracer)
+        client.get("usertable:1")
+        client.get("usertable:1")  # now a front-end hit
+        hit = next(
+            t for t in tracer.exemplars() if t.meta["outcome"] == "hit"
+        )
+        assert {span.name for span in hit.spans} == {
+            "request.get",
+            "frontend.cache",
+        }
+
+    def test_degraded_read_traced(self):
+        faults = FaultInjector(seed=1)
+        tracer = Tracer(sample_rate=1.0)
+        client = self.build(tracer, faults=faults)
+        for server_id in client.cluster.server_ids:
+            faults.kill(server_id)
+        value = client.get("usertable:9")
+        assert value is not None
+        degraded = [
+            t for t in tracer.exemplars() if t.meta.get("outcome") == "degraded"
+        ]
+        assert degraded
+        assert degraded[0].find("storage.degraded_read")
+
+    def test_rate_zero_tracer_attached_changes_nothing(self):
+        plain = self.build(None)
+        gated = self.build(Tracer(sample_rate=0.0))
+        assert drive(plain) == drive(gated)
+        assert plain.policy.stats.hits == gated.policy.stats.hits
+        assert gated.tracer.traces_started == 0
+
+
+# ---------------------------------------------------------------------------
+# histograms
+
+
+class TestLatencyHistogram:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(lowest=0.0)
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(lowest=1.0, highest=0.5)
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(buckets_per_decade=0)
+
+    def test_streaming_stats_exact(self):
+        histogram = LatencyHistogram()
+        for value in (1e-3, 2e-3, 3e-3):
+            histogram.record(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(2e-3)
+        assert histogram.min_value == 1e-3
+        assert histogram.max_value == 3e-3
+
+    def test_percentile_edges(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.percentile(50)
+        histogram.record(5e-3)
+        assert histogram.percentile(0) == pytest.approx(5e-3)
+        assert histogram.percentile(100) == pytest.approx(5e-3)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_percentile_within_bucket_width(self):
+        histogram = LatencyHistogram()
+        values = [1e-4 + i * 1e-6 for i in range(1000)]
+        histogram.record_many(values)
+        growth = 10.0 ** (1.0 / 10)
+        for q in (50, 90, 99):
+            exact = values[int(q / 100 * (len(values) - 1))]
+            estimate = histogram.percentile(q)
+            assert exact / growth <= estimate <= exact * growth
+
+    def test_overflow_and_underflow(self):
+        histogram = LatencyHistogram(lowest=1e-3, highest=1.0)
+        histogram.record(1e-9)  # below range → first bucket
+        histogram.record(50.0)  # above range → overflow bucket
+        assert histogram.count == 2
+        assert histogram.percentile(100) == 50.0
+        bounds, counts = zip(*histogram.nonzero_buckets())
+        assert counts == (1, 1)
+        assert bounds[-1] == math.inf
+
+    def test_merge_is_exact(self):
+        parts = [LatencyHistogram() for _ in range(3)]
+        whole = LatencyHistogram()
+        for i, histogram in enumerate(parts):
+            for j in range(200):
+                value = (i + 1) * 1e-4 + j * 1e-6
+                histogram.record(value)
+                whole.record(value)
+        merged = LatencyHistogram.merged(parts)
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total)
+        assert list(merged.cumulative_buckets()) == list(
+            whole.cumulative_buckets()
+        )
+        assert merged.percentile(99) == pytest.approx(whole.percentile(99))
+
+    def test_merged_percentiles_weighted_by_traffic(self):
+        """3-client synthetic stream: the busy client dominates the merge."""
+        busy = LatencyHistogram()
+        busy.record_many([1e-4] * 10_000)
+        quiet_a = LatencyHistogram()
+        quiet_a.record_many([1e-2] * 50)
+        quiet_b = LatencyHistogram()
+        quiet_b.record_many([1e-1] * 50)
+        merged = LatencyHistogram.merged([busy, quiet_a, quiet_b])
+        assert merged.count == 10_100
+        growth = 10.0 ** (1.0 / 10)
+        # p50 tracks the busy client; p99.9 miss would catch the tail.
+        assert merged.percentile(50) <= 1e-4 * growth
+        assert merged.percentile(99.9) >= 1e-2 / growth
+
+    def test_incompatible_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram().merge(LatencyHistogram(buckets_per_decade=5))
+
+    def test_merged_empty(self):
+        assert LatencyHistogram.merged([]).count == 0
+
+    def test_copy_is_independent(self):
+        histogram = LatencyHistogram()
+        histogram.record(1e-3)
+        clone = histogram.copy()
+        clone.record(2e-3)
+        assert histogram.count == 1
+        assert clone.count == 2
+
+    def test_summary_shape_matches_recorder(self):
+        empty = LatencyHistogram().summary()
+        assert empty == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0,
+        }
+        histogram = LatencyHistogram()
+        histogram.record_many([1e-3] * 10)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "mean", "p50", "p99", "max"}
+        assert summary["count"] == 10
+
+
+# ---------------------------------------------------------------------------
+# profiling hooks
+
+
+class TestProfilingHooks:
+    def test_section_timer(self):
+        clock = FakeClock()
+        timer = SectionTimer(clock=clock)
+        with timer.section("route"):
+            clock.advance(0.5)
+        with timer.section("route"):
+            clock.advance(0.25)
+        with timer.section("serve"):
+            clock.advance(1.0)
+        assert timer.total("route") == pytest.approx(0.75)
+        assert timer.calls("route") == 2
+        report = timer.report()
+        assert "route" in report and "serve" in report
+        timer.reset()
+        assert timer.total("route") == 0.0
+
+    def test_periodic_snapshotter(self):
+        bus = TelemetryBus()
+        snapshotter = PeriodicSnapshotter(bus, every=10)
+        for i in range(1, 31):
+            bus.inc(T.HITS)
+            snapshotter.maybe_sample(i)
+        assert [index for index, _snap in snapshotter.samples] == [10, 20, 30]
+        assert snapshotter.counter_deltas(T.HITS) == [
+            (10, 10), (20, 10), (30, 10),
+        ]
+        # Re-sampling the same index is idempotent.
+        count = len(snapshotter.samples)
+        assert snapshotter.maybe_sample(30) is False
+        assert len(snapshotter.samples) == count
+        with pytest.raises(ConfigurationError):
+            PeriodicSnapshotter(bus, every=0)
+
+
+# ---------------------------------------------------------------------------
+# prometheus export
+
+
+def full_bus_snapshot():
+    """A snapshot exercising every canonical counter plus extras."""
+    bus = TelemetryBus()
+    canonical = [
+        T.HITS, T.MISSES, T.ACCESSES, T.TOTAL_REQUESTS, T.DEGRADED_READS,
+        T.RETRIES, T.OPEN_REJECTIONS, T.BREAKER_OPENS, T.BREAKER_CLOSES,
+        T.FAILED_INVALIDATIONS, T.INCORRECT_READS,
+    ]
+    for i, name in enumerate(canonical):
+        bus.inc(name, i + 1)
+    bus.set_gauge("elastic.cache_lines", 512)
+    bus.set_gauge("run.mean_latency", 2.44e-4)
+    bus.record_shard_loads({"cache-0": 100, "cache-1": 140})
+    for i in range(500):
+        bus.observe(T.REQUEST_LATENCY, 1e-4 + i * 1e-6)
+    return bus.snapshot(), canonical
+
+
+class TestPrometheusExport:
+    def test_round_trip_covers_all_canonical_counters(self):
+        snapshot, canonical = full_bus_snapshot()
+        text = render_prometheus(snapshot)
+        series = parse_prometheus(text)
+        for raw in canonical:
+            name = "cot_" + raw.replace(".", "_") + "_total"
+            assert name in series, f"{name} missing from export"
+            (labels, value) = series[name][0]
+            assert labels["run"] == "0"
+            assert value == float(canonical.index(raw) + 1)
+
+    def test_round_trip_histogram_is_consistent(self):
+        snapshot, _ = full_bus_snapshot()
+        series = parse_prometheus(render_prometheus(snapshot))
+        buckets = series["cot_request_latency_seconds_bucket"]
+        counts = [value for _labels, value in buckets]
+        assert counts == sorted(counts), "cumulative buckets must be monotone"
+        bounds = [labels["le"] for labels, _value in buckets]
+        assert bounds[-1] == "+Inf"
+        (_, count) = series["cot_request_latency_seconds_count"][0]
+        (_, total) = series["cot_request_latency_seconds_sum"][0]
+        assert count == counts[-1] == 500
+        histogram = snapshot.histogram(T.REQUEST_LATENCY)
+        assert total == pytest.approx(histogram.total)
+
+    def test_gauges_and_shard_loads_round_trip(self):
+        snapshot, _ = full_bus_snapshot()
+        series = parse_prometheus(render_prometheus(snapshot))
+        assert series["cot_elastic_cache_lines"][0][1] == 512.0
+        shards = {
+            labels["shard"]: value
+            for labels, value in series["cot_shard_lookups_total"]
+        }
+        assert shards == {"cache-0": 100.0, "cache-1": 140.0}
+
+    def test_multiple_snapshots_get_run_labels(self):
+        exporter = PrometheusExporter()
+        snapshot, _ = full_bus_snapshot()
+        exporter.add(snapshot)
+        exporter.add(snapshot)
+        series = parse_prometheus(exporter.render())
+        runs = {labels["run"] for labels, _ in series["cot_policy_hits_total"]}
+        assert runs == {"0", "1"}
+
+    def test_help_and_type_emitted_once_per_family(self):
+        exporter = PrometheusExporter()
+        snapshot, _ = full_bus_snapshot()
+        exporter.add(snapshot)
+        exporter.add(snapshot)
+        text = exporter.render()
+        assert text.count("# TYPE cot_policy_hits_total counter") == 1
+        assert text.endswith("\n")
+
+    def test_parser_rejects_malformed_input(self):
+        with pytest.raises(ExperimentError):
+            parse_prometheus("cot_orphan_metric 1")  # no TYPE declared
+        with pytest.raises(ExperimentError):
+            parse_prometheus(
+                "# TYPE cot_x gauge\ncot_x{bad-label=\"1\"} 1"
+            )
+        with pytest.raises(ExperimentError):
+            parse_prometheus("# TYPE cot_x gauge\ncot_x not-a-number")
+
+    def test_empty_exporter_renders_placeholder(self):
+        assert "no snapshots" in PrometheusExporter().render()
+
+
+# ---------------------------------------------------------------------------
+# telemetry bugfixes
+
+
+class TestTelemetryFixes:
+    def test_max_imbalance_vacuous_default_is_one(self):
+        """No epochs closed → vacuously balanced (1.0), matching
+        ``load_imbalance``'s convention — not the old impossible 0.0."""
+        phase = T.PhaseTelemetry(
+            index=0, label="steady", down=(), reads=0, hits=0,
+            degraded_reads=0, retries=0, open_rejections=0, breaker_opens=0,
+            breaker_closes=0, incorrect_reads=0, start_epoch=0,
+            epoch_events=(),
+        )
+        assert phase.max_imbalance == 1.0
+
+    def test_bus_histograms_freeze_into_snapshots(self):
+        bus = TelemetryBus()
+        bus.observe(T.REQUEST_LATENCY, 1e-3)
+        snapshot = bus.snapshot()
+        bus.observe(T.REQUEST_LATENCY, 2e-3)
+        assert snapshot.histogram(T.REQUEST_LATENCY).count == 1
+        assert bus.histogram(T.REQUEST_LATENCY).count == 2
+        assert snapshot.request_latency is not None
+
+    def test_record_histogram_merges_prebuilt(self):
+        bus = TelemetryBus()
+        part = LatencyHistogram()
+        part.record(1e-3)
+        bus.record_histogram(T.REQUEST_LATENCY, part)
+        bus.record_histogram(T.REQUEST_LATENCY, part)
+        assert bus.histogram(T.REQUEST_LATENCY).count == 2
+        part.record(9.0)  # the bus copied, not aliased
+        assert bus.histogram(T.REQUEST_LATENCY).count == 2
+
+
+# ---------------------------------------------------------------------------
+# golden outputs stay byte-identical under observation
+
+
+def traced_rendered_output(experiment_id: str, tracer: Tracer, monkeypatch):
+    """Run an experiment with ``tracer`` injected into every spec."""
+    for runner_cls in (
+        engine_runners.PolicyStreamRunner,
+        engine_runners.ClusterRunner,
+        engine_runners.SimRunner,
+    ):
+        original = runner_cls.run
+
+        def wrapper(self, spec, _original=original):
+            return _original(self, dataclasses.replace(spec, tracer=tracer))
+
+        monkeypatch.setattr(runner_cls, "run", wrapper)
+    outcome = get_experiment(experiment_id).run(scale=Scale.smoke())
+    results = outcome if isinstance(outcome, list) else [outcome]
+    return "\n\n".join(result.render() for result in results) + "\n"
+
+
+class TestObservationIsInert:
+    @pytest.mark.parametrize("experiment_id", ["fig6", "table2"])
+    def test_golden_output_with_rate0_tracer_and_collector(
+        self, experiment_id, monkeypatch
+    ):
+        golden = (GOLDEN_DIR / f"{experiment_id}.smoke.txt").read_text(
+            encoding="utf-8"
+        )
+        tracer = Tracer(sample_rate=0.0)
+        with SnapshotCollector() as collector:
+            rendered = traced_rendered_output(
+                experiment_id, tracer, monkeypatch
+            )
+        assert rendered == golden
+        assert tracer.traces_started == 0
+        assert collector.snapshots, "collector saw no snapshots"
+        # The collected telemetry renders as parseable exposition text.
+        series = parse_prometheus(collector.render())
+        assert any(name.endswith("_total") for name in series)
