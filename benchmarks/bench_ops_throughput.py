@@ -23,6 +23,7 @@ from repro.engine import (
 )
 from repro.policies.base import MISSING
 from repro.policies.registry import make_policy
+from repro.workloads.mixer import OperationMixer
 from repro.workloads.scrambled import ScrambledZipfianGenerator
 from repro.workloads.zipfian import ZipfianGenerator
 
@@ -94,6 +95,24 @@ def bench_zipfian_generation(benchmark):
             generator.next_key()
 
     benchmark(run)
+
+
+def bench_request_mix_generation(benchmark):
+    """Cost of materializing mixed request objects (the PR 5 slots target).
+
+    Times ``OperationMixer.next_requests`` end to end — key draw, wire-key
+    formatting and one slotted :class:`Request` allocation per operation —
+    the allocation-heaviest loop of the sim and mixed-cluster drives.
+    Before/after the ``__slots__`` sweep this is the line to compare.
+    """
+    generator = ZipfianGenerator(KEYS, theta=0.99, seed=7)
+    mixer = OperationMixer(generator, seed=11)
+
+    def run():
+        mixer.next_requests(OPS_PER_ROUND)
+
+    benchmark(run)
+    benchmark.extra_info["ops_per_round"] = OPS_PER_ROUND
 
 
 def bench_scrambled_zipfian_generation(benchmark):

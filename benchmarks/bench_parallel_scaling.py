@@ -1,0 +1,106 @@
+"""Parallel-fabric scaling: fig4-grid wall-clock vs worker count.
+
+Measures the wall-clock of one Figure 4 hit-rate grid (cache-size ×
+policy at Zipf 0.99, smoke scale) through ``map_specs`` at 1, 2 and 4
+workers, and reports the speedup relative to the 1-worker (in-process
+sequential) run. The pool is spawn-started and import-warmed before
+timing so one-time interpreter startup stays out of the steady-state
+numbers.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_parallel_scaling.py``)
+for a human-readable table, or through ``run_perf_gate.py``, which
+records the measurement in ``BENCH_ops.json`` and — on hosts with at
+least 4 CPUs — gates ``speedup@4 >= 2.0``. On smaller hosts the numbers
+are still recorded (with the host's ``cpu_count``) but the gate is
+skipped: process fan-out cannot beat sequential without cores to fan to.
+
+Determinism cross-check included: every worker count must produce the
+identical hit-rate vector (the fabric's invariance contract), so a
+scaling win can never come from doing different work.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro.engine import PolicySpec, Scale, ScenarioSpec, WorkloadSpec
+from repro.engine.parallel import map_specs, parallel_workers, warm_pool
+from repro.policies.registry import POLICY_NAMES
+
+__all__ = ["WORKER_COUNTS", "build_grid", "measure"]
+
+WORKER_COUNTS = (1, 2, 4)
+#: Figure 4's smoke-scale sweep points (powers of two, 2 → 128).
+GRID_SIZES = (2, 8, 32, 128)
+THETA = 0.99
+TRACKER_RATIO = 8
+
+
+def build_grid(scale: Scale | None = None) -> list[ScenarioSpec]:
+    """The fig4 cache-size × policy grid at smoke scale (one spec/cell)."""
+    scale = scale or Scale.smoke()
+    return [
+        ScenarioSpec(
+            scale=scale,
+            workload=WorkloadSpec(dist=f"zipf-{THETA:g}"),
+            policy=PolicySpec(
+                name=name,
+                cache_lines=size,
+                tracker_lines=TRACKER_RATIO * size,
+            ),
+        )
+        for size in GRID_SIZES
+        for name in POLICY_NAMES
+    ]
+
+
+def measure() -> dict[str, Any]:
+    """Time the grid at each worker count; returns the scaling record.
+
+    The record carries everything the perf gate needs to decide and
+    everything a reader needs to interpret it: per-worker-count seconds,
+    speedups vs the sequential run, the host's cpu count, and whether the
+    hit-rate vectors matched across counts.
+    """
+    specs = build_grid()
+    seconds: dict[str, float] = {}
+    results: dict[int, list[float]] = {}
+    for workers in WORKER_COUNTS:
+        with parallel_workers(workers):
+            warm_pool()
+            started = time.perf_counter()
+            snapshots = map_specs("policy", specs)
+            seconds[str(workers)] = round(time.perf_counter() - started, 4)
+        results[workers] = [snap.hit_rate for snap in snapshots]
+    base = seconds["1"]
+    speedup = {
+        w: round(base / seconds[w], 3) if seconds[w] else 0.0 for w in seconds
+    }
+    return {
+        "grid": f"fig4 smoke {len(GRID_SIZES)}x{len(POLICY_NAMES)}",
+        "tasks": len(specs),
+        "cpu_count": os.cpu_count() or 1,
+        "seconds": seconds,
+        "speedup": speedup,
+        "deterministic": all(
+            results[w] == results[WORKER_COUNTS[0]] for w in WORKER_COUNTS
+        ),
+    }
+
+
+def main() -> int:
+    record = measure()
+    print(f"parallel scaling — {record['grid']} ({record['tasks']} tasks), "
+          f"{record['cpu_count']} cpu(s)")
+    for workers in WORKER_COUNTS:
+        w = str(workers)
+        print(f"  {workers} worker(s): {record['seconds'][w]:8.3f}s  "
+              f"(speedup {record['speedup'][w]:.2f}x)")
+    print(f"  deterministic across counts: {record['deterministic']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,17 @@ Throughput is reported as operations per second: pytest-benchmark's
 ``1 / mean-round-time`` scaled by the bench's ``ops_per_round`` extra-info
 when present (the policy/ sketch loops run 2000 ops per timed round).
 
+Parallel-scaling gate
+---------------------
+Both modes also run ``bench_parallel_scaling`` (one fig4 smoke grid
+through the parallel fabric at 1/2/4 workers). Record mode stores the
+measurement (seconds, speedups, host cpu count) in each entry; check mode
+additionally gates ``speedup@4 >= 2.0`` — but only on hosts with at least
+4 CPUs, since process fan-out physically cannot beat the sequential path
+without cores to fan to (the measurement is still printed and the
+fabric's determinism cross-check is always enforced).
+``--parallel-scaling`` runs only this measurement.
+
 Tracing-overhead gate
 ---------------------
 Both modes also measure the request tracer's cost on the hot path: the
@@ -198,6 +209,58 @@ def measure_tracing_overhead() -> dict[str, float]:
     }
 
 
+#: Required fig4-grid speedup at 4 workers (hosts with >= 4 CPUs).
+SCALING_TARGET = 2.0
+SCALING_WORKERS = 4
+
+
+def measure_parallel_scaling() -> dict:
+    """Run the fabric scaling bench in-process; returns its record."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    bench_dir = str(REPO_ROOT / "benchmarks")
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from bench_parallel_scaling import measure
+
+    return measure()
+
+
+def check_parallel_scaling(record: dict | None = None) -> int:
+    """Gate: the fig4 grid must scale >= 2x at 4 workers (4+ CPU hosts).
+
+    The determinism cross-check is enforced unconditionally — identical
+    hit rates at every worker count — because a fabric that returns
+    different numbers is broken at any speed.
+    """
+    record = record if record is not None else measure_parallel_scaling()
+    cpu_count = record["cpu_count"]
+    speedup = record["speedup"][str(SCALING_WORKERS)]
+    print(f"parallel scaling — {record['grid']} ({record['tasks']} tasks), "
+          f"{cpu_count} cpu(s):")
+    for workers, seconds in record["seconds"].items():
+        print(f"  {workers} worker(s): {seconds:8.3f}s  "
+              f"(speedup {record['speedup'][workers]:.2f}x)")
+    if not record["deterministic"]:
+        print("\nparallel-scaling gate FAILED: results differ across "
+              "worker counts (determinism contract broken)")
+        return 1
+    if cpu_count < SCALING_WORKERS:
+        print(f"parallel-scaling gate skipped: host has {cpu_count} cpu(s), "
+              f"gate needs >= {SCALING_WORKERS} to be meaningful "
+              "(measurement recorded)")
+        return 0
+    if speedup < SCALING_TARGET:
+        print(f"\nparallel-scaling gate FAILED: speedup at "
+              f"{SCALING_WORKERS} workers is {speedup:.2f}x "
+              f"(target >= {SCALING_TARGET:.1f}x)")
+        return 1
+    print(f"parallel-scaling gate passed ({speedup:.2f}x at "
+          f"{SCALING_WORKERS} workers)")
+    return 0
+
+
 def check_tracing_overhead(threshold: float) -> int:
     """Gate: traced throughput must stay within ``threshold`` of untraced."""
     metrics = measure_tracing_overhead()
@@ -235,6 +298,7 @@ def save_entries(entries: list[dict]) -> None:
 
 def record(label: str) -> None:
     results = run_suite()
+    scaling = measure_parallel_scaling()
     entries = load_entries()
     entries.append(
         {
@@ -243,12 +307,16 @@ def record(label: str) -> None:
                 timespec="seconds"
             ),
             "results": results,
+            "parallel_scaling": scaling,
         }
     )
     save_entries(entries)
     print(f"recorded entry {label!r} -> {BENCH_FILE.relative_to(REPO_ROOT)}")
     for name, metrics in sorted(results.items()):
         print(f"  {name:45s} {metrics['ops_per_sec']:>14,.0f} ops/s")
+    for workers, seconds in scaling["seconds"].items():
+        print(f"  parallel_scaling[{workers}w]{'':26s} {seconds:>10.3f}s "
+              f"({scaling['speedup'][workers]:.2f}x)")
 
 
 def check(threshold: float, against: str | None, overhead_threshold: float) -> int:
@@ -290,6 +358,10 @@ def check(threshold: float, against: str | None, overhead_threshold: float) -> i
             print(f"  - {failure}")
         return 1
     print("\nperf gate passed\n")
+    status = check_parallel_scaling()
+    if status:
+        return status
+    print()
     return check_tracing_overhead(overhead_threshold)
 
 
@@ -323,6 +395,11 @@ def main() -> int:
         help="run only the traced-vs-untraced overhead gate",
     )
     parser.add_argument(
+        "--parallel-scaling",
+        action="store_true",
+        help="run only the parallel-fabric scaling gate",
+    )
+    parser.add_argument(
         "--overhead-threshold",
         type=float,
         default=0.05,
@@ -330,6 +407,8 @@ def main() -> int:
         "on the cot lookup+admit hot path (default 0.05)",
     )
     args = parser.parse_args()
+    if args.parallel_scaling:
+        return check_parallel_scaling()
     if args.tracing_overhead:
         return check_tracing_overhead(args.overhead_threshold)
     if args.check:

@@ -1,0 +1,34 @@
+"""CI parallel-smoke check: fig4 at 2 workers must render the golden bytes.
+
+Run from the repo root with PYTHONPATH=src (scripts/verify.sh does). This
+lives in a real file, not a shell heredoc, because the fabric's spawned
+workers re-import ``__main__`` — a stdin script cannot cross a spawn
+boundary and would silently take the in-process fallback, testing nothing.
+"""
+
+import sys
+
+from repro.engine.parallel import parallel_workers, warm_pool
+from repro.engine.registry import get_experiment
+from repro.experiments.common import Scale
+import repro.experiments  # noqa: F401  (registers experiments)
+
+
+def main() -> int:
+    golden = open("tests/golden/fig4.smoke.txt", encoding="utf-8").read()
+    with parallel_workers(2):
+        if warm_pool() != 2:
+            print("parallel smoke: pool refused to start", file=sys.stderr)
+            return 1
+        results = get_experiment("fig4").run(scale=Scale.smoke())
+    rendered = "\n\n".join(result.render() for result in results) + "\n"
+    if rendered != golden:
+        print("parallel render diverged from sequential golden",
+              file=sys.stderr)
+        return 1
+    print("(fig4 at --parallel 2 is byte-identical to the sequential golden)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,12 @@ print(f"(metrics page OK: {len(series)} series)")
 PY
 rm -f "$metrics_out"
 
+echo "== parallel smoke =="
+# One fabric-routed sweep at --parallel 2 must render the sequential
+# golden bytes: parallelism is allowed to change wall-clock, never output.
+# (A real script, not a heredoc: spawned workers re-import __main__.)
+python scripts/parallel_smoke.py
+
 echo "== perf gate =="
 python benchmarks/run_perf_gate.py --check "$@"
 

@@ -22,12 +22,13 @@ if TYPE_CHECKING:  # cycle-free: faults only needs error classes
 __all__ = ["BackendCacheServer", "BackendStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class BackendStats:
     """Operation counters for one back-end shard.
 
     ``gets`` counts lookup arrivals (the load-imbalance denominator);
     ``epoch_gets`` is a resettable window used by per-epoch monitoring.
+    Slotted: every routed back-end lookup writes two of these counters.
     """
 
     gets: int = 0

@@ -9,8 +9,25 @@ Layering (see DESIGN.md §8)::
 Experiment modules build :class:`ScenarioSpec`s and register themselves
 in the spec registry; the CLI, benches and CI smoke stage enumerate the
 registry instead of hand-maintained lists.
+
+The parallel fabric (:mod:`repro.engine.parallel`, DESIGN.md §10) slots
+between specs and runners: :func:`map_specs`/:func:`map_calls` fan
+independent tasks across a spawned worker pool and merge results back in
+spec order, with outputs byte-identical at every worker count.
 """
 
+from repro.engine.parallel import (
+    ParallelClusterRunner,
+    cluster_spec_parallelizable,
+    configure,
+    configured_workers,
+    default_workers,
+    derive_seeds,
+    map_calls,
+    map_specs,
+    parallel_workers,
+    spawn_seed,
+)
 from repro.engine.registry import (
     RegisteredExperiment,
     experiment_ids,
@@ -36,12 +53,19 @@ from repro.engine.spec import (
     TopologySpec,
     WorkloadSpec,
     make_generator,
+    spawn_safe,
 )
-from repro.engine.telemetry import PhaseTelemetry, TelemetryBus, TelemetrySnapshot
+from repro.engine.telemetry import (
+    PhaseTelemetry,
+    TelemetryBus,
+    TelemetrySnapshot,
+    merge_snapshots,
+)
 
 __all__ = [
     "STREAM_CHUNK",
     "ClusterRunner",
+    "ParallelClusterRunner",
     "Phase",
     "PhaseTelemetry",
     "PolicySpec",
@@ -58,9 +82,20 @@ __all__ = [
     "TelemetrySnapshot",
     "TopologySpec",
     "WorkloadSpec",
+    "cluster_spec_parallelizable",
+    "configure",
+    "configured_workers",
+    "default_workers",
+    "derive_seeds",
     "experiment_ids",
     "get_experiment",
     "make_generator",
+    "map_calls",
+    "map_specs",
+    "merge_snapshots",
+    "parallel_workers",
     "register_experiment",
     "run_experiment",
+    "spawn_safe",
+    "spawn_seed",
 ]

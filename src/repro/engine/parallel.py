@@ -1,0 +1,549 @@
+"""The parallel scenario fabric: process-pool fan-out with deterministic merge.
+
+Two execution strategies live here (see DESIGN.md §10):
+
+* **Sweep fan-out** — :func:`map_specs` / :func:`map_calls` distribute
+  the *independent tasks* of an experiment (one spec per sweep point, or
+  one search per policy) across a spawned worker pool. Each task carries
+  its own explicit seeds, runs a complete scenario in its worker, and
+  returns a picklable :class:`~repro.engine.telemetry.TelemetrySnapshot`
+  (or a plain value). Results come back **in task order** regardless of
+  completion order, and every snapshot a worker froze is *replayed* to
+  the parent's snapshot listeners in that same order — so rendered
+  tables and ``--metrics-out`` pages are byte-identical to a sequential
+  run at any worker count.
+
+* **Process-per-front-end drive** — :class:`ParallelClusterRunner` runs
+  one cluster scenario's N front ends as true separate processes against
+  a shard-server process reached through a batched message channel. Only
+  scenarios whose published telemetry is provably order-independent are
+  eligible (:func:`cluster_spec_parallelizable`): sequential drive mode,
+  pure reads, no faults/phases/tracers. Front-end decisions (hit, miss,
+  admit, evict) depend only on each client's own seeded stream and local
+  policy state; per-shard load counts are commutative sums of routed
+  misses; so the merged snapshot equals the sequential runner's exactly.
+
+Determinism rules, in one place:
+
+1. seeds are a pure function of the task — specs pin explicit seeds, and
+   tasks that need derived ones use
+   :func:`~repro.workloads.seeding.spawn_seed` ``(root, task_index)``;
+   nothing is ever derived from worker identity or scheduling order;
+2. results merge in spec order (``pool.map`` with ``chunksize=1``
+   preserves input order);
+3. anything order-dependent (interleaved drives, phased fault schedules,
+   per-access hooks, elastic epochs) is *ineligible* and runs on the
+   unchanged sequential path.
+
+Workers are spawned (never forked), so each has a fresh interpreter with
+per-process lazily-initialized caches (the zeta memo); specs must be
+picklable (:func:`repro.engine.spec.spawn_safe`) — anything that is not
+silently takes the in-process sequential path.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import sys
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.cluster.cluster import CacheCluster
+from repro.engine import telemetry as T
+from repro.engine.runners import (
+    STREAM_CHUNK,
+    ClusterRunner,
+    PolicyStreamRunner,
+    ScenarioResult,
+    SimRunner,
+)
+from repro.engine.spec import ScenarioSpec, spawn_safe
+from repro.engine.telemetry import (
+    TelemetryBus,
+    TelemetrySnapshot,
+    add_snapshot_listener,
+    notify_snapshot_listeners,
+    remove_snapshot_listener,
+)
+from repro.errors import ConfigurationError
+from repro.policies.base import MISSING
+from repro.workloads.base import format_key
+from repro.workloads.seeding import derive_seeds, spawn_seed
+
+__all__ = [
+    "ParallelClusterRunner",
+    "cluster_spec_parallelizable",
+    "configure",
+    "configured_workers",
+    "default_workers",
+    "derive_seeds",
+    "map_calls",
+    "map_specs",
+    "parallel_workers",
+    "shutdown",
+    "spawn_seed",
+]
+
+#: Runner kinds accepted by :func:`map_specs`.
+_RUNNER_KINDS: dict[str, Callable[[], Any]] = {
+    "policy": PolicyStreamRunner,
+    "cluster": ClusterRunner,
+    "sim": SimRunner,
+}
+
+#: Upper bound for the cpu-derived default — beyond this the sweeps in
+#: this repo stop scaling (they have at most a few dozen tasks) and pool
+#: startup cost dominates.
+_DEFAULT_WORKER_CAP = 8
+
+_workers = 1
+#: Set in every fabric worker (pool initializer / process main) so work
+#: running inside a worker never tries to fan out again.
+_in_worker = False
+
+_pool: Any = None
+_pool_size = 0
+
+
+# --------------------------------------------------------------------------
+# worker configuration
+
+
+def default_workers() -> int:
+    """The cpu-aware default worker count: ``min(os.cpu_count(), 8)``."""
+    return max(1, min(os.cpu_count() or 1, _DEFAULT_WORKER_CAP))
+
+
+def configure(workers: int | None) -> int:
+    """Set the fabric's worker count (``None`` → :func:`default_workers`).
+
+    ``1`` disables fan-out entirely: every call runs in-process on the
+    exact sequential code path. Returns the effective count.
+    """
+    global _workers
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ConfigurationError("parallel workers must be >= 1")
+    _workers = workers
+    return _workers
+
+
+def configured_workers() -> int:
+    """The currently configured worker count."""
+    return _workers
+
+
+@contextmanager
+def parallel_workers(workers: int | None) -> Iterator[int]:
+    """Scoped :func:`configure` — restores the previous count on exit."""
+    previous = _workers
+    try:
+        yield configure(workers)
+    finally:
+        configure(previous)
+
+
+def in_worker() -> bool:
+    """Whether this process is a fabric worker (fan-out is disabled)."""
+    return _in_worker
+
+
+def _mark_worker() -> None:
+    global _in_worker
+    _in_worker = True
+
+
+# --------------------------------------------------------------------------
+# the spawn pool
+
+
+def _get_pool(workers: int) -> Any:
+    """The cached spawn pool, rebuilt when the worker count changes."""
+    global _pool, _pool_size
+    if _pool is not None and _pool_size != workers:
+        shutdown()
+    if _pool is None:
+        context = multiprocessing.get_context("spawn")
+        _pool = context.Pool(workers, initializer=_mark_worker)
+        _pool_size = workers
+    return _pool
+
+
+def shutdown() -> None:
+    """Tear down the cached worker pool (idempotent; re-created on demand)."""
+    global _pool, _pool_size
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+        _pool = None
+        _pool_size = 0
+
+
+atexit.register(shutdown)
+
+
+def _noop() -> None:
+    return None
+
+
+def warm_pool() -> int:
+    """Spawn and import-warm the pool ahead of timed work; returns its size.
+
+    Pool workers import the full package in their initializer, so the
+    first :func:`map_specs` after a (re)configure pays interpreter
+    startup. Benchmarks call this first to keep one-time spawn cost out
+    of steady-state scaling measurements.
+    """
+    if _workers <= 1 or _in_worker or not _main_spawn_safe():
+        return 1
+    pool = _get_pool(_workers)
+    pool.starmap(_noop, [() for _ in range(_workers)], chunksize=1)
+    return _workers
+
+
+# --------------------------------------------------------------------------
+# sweep fan-out
+
+
+class _TaskOutcome:
+    """A worker's return: the task value plus the snapshots it froze."""
+
+    __slots__ = ("value", "snapshots")
+
+    def __init__(
+        self, value: Any, snapshots: tuple[TelemetrySnapshot, ...]
+    ) -> None:
+        self.value = value
+        self.snapshots = snapshots
+
+
+@contextmanager
+def _captured_snapshots() -> Iterator[list[TelemetrySnapshot]]:
+    """Collect every snapshot frozen inside the block (worker side)."""
+    captured: list[TelemetrySnapshot] = []
+    add_snapshot_listener(captured.append)
+    try:
+        yield captured
+    finally:
+        remove_snapshot_listener(captured.append)
+
+
+def _run_spec_task(task: tuple[str, ScenarioSpec]) -> _TaskOutcome:
+    kind, spec = task
+    runner = _RUNNER_KINDS[kind]()
+    with _captured_snapshots() as captured:
+        result = runner.run(spec)
+    return _TaskOutcome(result.telemetry, tuple(captured))
+
+
+def _run_call_task(task: tuple[Callable[..., Any], tuple]) -> _TaskOutcome:
+    func, args = task
+    with _captured_snapshots() as captured:
+        value = func(*args)
+    return _TaskOutcome(value, tuple(captured))
+
+
+def _main_spawn_safe() -> bool:
+    """Whether spawned children can re-import this process's ``__main__``.
+
+    Spawn bootstraps each child by re-importing the parent's main module.
+    A main run from a real file, ``-c`` or ``-m`` re-imports fine, but a
+    script piped on stdin (``python - <<EOF``) leaves ``__main__.__file__``
+    as ``"<stdin>"`` — no child can load that, so fan-out must fall back
+    to the in-process path.
+    """
+    main = sys.modules.get("__main__")
+    path = getattr(main, "__file__", None)
+    return path is None or os.path.exists(path)
+
+
+def _use_pool(task_count: int, tasks: Iterable[Any]) -> bool:
+    """Fan out only when it can help and every task survives pickling."""
+    if _in_worker or _workers <= 1 or task_count <= 1:
+        return False
+    return _main_spawn_safe() and all(spawn_safe(task) for task in tasks)
+
+
+def _replay(outcomes: Sequence[_TaskOutcome]) -> None:
+    """Replay worker-side snapshots to parent listeners, in task order."""
+    for outcome in outcomes:
+        for snapshot in outcome.snapshots:
+            notify_snapshot_listeners(snapshot)
+
+
+def map_specs(
+    runner_kind: str, specs: Iterable[ScenarioSpec]
+) -> list[TelemetrySnapshot]:
+    """Run independent scenario specs, returning snapshots in spec order.
+
+    ``runner_kind`` is ``"policy"``, ``"cluster"`` or ``"sim"``. With one
+    configured worker (or a single spec, or any unpicklable spec) this is
+    exactly the legacy sequential loop — same runner, same order, same
+    in-process listener notifications. With more workers, specs fan out
+    over the spawn pool one task per spec and the parent replays each
+    task's snapshots in task order, so outputs are byte-identical at any
+    worker count.
+    """
+    if runner_kind not in _RUNNER_KINDS:
+        raise ConfigurationError(
+            f"unknown runner kind {runner_kind!r}; "
+            f"choose from {sorted(_RUNNER_KINDS)}"
+        )
+    spec_list = list(specs)
+    tasks = [(runner_kind, spec) for spec in spec_list]
+    if not _use_pool(len(tasks), tasks):
+        runner = _RUNNER_KINDS[runner_kind]()
+        return [runner.run(spec).telemetry for spec in spec_list]
+    outcomes = _get_pool(_workers).map(_run_spec_task, tasks, chunksize=1)
+    _replay(outcomes)
+    return [outcome.value for outcome in outcomes]
+
+
+def map_calls(
+    func: Callable[..., Any], args_list: Iterable[tuple]
+) -> list[Any]:
+    """Run ``func(*args)`` per args-tuple, returning results in input order.
+
+    The generic fan-out for tasks that are *searches* rather than single
+    specs (Table 2's per-policy min-cache search): ``func`` must be a
+    module-level callable and each args tuple picklable, else everything
+    runs in-process sequentially. Worker-side snapshots are replayed to
+    parent listeners in task order, exactly as :func:`map_specs`.
+    """
+    calls = [(func, tuple(args)) for args in args_list]
+    if not _use_pool(len(calls), calls):
+        return [func(*args) for _f, args in calls]
+    outcomes = _get_pool(_workers).map(_run_call_task, calls, chunksize=1)
+    _replay(outcomes)
+    return [outcome.value for outcome in outcomes]
+
+
+# --------------------------------------------------------------------------
+# process-per-front-end cluster drive
+
+
+def cluster_spec_parallelizable(spec: ScenarioSpec) -> bool:
+    """Whether a cluster scenario may run on the process-per-client drive.
+
+    Eligibility is exactly the set of specs whose *published* telemetry
+    is order-independent across front ends:
+
+    * sequential drive mode only — ``interleave`` and ``phases`` make
+      client ordering observable (shared epoch windows, phase deltas);
+    * pure reads (``read_fraction`` unset or >= 1) — writes couple
+      clients through storage contents and invalidations;
+    * no faults, custom storage, verify oracle, tracer, per-client
+      factory or hooks — each either couples clients through shared
+      mutable state or holds live objects the parent would need back;
+    * at least two front ends (one gains nothing from a process), and
+      the spec must survive pickling.
+
+    Everything else runs the unchanged sequential drive.
+    """
+    workload = spec.workload
+    return (
+        not spec.interleave
+        and spec.phases is None
+        and spec.hooks is None
+        and spec.client_factory is None
+        and spec.verify_value is None
+        and spec.tracer is None
+        and spec.topology.storage is None
+        and spec.topology.faults is None
+        and (workload.read_fraction is None or workload.read_fraction >= 1.0)
+        and spec.num_clients >= 2
+        and spawn_safe(spec)
+    )
+
+
+def should_use_process_drive(spec: ScenarioSpec) -> bool:
+    """Fabric-config gate for :class:`ClusterRunner`'s delegation hook."""
+    return (
+        not _in_worker
+        and _workers > 1
+        and _main_spawn_safe()
+        and cluster_spec_parallelizable(spec)
+    )
+
+
+class _BatchLoader:
+    """Miss loader for a worker front end: queue the key, synthesize the value.
+
+    The authoritative shard lookup happens in the shard-server process;
+    the worker only needs *a* value for the policy to store. Reads never
+    write, so storage would synthesize its deterministic default anyway —
+    returning it locally keeps the channel one-way (fire-and-forget
+    batches) without changing a single policy decision (values never
+    influence decisions; the equivalence test pins the whole snapshot).
+    """
+
+    __slots__ = ("batch",)
+
+    def __init__(self) -> None:
+        self.batch: list = []
+
+    def __call__(self, key: Any) -> Any:
+        self.batch.append(key)
+        return ("value-of", key, 0)
+
+    def take(self) -> list:
+        batch = self.batch
+        self.batch = []
+        return batch
+
+
+def _front_end_main(
+    spec: ScenarioSpec,
+    client_index: int,
+    per_client: int,
+    ops_queue: Any,
+    results_queue: Any,
+) -> None:
+    """One front end: own policy + seeded stream, batched misses to the server.
+
+    Seeding matches :meth:`ClusterRunner._drive_sequential` exactly —
+    client ``i`` draws from ``base_seed + i`` — so the local hit/miss/
+    admission sequence is identical to the sequential drive's.
+    """
+    _mark_worker()
+    policy = spec.policy.build(client_index)
+    generator = spec.workload.build_generator(
+        spec.scale.key_space, spec.base_seed, client_index
+    )
+    loader = _BatchLoader()
+    get_or_admit = policy.get_or_admit
+    keys_array = generator.keys_array
+    remaining = per_client
+    while remaining > 0:
+        n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
+        for key in keys_array(n):
+            get_or_admit(format_key(key), loader)
+        batch = loader.take()
+        if batch:
+            ops_queue.put(("ops", batch))
+        remaining -= n
+    ops_queue.put(("done", client_index))
+    stats = policy.stats
+    results_queue.put(
+        (client_index, stats.hits, stats.misses, stats.accesses)
+    )
+
+
+def _shard_server_main(
+    spec: ScenarioSpec, num_clients: int, ops_queue: Any, loads_queue: Any
+) -> None:
+    """The shard-server process: the authoritative cluster, fed by batches.
+
+    Applies every routed miss exactly as the sequential data plane does —
+    ring route, shard lookup, storage backfill on a layer miss — so
+    per-shard ``gets`` counters (the published load families) are the
+    real thing, not a reconstruction. Batch *arrival order* across
+    clients is nondeterministic, but the counts are commutative sums and
+    shard contents are never published, so the reported loads are exact.
+    """
+    _mark_worker()
+    topology = spec.topology
+    cluster = CacheCluster(
+        num_servers=spec.num_servers,
+        capacity_bytes=topology.capacity_bytes,
+        value_size=topology.value_size,
+    )
+    server_for = cluster.server_for
+    storage_get = cluster.storage.get
+    pending = num_clients
+    while pending:
+        message = ops_queue.get()
+        if message[0] == "done":
+            pending -= 1
+            continue
+        for key in message[1]:
+            server = server_for(key)
+            if server.get(key) is MISSING:
+                server.set(key, storage_get(key))
+    loads_queue.put((cluster.loads(), cluster.epoch_loads()))
+
+
+class ParallelClusterRunner:
+    """Run an eligible cluster scenario with real per-client processes.
+
+    Same contract as :class:`~repro.engine.runners.ClusterRunner` for
+    eligible specs (:func:`cluster_spec_parallelizable`): the returned
+    snapshot is equal field-for-field to the sequential runner's. The
+    result's live-object fields (``policies``/``front_ends``/``cluster``)
+    are empty — the objects lived and died in the worker processes;
+    consumers of the parallel path read telemetry only.
+
+    ``workers`` bounds how many front-end processes run concurrently
+    (default: the fabric's configured count); the shard server always
+    runs alongside them.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self._workers = workers
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        if not cluster_spec_parallelizable(spec):
+            raise ConfigurationError(
+                "scenario is not eligible for the process-per-client drive "
+                "(see cluster_spec_parallelizable); use ClusterRunner"
+            )
+        workers = self._workers if self._workers is not None else _workers
+        workers = max(1, workers)
+        num_clients = spec.num_clients
+        per_client = spec.total_accesses // num_clients
+
+        context = multiprocessing.get_context("spawn")
+        ops_queue = context.Queue()
+        results_queue = context.Queue()
+        loads_queue = context.Queue()
+        server = context.Process(
+            target=_shard_server_main,
+            args=(spec, num_clients, ops_queue, loads_queue),
+            daemon=True,
+        )
+        server.start()
+        front_ends = [
+            context.Process(
+                target=_front_end_main,
+                args=(spec, index, per_client, ops_queue, results_queue),
+                daemon=True,
+            )
+            for index in range(num_clients)
+        ]
+        # Waves bound concurrent front-end processes to the worker budget;
+        # the shard server drains the channel throughout.
+        for start in range(0, num_clients, workers):
+            wave = front_ends[start : start + workers]
+            for process in wave:
+                process.start()
+            for process in wave:
+                process.join()
+        payloads = [results_queue.get() for _ in range(num_clients)]
+        loads, epoch_loads = loads_queue.get()
+        server.join()
+
+        payloads.sort()  # client order (payloads lead with client_index)
+        hits = sum(p[1] for p in payloads)
+        misses = sum(p[2] for p in payloads)
+        accesses = sum(p[3] for p in payloads)
+
+        # Mirror ClusterRunner._publish exactly (same counters in the
+        # same insertion order, zeros included) so snapshots — and the
+        # metrics pages rendered from them — compare equal byte-for-byte.
+        bus = TelemetryBus()
+        bus.inc(T.HITS, hits)
+        bus.inc(T.MISSES, misses)
+        bus.inc(T.ACCESSES, accesses)
+        bus.inc(T.TOTAL_REQUESTS, per_client * num_clients)
+        bus.inc(T.DEGRADED_READS, 0)
+        bus.inc(T.RETRIES, 0)
+        bus.inc(T.OPEN_REJECTIONS, 0)
+        bus.inc(T.BREAKER_OPENS, 0)
+        bus.inc(T.BREAKER_CLOSES, 0)
+        bus.inc(T.FAILED_INVALIDATIONS, 0)
+        bus.record_shard_loads(loads, epoch_loads)
+        bus.fallback_latency = 0.0
+        return ScenarioResult(spec, bus.snapshot())

@@ -198,9 +198,21 @@ class ClusterRunner:
 
     Elastic front ends plug in through ``spec.client_factory``; their
     epoch records are published to the bus as typed epoch events.
+
+    When the parallel fabric is configured with more than one worker,
+    eligible sequential-mode scenarios (pure reads, no faults/phases/
+    hooks — see :func:`repro.engine.parallel.cluster_spec_parallelizable`)
+    delegate to :class:`~repro.engine.parallel.ParallelClusterRunner`,
+    which runs the front ends as real processes and returns an equal
+    snapshot. Everything else runs here unchanged.
     """
 
     def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        # Local import: parallel imports this module at its top level.
+        from repro.engine import parallel
+
+        if parallel.should_use_process_drive(spec):
+            return parallel.ParallelClusterRunner().run(spec)
         scale = spec.scale
         topology = spec.topology
         cluster = CacheCluster(

@@ -16,6 +16,7 @@ numbers.
 from __future__ import annotations
 
 import dataclasses
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, TYPE_CHECKING
 
@@ -45,7 +46,25 @@ __all__ = [
     "TopologySpec",
     "WorkloadSpec",
     "make_generator",
+    "spawn_safe",
 ]
+
+
+def spawn_safe(obj: Any) -> bool:
+    """Whether ``obj`` can cross a process boundary (round-trips pickle).
+
+    The parallel fabric (:mod:`repro.engine.parallel`) ships specs to
+    spawned workers, so everything a spec closes over must be picklable:
+    factories must be module-level callables or instances of module-level
+    classes — locally-defined closures and lambdas are not. Specs that
+    fail this check are still valid; the fabric just runs them in-process
+    on the sequential path.
+    """
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -120,7 +139,9 @@ class WorkloadSpec:
     ``dist`` names a distribution (``uniform``/``zipf-<s>``) built with
     the engine's per-client seeding; ``generator_factory`` is the escape
     hatch for bespoke generators (hotspot, gaussian, rotating hot sets),
-    called with the client index. ``read_fraction`` of ``None`` keeps the
+    called with the client index — make it a module-level callable (not a
+    closure) to keep the spec eligible for the parallel fabric (see
+    :func:`spawn_safe`). ``read_fraction`` of ``None`` keeps the
     consumer's default (pure reads on the cluster path, the
     :class:`~repro.workloads.mixer.OperationMixer` default on the sim
     path); ``mixer_factory`` overrides sim-side mixing entirely.
@@ -147,7 +168,9 @@ class PolicySpec:
     ``name``/``cache_lines``/``tracker_lines`` route through
     :func:`repro.policies.registry.make_policy` (one policy instance per
     client); ``factory`` is the escape hatch for pre-configured policies,
-    called with the client index.
+    called with the client index. Like generator factories, a ``factory``
+    must be a module-level callable (a picklable callable class works too)
+    for the spec to stay :func:`spawn_safe`.
     """
 
     name: str = "none"

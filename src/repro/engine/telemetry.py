@@ -38,6 +38,8 @@ __all__ = [
     "TelemetryBus",
     "TelemetrySnapshot",
     "add_snapshot_listener",
+    "merge_snapshots",
+    "notify_snapshot_listeners",
     "remove_snapshot_listener",
 ]
 
@@ -81,6 +83,20 @@ def remove_snapshot_listener(listener: Callable[["TelemetrySnapshot"], None]) ->
         _snapshot_listeners.remove(listener)
     except ValueError:
         pass
+
+
+def notify_snapshot_listeners(snapshot: "TelemetrySnapshot") -> None:
+    """Deliver one already-frozen snapshot to the registered listeners.
+
+    :meth:`TelemetryBus.snapshot` calls this for every snapshot it
+    freezes; the parallel fabric calls it directly to *replay* snapshots
+    captured inside worker processes (whose listener registrations are
+    process-local) into the parent's listeners, in task order — so a
+    ``--metrics-out`` collector sees the same snapshot stream whether a
+    sweep ran sequentially or fanned out.
+    """
+    for listener in _snapshot_listeners:
+        listener(snapshot)
 
 
 @dataclass(frozen=True)
@@ -218,6 +234,76 @@ class TelemetrySnapshot:
         return self.histograms.get(REQUEST_LATENCY)
 
 
+def merge_snapshots(snapshots: "list[TelemetrySnapshot]") -> "TelemetrySnapshot":
+    """Merge per-task snapshots into one aggregate view.
+
+    The merge uses the PR 4 primitives and is *order-insensitive* for
+    every additive family — counters, shard-load families and fallback
+    latency sum; histograms go through the exact fixed-bucket merge —
+    so a sweep merged from parallel workers equals the same sweep merged
+    sequentially. Order-dependent families keep the input (task) order:
+    epoch events and phases concatenate, gauges are last-writer-wins.
+    ``runtime`` takes the max (tasks are concurrent, not serial);
+    ``mean_latency``/percentile scalars are recomputed from the merged
+    :data:`REQUEST_LATENCY` histogram when one exists, else count-weighted
+    (mean) or left at 0 (percentiles — raw reservoirs are per-run state
+    the snapshot does not carry).
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    shard_loads: dict[str, int] = {}
+    epoch_shard_loads: dict[str, int] = {}
+    epoch_events: list[EpochRecord] = []
+    phases: list[PhaseTelemetry] = []
+    histograms: dict[str, LatencyHistogram] = {}
+    runtime = 0.0
+    fallback_latency = 0.0
+    per_client_runtime: list[float] = []
+    latency_weighted = 0.0
+    for snap in snapshots:
+        for name, value in snap.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges.update(snap.gauges)
+        for sid, count in snap.shard_loads.items():
+            shard_loads[sid] = shard_loads.get(sid, 0) + count
+        for sid, count in snap.epoch_shard_loads.items():
+            epoch_shard_loads[sid] = epoch_shard_loads.get(sid, 0) + count
+        epoch_events.extend(snap.epoch_events)
+        phases.extend(snap.phases)
+        for name, histogram in snap.histograms.items():
+            existing = histograms.get(name)
+            if existing is None:
+                histograms[name] = histogram.copy()
+            else:
+                existing.merge(histogram)
+        runtime = max(runtime, snap.runtime)
+        fallback_latency += snap.fallback_latency
+        per_client_runtime.extend(snap.per_client_runtime)
+        latency_weighted += snap.mean_latency * snap.counter(TOTAL_REQUESTS)
+    total_requests = counters.get(TOTAL_REQUESTS, 0)
+    merged_latency = histograms.get(REQUEST_LATENCY)
+    if merged_latency is not None and merged_latency.count:
+        p50 = merged_latency.percentile(50)
+        p99 = merged_latency.percentile(99)
+    else:
+        p50 = p99 = 0.0
+    return TelemetrySnapshot(
+        counters=counters,
+        gauges=gauges,
+        shard_loads=shard_loads,
+        epoch_shard_loads=epoch_shard_loads,
+        epoch_events=tuple(epoch_events),
+        phases=tuple(phases),
+        runtime=runtime,
+        per_client_runtime=tuple(per_client_runtime),
+        mean_latency=latency_weighted / total_requests if total_requests else 0.0,
+        p50_latency=p50,
+        p99_latency=p99,
+        fallback_latency=fallback_latency,
+        histograms=histograms,
+    )
+
+
 class TelemetryBus:
     """Mutable collection side of the telemetry pipeline.
 
@@ -320,6 +406,5 @@ class TelemetryBus:
                 for name, histogram in self._histograms.items()
             },
         )
-        for listener in _snapshot_listeners:
-            listener(snap)
+        notify_snapshot_listeners(snap)
         return snap

@@ -13,6 +13,7 @@ import sys
 import time
 
 import repro.experiments  # noqa: F401  (imports register every experiment)
+from repro.engine import parallel
 from repro.engine.registry import experiment_ids, get_experiment
 from repro.experiments.common import Scale
 from repro.obs.export import SnapshotCollector
@@ -47,6 +48,15 @@ def main(argv: list[str] | None = None) -> int:
         "full 1M-key/10M-access setup and is slow in pure Python)",
     )
     parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the parallel scenario fabric (default: "
+        "min(cpu count, 8); 1 forces the in-process sequential path). "
+        "Outputs are byte-identical at every worker count",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         metavar="PATH",
@@ -67,6 +77,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("an experiment id (or 'all' or --list) is required")
 
     scale = Scale.named(args.scale)
+    parallel.configure(args.parallel)
     ids = list(experiment_ids()) if args.experiment == "all" else [args.experiment]
     collector = SnapshotCollector().install() if args.metrics_out else None
     try:

@@ -10,7 +10,8 @@ until the gain disappears.
 
 from __future__ import annotations
 
-from repro.engine import PolicySpec, PolicyStreamRunner, ScenarioSpec, WorkloadSpec
+from repro.engine import PolicySpec, ScenarioSpec, WorkloadSpec
+from repro.engine.parallel import map_specs
 from repro.engine.registry import register_experiment
 from repro.experiments.common import ExperimentResult, Scale
 
@@ -35,23 +36,29 @@ def run(scale: Scale | None = None, sizes: list[int] | None = None) -> Experimen
     """Regenerate the appendix tracker-size sweep."""
     scale = scale or Scale.default()
     sizes = sizes if sizes is not None else cache_sizes(scale.key_space)
-    runner = PolicyStreamRunner()
+    # Every (cache size, ratio) cell is an independent stream run; fan
+    # the grid across the fabric and scan results back in grid order.
+    specs = [
+        ScenarioSpec(
+            scale=scale,
+            workload=WorkloadSpec(dist=f"zipf-{THETA:g}"),
+            policy=PolicySpec(
+                name="cot",
+                cache_lines=cache_size,
+                tracker_lines=ratio * cache_size,
+            ),
+        )
+        for cache_size in sizes
+        for ratio in RATIOS
+    ]
+    snapshots = iter(map_specs("policy", specs))
     rows: list[list[object]] = []
     saturation_ratio: dict[int, int] = {}
     for cache_size in sizes:
         row: list[object] = [cache_size]
         previous = None
         for ratio in RATIOS:
-            spec = ScenarioSpec(
-                scale=scale,
-                workload=WorkloadSpec(dist=f"zipf-{THETA:g}"),
-                policy=PolicySpec(
-                    name="cot",
-                    cache_lines=cache_size,
-                    tracker_lines=ratio * cache_size,
-                ),
-            )
-            hit_rate = runner.run(spec).telemetry.hit_rate
+            hit_rate = next(snapshots).hit_rate
             row.append(round(hit_rate * 100, 2))
             if previous is not None and hit_rate - previous < 0.002:
                 saturation_ratio.setdefault(cache_size, ratio)

@@ -18,10 +18,10 @@ from __future__ import annotations
 from repro.engine import (
     PolicySpec,
     ScenarioSpec,
-    SimRunner,
     TopologySpec,
     WorkloadSpec,
 )
+from repro.engine.parallel import map_specs
 from repro.engine.registry import register_experiment
 from repro.experiments.common import ExperimentResult, Scale
 from repro.sim.network import FixedLatency
@@ -36,7 +36,7 @@ CACHE_LINES = 512
 RATIO = 8
 
 
-def _runtime(scale: Scale, rtt: float, cached: bool) -> float:
+def _build_spec(scale: Scale, rtt: float, cached: bool) -> ScenarioSpec:
     clients = min(scale.num_clients, 8)
     per_client = max(200, scale.accesses // (clients * 20))
     if cached:
@@ -47,7 +47,7 @@ def _runtime(scale: Scale, rtt: float, cached: bool) -> float:
         )
     else:
         policy = PolicySpec()
-    spec = ScenarioSpec(
+    return ScenarioSpec(
         scale=scale,
         workload=WorkloadSpec(dist=DIST),
         policy=policy,
@@ -55,16 +55,21 @@ def _runtime(scale: Scale, rtt: float, cached: bool) -> float:
         requests_per_client=per_client,
         latency=FixedLatency(rtt),
     )
-    return SimRunner().run(spec).telemetry.runtime
 
 
 def run(scale: Scale | None = None) -> ExperimentResult:
     """Sweep the RTT and report CoT's runtime reduction at each point."""
     scale = scale or Scale.default()
+    specs = [
+        _build_spec(scale, rtt, cached)
+        for rtt in RTTS
+        for cached in (False, True)
+    ]
+    snapshots = iter(map_specs("sim", specs))
     rows: list[list[object]] = []
     for rtt in RTTS:
-        bare = _runtime(scale, rtt, cached=False)
-        cached = _runtime(scale, rtt, cached=True)
+        bare = next(snapshots).runtime
+        cached = next(snapshots).runtime
         reduction = 1.0 - cached / bare if bare else 0.0
         rows.append(
             [

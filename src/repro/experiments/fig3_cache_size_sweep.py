@@ -17,7 +17,8 @@ The sweep's maximum cache size scales with the key space (the paper's
 from __future__ import annotations
 
 from repro.core.cache import CoTCache
-from repro.engine import ClusterRunner, PolicySpec, ScenarioSpec, WorkloadSpec
+from repro.engine import PolicySpec, ScenarioSpec, WorkloadSpec
+from repro.engine.parallel import map_specs
 from repro.engine.registry import register_experiment
 from repro.experiments.common import ExperimentResult, Scale
 
@@ -42,15 +43,21 @@ def sweep_sizes(key_space: int) -> list[int]:
     return sizes
 
 
-def _policy_factory(size: int):
-    def factory(_i: int) -> CoTCache:
-        # Size 0 is represented by a 1-line cache that never admits
-        # (tracker must exceed cache); simpler: capacity-0 CoT.
-        if size == 0:
-            return CoTCache(0, tracker_capacity=2)
-        return CoTCache(size, tracker_capacity=TRACKER_RATIO * size)
+class _Fig3PolicyFactory:
+    """Per-client CoT factory for one sweep point.
 
-    return factory
+    A picklable callable class (not a closure) so the spec stays
+    spawn-safe for the parallel fabric.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def __call__(self, _i: int) -> CoTCache:
+        # Size 0 is represented by a capacity-0 CoT that never admits.
+        if self.size == 0:
+            return CoTCache(0, tracker_capacity=2)
+        return CoTCache(self.size, tracker_capacity=TRACKER_RATIO * self.size)
 
 
 def run(scale: Scale | None = None, sizes: list[int] | None = None) -> ExperimentResult:
@@ -59,17 +66,21 @@ def run(scale: Scale | None = None, sizes: list[int] | None = None) -> Experimen
     sizes = sizes if sizes is not None else sweep_sizes(scale.key_space)
     dist = f"zipf-{THETA}"
 
-    runner = ClusterRunner()
+    # One independent cluster run per sweep point, fanned across the
+    # fabric; the baseline (no-cache) total comes from the first point.
+    specs = [
+        ScenarioSpec(
+            scale=scale,
+            workload=WorkloadSpec(dist=dist),
+            policy=PolicySpec(factory=_Fig3PolicyFactory(cache_size)),
+        )
+        for cache_size in sizes
+    ]
+    snapshots = map_specs("cluster", specs)
     rows: list[list[object]] = []
     baseline_lookups: int | None = None
     reached_at: int | None = None
-    for cache_size in sizes:
-        spec = ScenarioSpec(
-            scale=scale,
-            workload=WorkloadSpec(dist=dist),
-            policy=PolicySpec(factory=_policy_factory(cache_size)),
-        )
-        telemetry = runner.run(spec).telemetry
+    for cache_size, telemetry in zip(sizes, snapshots):
         total = sum(telemetry.shard_loads.values())
         if baseline_lookups is None:
             baseline_lookups = total

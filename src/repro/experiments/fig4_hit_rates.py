@@ -13,7 +13,8 @@ lines and ARC's with ~50% fewer; the CoT advantage narrows as skew grows.
 
 from __future__ import annotations
 
-from repro.engine import PolicySpec, PolicyStreamRunner, ScenarioSpec, WorkloadSpec
+from repro.engine import PolicySpec, ScenarioSpec, WorkloadSpec
+from repro.engine.parallel import map_specs
 from repro.engine.registry import register_experiment
 from repro.experiments.common import ExperimentResult, Scale, TRACKER_RATIOS
 from repro.policies.registry import POLICY_NAMES
@@ -47,22 +48,28 @@ def run(
     ratio = TRACKER_RATIOS.get(f"zipf-{theta:g}", 4)
     dist = f"zipf-{theta:g}"
 
-    runner = PolicyStreamRunner()
+    # The size×policy grid is embarrassingly parallel: every cell is an
+    # independent spec with its own pinned seed, fanned across the
+    # fabric and merged back in grid order.
+    specs = [
+        ScenarioSpec(
+            scale=scale,
+            workload=WorkloadSpec(dist=dist),
+            policy=PolicySpec(
+                name=name,
+                cache_lines=cache_size,
+                tracker_lines=ratio * cache_size,
+            ),
+        )
+        for cache_size in sizes
+        for name in POLICY_NAMES
+    ]
+    snapshots = iter(map_specs("policy", specs))
     rows: list[list[object]] = []
     for cache_size in sizes:
         row: list[object] = [cache_size]
-        for name in POLICY_NAMES:
-            spec = ScenarioSpec(
-                scale=scale,
-                workload=WorkloadSpec(dist=dist),
-                policy=PolicySpec(
-                    name=name,
-                    cache_lines=cache_size,
-                    tracker_lines=ratio * cache_size,
-                ),
-            )
-            hit_rate = runner.run(spec).telemetry.hit_rate
-            row.append(round(hit_rate * 100, 2))
+        for _name in POLICY_NAMES:
+            row.append(round(next(snapshots).hit_rate * 100, 2))
         row.append(round(zipf_cdf(cache_size, scale.key_space, theta) * 100, 2))
         rows.append(row)
 

@@ -24,6 +24,7 @@ from repro.engine import (
     TopologySpec,
     WorkloadSpec,
 )
+from repro.engine.parallel import map_specs
 from repro.engine.registry import register_experiment
 from repro.experiments.common import (
     ExperimentResult,
@@ -43,7 +44,7 @@ CACHE_LINES = 512
 ALL_CONFIGS = ("none", *POLICY_NAMES)
 
 
-def run_one(
+def build_spec(
     dist: str,
     policy_name: str,
     scale: Scale,
@@ -52,8 +53,8 @@ def run_one(
     requests_per_client: int | None = None,
     cache_lines: int = CACHE_LINES,
     service_model: ServiceModel | None = None,
-) -> float:
-    """One simulated run; returns the overall running time in seconds."""
+) -> ScenarioSpec:
+    """The spec of one simulated repetition (seed = base + 10k × rep)."""
     clients = num_clients if num_clients is not None else scale.num_clients
     per_client = (
         requests_per_client
@@ -71,13 +72,36 @@ def run_one(
             cache_lines=cache_lines,
             tracker_lines=ratio * cache_lines,
         )
-    spec = ScenarioSpec(
+    return ScenarioSpec(
         scale=scale,
         workload=WorkloadSpec(dist=dist),
         policy=policy,
         topology=TopologySpec(num_clients=clients),
         seed=base_seed,
         requests_per_client=per_client,
+        service_model=service_model,
+    )
+
+
+def run_one(
+    dist: str,
+    policy_name: str,
+    scale: Scale,
+    repetition: int,
+    num_clients: int | None = None,
+    requests_per_client: int | None = None,
+    cache_lines: int = CACHE_LINES,
+    service_model: ServiceModel | None = None,
+) -> float:
+    """One simulated run; returns the overall running time in seconds."""
+    spec = build_spec(
+        dist,
+        policy_name,
+        scale,
+        repetition,
+        num_clients=num_clients,
+        requests_per_client=requests_per_client,
+        cache_lines=cache_lines,
         service_model=service_model,
     )
     return SimRunner().run(spec).telemetry.runtime
@@ -91,22 +115,28 @@ def run(
 ) -> ExperimentResult:
     """Regenerate Figure 5: rows = configs, columns = distributions."""
     scale = scale or Scale.default()
+    # Every (config × dist × repetition) simulation is independent (each
+    # repetition re-seeds explicitly); fan the whole grid at once.
+    specs = [
+        build_spec(
+            dist,
+            policy_name,
+            scale,
+            rep,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+        )
+        for policy_name in ALL_CONFIGS
+        for dist in DISTS
+        for rep in range(repetitions)
+    ]
+    snapshots = iter(map_specs("sim", specs))
     rows: list[list[object]] = []
     uniform_nocache: float | None = None
     for policy_name in ALL_CONFIGS:
         row: list[object] = [policy_name]
         for dist in DISTS:
-            runtimes = [
-                run_one(
-                    dist,
-                    policy_name,
-                    scale,
-                    rep,
-                    num_clients=num_clients,
-                    requests_per_client=requests_per_client,
-                )
-                for rep in range(repetitions)
-            ]
+            runtimes = [next(snapshots).runtime for _ in range(repetitions)]
             mean, ci = mean_confidence(runtimes)
             if policy_name == "none" and dist == "uniform":
                 uniform_nocache = mean

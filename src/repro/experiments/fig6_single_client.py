@@ -19,9 +19,15 @@ hot-shard slowdown the paper measured on real hardware is modeled by the
 
 from __future__ import annotations
 
+from repro.engine.parallel import map_specs
 from repro.engine.registry import register_experiment
 from repro.experiments.common import ExperimentResult, Scale, mean_confidence
-from repro.experiments.fig5_end_to_end import ALL_CONFIGS, CACHE_LINES, DISTS, run_one
+from repro.experiments.fig5_end_to_end import (
+    ALL_CONFIGS,
+    CACHE_LINES,
+    DISTS,
+    build_spec,
+)
 
 __all__ = ["run", "EXPERIMENT_ID"]
 
@@ -32,21 +38,25 @@ def run(scale: Scale | None = None, repetitions: int = 3) -> ExperimentResult:
     """Regenerate Figure 6: one client, scale.accesses/20 lookups."""
     scale = scale or Scale.default()
     lookups = max(1000, scale.accesses // 20)
+    specs = [
+        build_spec(
+            dist,
+            policy_name,
+            scale,
+            rep,
+            num_clients=1,
+            requests_per_client=lookups,
+        )
+        for policy_name in ALL_CONFIGS
+        for dist in DISTS
+        for rep in range(repetitions)
+    ]
+    snapshots = iter(map_specs("sim", specs))
     rows: list[list[object]] = []
     for policy_name in ALL_CONFIGS:
         row: list[object] = [policy_name]
         for dist in DISTS:
-            runtimes = [
-                run_one(
-                    dist,
-                    policy_name,
-                    scale,
-                    rep,
-                    num_clients=1,
-                    requests_per_client=lookups,
-                )
-                for rep in range(repetitions)
-            ]
+            runtimes = [next(snapshots).runtime for _ in range(repetitions)]
             mean, ci = mean_confidence(runtimes)
             row.append(f"{mean:.3f}±{ci:.3f}")
         rows.append(row)

@@ -26,6 +26,7 @@ import math
 
 from repro.cluster.cluster import CacheCluster
 from repro.engine import ClusterRunner, PolicySpec, ScenarioSpec, WorkloadSpec
+from repro.engine.parallel import map_calls
 from repro.engine.registry import register_experiment
 from repro.experiments.common import ExperimentResult, Scale, TRACKER_RATIOS
 from repro.metrics.imbalance import load_imbalance
@@ -123,6 +124,31 @@ def _candidate_sizes(key_space: int) -> list[int]:
     return sizes
 
 
+def _table2_task(
+    dist: str,
+    scale: Scale,
+    policy_name: str | None,
+    target: float,
+    shares: dict[str, float] | None,
+) -> object:
+    """One fabric task of the Table 2 search (module-level: spawn-safe).
+
+    ``policy_name`` of ``None`` is the distribution's no-cache baseline
+    (returns the rounded imbalance); otherwise runs the full early-exit
+    min-cache search for that policy (returns the found size or ``"-"``).
+    Each task runs its interleaved measurements in the exact sequential
+    order, so captured telemetry snapshots replay identically.
+    """
+    if policy_name is None:
+        no_cache, _ = _measure(dist, scale, None, 0)
+        return round(no_cache, 2)
+    for size in _candidate_sizes(scale.key_space):
+        imbalance, sample = _measure(dist, scale, policy_name, size, shares)
+        if imbalance <= target * _noise_allowance(sample, scale.num_servers):
+            return size
+    return "-"
+
+
 def run(scale: Scale | None = None, target: float = TARGET_IMBALANCE) -> ExperimentResult:
     """Regenerate Table 2 at the given scale.
 
@@ -137,20 +163,20 @@ def run(scale: Scale | None = None, target: float = TARGET_IMBALANCE) -> Experim
     """
     scale = scale or Scale.default()
     shares = _ring_shares(scale)
+    # One task per (dist × policy) search plus one no-cache baseline per
+    # dist — each search keeps its early-exit loop intact inside its
+    # worker; results come back in the sequential emission order.
+    tasks = [
+        (dist, scale, name, target, shares)
+        for dist in DISTS
+        for name in (None, *POLICY_NAMES)
+    ]
+    values = iter(map_calls(_table2_task, tasks))
     rows: list[list[object]] = []
     for dist in DISTS:
-        no_cache, _ = _measure(dist, scale, None, 0)
-        row: list[object] = [dist, round(no_cache, 2)]
-        for name in POLICY_NAMES:
-            found: object = "-"
-            for size in _candidate_sizes(scale.key_space):
-                imbalance, sample = _measure(dist, scale, name, size, shares)
-                if imbalance <= target * _noise_allowance(
-                    sample, scale.num_servers
-                ):
-                    found = size
-                    break
-            row.append(found)
+        row: list[object] = [dist, next(values)]
+        for _name in POLICY_NAMES:
+            row.append(next(values))
         rows.append(row)
 
     return ExperimentResult(

@@ -7,13 +7,14 @@ from dataclasses import dataclass, field
 __all__ = ["CacheStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Lifetime and per-epoch counters for one front-end cache.
 
     ``hits``/``misses`` accumulate over the cache's lifetime;
     ``epoch_hits``/``epoch_misses`` are reset by :meth:`reset_epoch` and feed
-    CoT's per-epoch quality signals (``alpha_c``).
+    CoT's per-epoch quality signals (``alpha_c``). Slotted: two counter
+    writes land here on every single access.
     """
 
     hits: int = 0

@@ -40,6 +40,8 @@ class OperationMixer:
         seed for the read/update coin, independent of the key stream.
     """
 
+    __slots__ = ("_generator", "_read_fraction", "_value_size", "_rng", "_version")
+
     def __init__(
         self,
         generator: KeyGenerator,

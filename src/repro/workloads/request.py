@@ -26,12 +26,14 @@ class OpType(enum.Enum):
         return self is OpType.GET
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One end-user-originated key/value operation.
 
     ``key`` is the wire-format string key; ``value`` carries the payload of
-    ``SET`` operations (``None`` for reads/deletes).
+    ``SET`` operations (``None`` for reads/deletes). Slotted: mixers emit
+    one instance per operation, so the per-object dict is the single
+    largest allocation on the request-generation path.
     """
 
     op: OpType

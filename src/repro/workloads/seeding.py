@@ -1,0 +1,47 @@
+"""Deterministic per-task seed derivation for parallel execution.
+
+When the engine fans work across processes, every task's randomness must
+be a pure function of *which task it is* — never of which worker happens
+to execute it, or in what order tasks complete. :func:`spawn_seed`
+implements a SplitMix64-style derivation: the root seed advances by the
+64-bit golden-ratio increment once per task index and is passed through
+SplitMix64's finalizer (Steele, Lea & Flood, "Fast splittable
+pseudorandom number generators", OOPSLA 2014). The finalizer's avalanche
+behavior means adjacent task indices (0, 1, 2, …) produce statistically
+independent seeds, so sweeps can number their tasks naively.
+
+The experiment specs themselves pin *explicit* seeds (``scale.seed`` plus
+documented per-client offsets) because their outputs are golden-file
+byte-pinned; :func:`spawn_seed` is the derivation primitive for work that
+needs fresh independent streams per task — benchmarks, ad-hoc sweeps,
+and any future experiment that fans unpinned tasks.
+"""
+
+from __future__ import annotations
+
+__all__ = ["derive_seeds", "spawn_seed"]
+
+_MASK64 = (1 << 64) - 1
+#: 2^64 / golden ratio — SplitMix64's stream increment ("gamma").
+_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+
+def spawn_seed(root: int, task_index: int) -> int:
+    """Derive task ``task_index``'s 64-bit seed from ``root``.
+
+    Pure function of ``(root, task_index)``: the same task always gets
+    the same seed no matter which worker runs it, and distinct tasks get
+    avalanche-independent seeds even for adjacent indices. ``task_index``
+    must be >= 0; ``root`` may be any int (it is reduced mod 2^64).
+    """
+    if task_index < 0:
+        raise ValueError("task_index must be >= 0")
+    z = (root + (task_index + 1) * _GOLDEN_GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def derive_seeds(root: int, count: int) -> list[int]:
+    """Seeds for tasks ``0 .. count-1`` (convenience over :func:`spawn_seed`)."""
+    return [spawn_seed(root, index) for index in range(count)]

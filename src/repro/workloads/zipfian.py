@@ -12,6 +12,7 @@ incrementally.
 from __future__ import annotations
 
 import math
+import os
 
 from repro.errors import ConfigurationError
 from repro.workloads.base import KeyGenerator
@@ -28,8 +29,27 @@ ZIPFIAN_CONSTANT = 0.99
 #: over a handful of such pairs, so a small module-level memo removes the
 #: dominant setup cost. Bounded so pathological sweeps cannot grow it
 #: without limit.
+#:
+#: The memo is strictly **per-process**: ``_ZETA_MEMO_OWNER`` records the
+#: pid that owns the current contents and :func:`_zeta_memo` resets the
+#: dict whenever it is consulted from a different pid — so a fork-started
+#: worker never *shares mutation* with (or trusts stale state from) its
+#: parent, and spawn-started workers lazily rebuild from empty. Entries
+#: are pure functions of ``(n, theta)``, so every process converges to
+#: identical values regardless of start method.
 _ZETA_MEMO: dict[tuple[int, float], float] = {}
 _ZETA_MEMO_MAX = 1024
+_ZETA_MEMO_OWNER = os.getpid()
+
+
+def _zeta_memo() -> dict[tuple[int, float], float]:
+    """This process's zeta memo (lazily re-initialized after fork)."""
+    global _ZETA_MEMO_OWNER
+    pid = os.getpid()
+    if pid != _ZETA_MEMO_OWNER:
+        _ZETA_MEMO.clear()
+        _ZETA_MEMO_OWNER = pid
+    return _ZETA_MEMO
 
 
 def zeta(n: int, theta: float, start: int = 0, initial: float = 0.0) -> float:
@@ -42,15 +62,16 @@ def zeta(n: int, theta: float, start: int = 0, initial: float = 0.0) -> float:
     per ``(n, theta)``.
     """
     if start == 0 and initial == 0.0:
+        memo = _zeta_memo()
         memo_key = (n, theta)
-        total = _ZETA_MEMO.get(memo_key)
+        total = memo.get(memo_key)
         if total is None:
             total = 0.0
             for i in range(n):
                 total += 1.0 / (i + 1) ** theta
-            if len(_ZETA_MEMO) >= _ZETA_MEMO_MAX:
-                _ZETA_MEMO.clear()
-            _ZETA_MEMO[memo_key] = total
+            if len(memo) >= _ZETA_MEMO_MAX:
+                memo.clear()
+            memo[memo_key] = total
         return total
     total = initial
     for i in range(start, n):

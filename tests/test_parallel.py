@@ -1,0 +1,260 @@
+"""Parallel fabric: seed derivation, worker-count invariance, merge.
+
+The fabric's contract is that parallelism is *unobservable* in outputs:
+``--parallel 1``, ``--parallel 2`` and ``--parallel 4`` must render the
+same bytes and publish the same telemetry, and the process-per-client
+cluster drive must return a snapshot equal to the sequential runner's.
+These tests pin that contract, plus the SplitMix64 seed-derivation
+primitive and the per-process zeta memo behavior the spawn path relies
+on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import (
+    ClusterRunner,
+    PolicySpec,
+    Scale,
+    ScenarioSpec,
+    StreamHooks,
+    TopologySpec,
+    WorkloadSpec,
+    merge_snapshots,
+)
+from repro.engine.parallel import (
+    ParallelClusterRunner,
+    cluster_spec_parallelizable,
+    map_calls,
+    map_specs,
+    parallel_workers,
+)
+from repro.engine.spec import spawn_safe
+from repro.errors import ConfigurationError
+from repro.obs.export import SnapshotCollector
+from repro.workloads.seeding import derive_seeds, spawn_seed
+from repro.workloads.zipfian import zeta
+import repro.workloads.zipfian as zipfian_mod
+
+from repro.experiments.fig4_hit_rates import run as fig4_run
+
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+# --------------------------------------------------------------------------
+# seed derivation
+
+
+class TestSpawnSeed:
+    def test_same_task_same_seed(self):
+        assert spawn_seed(42, 7) == spawn_seed(42, 7)
+
+    def test_distinct_tasks_distinct_seeds(self):
+        seeds = derive_seeds(42, 1000)
+        assert len(set(seeds)) == 1000
+
+    def test_distinct_roots_distinct_seeds(self):
+        a = derive_seeds(1, 100)
+        b = derive_seeds(2, 100)
+        assert not set(a) & set(b)
+
+    def test_64_bit_range(self):
+        for seed in derive_seeds(123456789, 200):
+            assert 0 <= seed < (1 << 64)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seed(42, -1)
+
+    def test_streams_are_independent(self):
+        """Adjacent task indices must yield uncorrelated RNG streams."""
+        streams = [
+            random.Random(spawn_seed(42, i)).random() for i in range(100)
+        ]
+        assert len(set(streams)) == 100
+        # Crude avalanche check: adjacent seeds differ in many bits.
+        a, b = spawn_seed(42, 0), spawn_seed(42, 1)
+        assert bin(a ^ b).count("1") > 10
+
+
+# --------------------------------------------------------------------------
+# zeta memo across processes
+
+
+class TestZetaSpawnSafety:
+    def test_spawned_workers_agree_with_parent(self):
+        """Two spawned workers compute the same zeta as the parent."""
+        expected = zeta(5_000, 0.99)
+        with parallel_workers(2):
+            values = map_calls(zeta, [(5_000, 0.99)] * 4)
+        assert values == [expected] * 4
+
+    def test_memo_resets_when_pid_changes(self):
+        """A forked child must not trust (or mutate) the parent's memo."""
+        zeta(100, 0.75)  # populate
+        assert (100, 0.75) in zipfian_mod._ZETA_MEMO
+        original = zipfian_mod._ZETA_MEMO_OWNER
+        try:
+            zipfian_mod._ZETA_MEMO_OWNER = original - 1  # fake "other process"
+            zipfian_mod._ZETA_MEMO[(100, 0.75)] = -1.0  # junk to be dropped
+            assert zeta(100, 0.75) > 0  # recomputed, not the junk value
+            assert zipfian_mod._ZETA_MEMO_OWNER == original  # reclaimed
+        finally:
+            zipfian_mod._ZETA_MEMO_OWNER = original
+            zipfian_mod._ZETA_MEMO.pop((100, 0.75), None)
+
+
+# --------------------------------------------------------------------------
+# worker-count invariance
+
+
+def _render(outcome) -> str:
+    results = outcome if isinstance(outcome, list) else [outcome]
+    return "\n\n".join(result.render() for result in results) + "\n"
+
+
+class TestWorkerCountInvariance:
+    def test_fig4_bytes_and_snapshots_invariant(self):
+        """One registered sweep: identical bytes and telemetry at 1/2/4."""
+        rendered: dict[int, str] = {}
+        snapshots: dict[int, list] = {}
+        for workers in WORKER_COUNTS:
+            collector = SnapshotCollector().install()
+            try:
+                with parallel_workers(workers):
+                    outcome = fig4_run(
+                        theta=0.99, scale=Scale.tiny(), sizes=[2, 8]
+                    )
+            finally:
+                collector.uninstall()
+            rendered[workers] = _render(outcome)
+            snapshots[workers] = list(collector.snapshots)
+        base = WORKER_COUNTS[0]
+        for workers in WORKER_COUNTS[1:]:
+            assert rendered[workers] == rendered[base]
+            assert snapshots[workers] == snapshots[base]
+        # The merged view is invariant too (counters are sums).
+        merged = {
+            w: merge_snapshots(snapshots[w]).counters for w in WORKER_COUNTS
+        }
+        assert merged[2] == merged[base] and merged[4] == merged[base]
+        assert merged[base]  # non-empty: the sweep really published
+
+    def test_map_calls_preserves_input_order(self):
+        with parallel_workers(4):
+            values = map_calls(_square, [(i,) for i in range(10)])
+        assert values == [i * i for i in range(10)]
+
+    def test_unpicklable_tasks_fall_back_in_process(self):
+        """Closures can't cross process boundaries; they still run."""
+        closure_spec = ScenarioSpec(
+            scale=Scale.tiny(),
+            workload=WorkloadSpec(dist="zipf-0.99"),
+            policy=PolicySpec(name="lru", cache_lines=8),
+            hooks=StreamHooks(before=lambda i: None),
+        )
+        assert not spawn_safe(closure_spec)
+        with parallel_workers(2):
+            snaps = map_specs("policy", [closure_spec, closure_spec])
+        assert len(snaps) == 2 and snaps[0] == snaps[1]
+
+    def test_unknown_runner_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            map_specs("warp", [])
+
+    def test_stdin_main_falls_back_in_process(self, monkeypatch):
+        """A ``python - <<EOF`` main can't cross spawn; the fabric detects it."""
+        import sys
+
+        from repro.engine import parallel as parallel_mod
+
+        class _StdinMain:
+            __file__ = "<stdin>"
+
+        assert parallel_mod._main_spawn_safe()  # pytest's main is a real file
+        monkeypatch.setitem(sys.modules, "__main__", _StdinMain())
+        assert not parallel_mod._main_spawn_safe()
+        with parallel_workers(2):
+            assert parallel_mod.warm_pool() == 1  # refuses to spawn
+            values = map_calls(_square, [(i,) for i in range(4)])
+        assert values == [0, 1, 4, 9]  # ran in-process, same results
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+# --------------------------------------------------------------------------
+# process-per-front-end cluster drive
+
+
+def _cluster_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        scale=Scale.tiny(),
+        workload=WorkloadSpec(dist="zipf-0.99"),
+        policy=PolicySpec(name="cot", cache_lines=64, tracker_lines=256),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestParallelClusterRunner:
+    def test_snapshot_equals_sequential(self):
+        spec = _cluster_spec()
+        sequential = ClusterRunner().run(spec).telemetry
+        with parallel_workers(2):
+            parallel = ParallelClusterRunner().run(spec).telemetry
+        assert parallel == sequential
+
+    def test_cluster_runner_delegates_when_configured(self):
+        """With workers > 1, ClusterRunner itself routes eligible specs."""
+        spec = _cluster_spec()
+        sequential = ClusterRunner().run(spec).telemetry
+        with parallel_workers(2):
+            delegated = ClusterRunner().run(spec)
+        assert delegated.telemetry == sequential
+        # The process drive has no live objects to hand back.
+        assert delegated.front_ends == [] and delegated.cluster is None
+
+    def test_ineligible_specs_stay_sequential(self):
+        interleaved = _cluster_spec(interleave=True)
+        assert not cluster_spec_parallelizable(interleaved)
+        mixed = _cluster_spec(workload=WorkloadSpec(dist="zipf-0.99",
+                                                    read_fraction=0.9))
+        assert not cluster_spec_parallelizable(mixed)
+        single = _cluster_spec(topology=TopologySpec(num_clients=1))
+        assert not cluster_spec_parallelizable(single)
+
+    def test_rejects_ineligible_spec(self):
+        with pytest.raises(ConfigurationError):
+            ParallelClusterRunner().run(_cluster_spec(interleave=True))
+
+
+# --------------------------------------------------------------------------
+# snapshot merging
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_and_loads_sum(self):
+        spec = _cluster_spec()
+        snap = ClusterRunner().run(spec).telemetry
+        merged = merge_snapshots([snap, snap])
+        assert merged.counters["policy.hits"] == 2 * snap.counters["policy.hits"]
+        assert merged.counters["run.requests"] == 2 * snap.counters["run.requests"]
+        for sid, count in snap.shard_loads.items():
+            assert merged.shard_loads[sid] == 2 * count
+
+    def test_merge_empty_is_empty(self):
+        merged = merge_snapshots([])
+        assert merged.counters == {} and merged.shard_loads == {}
+
+    def test_merge_single_is_identity_on_counters(self):
+        spec = _cluster_spec()
+        snap = ClusterRunner().run(spec).telemetry
+        merged = merge_snapshots([snap])
+        assert merged.counters == snap.counters
+        assert merged.shard_loads == snap.shard_loads
