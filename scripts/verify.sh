@@ -46,6 +46,14 @@ echo "== parallel smoke =="
 # (A real script, not a heredoc: spawned workers re-import __main__.)
 python scripts/parallel_smoke.py
 
+echo "== hot-key smoke =="
+# The adversarial ext-hotkey pair (classic vs replicated tier) must keep
+# its headline win at smoke scale: >= 2x modeled cluster throughput and
+# <= 0.5x hottest-shard spread. Runs the same measurement the full perf
+# gate chains, but as a named stage so a tier regression is immediately
+# attributable in CI output.
+python benchmarks/run_perf_gate.py --hot-key
+
 echo "== perf gate =="
 python benchmarks/run_perf_gate.py --check "$@"
 

@@ -12,6 +12,12 @@ from repro.cluster.invalidation import (
     InvalidationStats,
 )
 from repro.cluster.loadmonitor import LoadMonitor, load_imbalance
+from repro.cluster.replication import (
+    HotKeyRouter,
+    ReplicaEntry,
+    ReplicationConfig,
+    ReplicationStats,
+)
 from repro.cluster.retry import (
     BreakerConfig,
     BreakerState,
@@ -35,9 +41,13 @@ __all__ = [
     "ConsistentHashRing",
     "FaultInjector",
     "FaultStats",
+    "HotKeyRouter",
     "InvalidationBus",
     "InvalidationStats",
     "LoadMonitor",
+    "ReplicaEntry",
+    "ReplicationConfig",
+    "ReplicationStats",
     "load_imbalance",
     "PersistentStore",
     "RetryPolicy",

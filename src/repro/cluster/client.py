@@ -17,16 +17,27 @@ end to end:
 The client is policy-agnostic: any :class:`~repro.policies.base.CachePolicy`
 (including :class:`~repro.core.cache.CoTCache`) plugs in unchanged, which
 is how all the comparison experiments share one code path.
+
+When a :class:`~repro.cluster.replication.HotKeyRouter` is attached
+(:meth:`FrontEndClient.attach_router`), keys the router promoted into the
+replicated hot-key tier take a different route: reads pick among the
+key's replica shards with power-of-two-choices over this front end's own
+per-shard load window (dead replicas excluded via the circuit breakers),
+and writes fan the invalidation out to every shard that may hold a copy.
+With no router attached — the default — every path below is byte-for-byte
+the classic single-owner protocol.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Any, Hashable
 
 from repro.cluster.cluster import CacheCluster
 from repro.cluster.loadmonitor import LoadMonitor
-from repro.cluster.retry import ClusterGuard
-from repro.errors import ShardUnavailableError
+from repro.cluster.replication import HotKeyRouter, ReplicaEntry
+from repro.cluster.retry import BreakerState, ClusterGuard
+from repro.errors import ClusterError, ShardUnavailableError
 from repro.obs.trace import Trace, Tracer
 from repro.policies.base import MISSING, CachePolicy
 from repro.workloads.request import OpType, Request
@@ -84,6 +95,28 @@ class FrontEndClient:
         self.guard = guard or ClusterGuard(cluster.server_ids)
         self.fallback_penalty = fallback_penalty
         self.tracer = tracer
+        #: replicated hot-key tier; ``None`` keeps the classic protocol
+        self.router: HotKeyRouter | None = None
+        #: bound ``router.routes`` dict — one ``dict.get`` per miss is the
+        #: entire hot-path cost of an attached (but idle) tier
+        self._routes: dict[Hashable, ReplicaEntry] | None = None
+        self._route_rng: random.Random | None = None
+
+    def attach_router(self, router: HotKeyRouter, seed: int = 0) -> None:
+        """Join the replicated hot-key tier.
+
+        Binds the router's route table for the read hot path, seeds this
+        front end's independent choice RNG, and registers the cold-revival
+        hook that zeroes the revived shard's epoch-load window (a wiped
+        shard carries zero real load; stale window counts would skew
+        two-choices routing — see :meth:`LoadMonitor.reset_server_window`).
+        """
+        self.router = router
+        self._routes = router.routes
+        self._route_rng = router.make_choice_rng(seed)
+        self.cluster.cold_revival_listeners.append(
+            self.monitor.reset_server_window
+        )
 
     # ------------------------------------------------------------- protocol
 
@@ -128,6 +161,12 @@ class FrontEndClient:
     def _traced_fetch(self, key: Hashable, trace: Trace) -> Any:
         """Traced twin of :meth:`_fetch_from_backend` (span per stage)."""
         trace.note("outcome", "miss")
+        routes = self._routes
+        if routes is not None:
+            entry = routes.get(key)
+            if entry is not None:
+                with trace.span("shard.replicated_lookup"):
+                    return self._fetch_replicated(key, entry)
         with trace.span("ring.route"):
             server = self.cluster.server_for(key)
         server_id = server.server_id
@@ -159,7 +198,16 @@ class FrontEndClient:
         An unavailable shard turns the read into a degraded read: the
         value comes straight from persistent storage (always correct —
         storage is authoritative) and the fallback is counted.
+
+        Keys promoted into the replicated tier branch to
+        :meth:`_fetch_replicated` instead; with no router attached the
+        branch costs nothing.
         """
+        routes = self._routes
+        if routes is not None:
+            entry = routes.get(key)
+            if entry is not None:
+                return self._fetch_replicated(key, entry)
         server = self.cluster.server_for(key)
         server_id = server.server_id
         self.monitor.record_lookup(server_id)
@@ -167,6 +215,69 @@ class FrontEndClient:
             value = self.guard.call(server_id, lambda: server.get(key))
         except ShardUnavailableError:
             return self._degraded_read(server_id, key)
+        if value is MISSING:
+            value = self.cluster.storage.get(key)
+            self._backfill(server, key, value)
+        return value
+
+    def _fetch_replicated(self, key: Hashable, entry: ReplicaEntry) -> Any:
+        """Replicated-tier read: power-of-``d``-choices over live replicas.
+
+        The choice set is the entry's eligible replicas (quarantined
+        shards already excluded) minus shards whose circuit breaker is
+        OPEN — a killed replica falls out within one breaker trip and
+        folds back in through the HALF_OPEN probe after it revives. Two
+        (or ``d``) distinct candidates are sampled with this front end's
+        seeded RNG and the one with the lighter epoch-load window wins;
+        the shard-side protocol (guarded lookup, storage backfill on a
+        layer miss, degraded read when unavailable) is the classic one.
+
+        With every replica OPEN the read falls back to the primary,
+        whose open breaker fails fast into a degraded storage read — the
+        same behaviour the unreplicated path has when the owner is down.
+        """
+        router = self.router
+        rstats = router.stats
+        rstats.replicated_reads += 1
+        guard = self.guard
+        state = guard.state
+        open_state = BreakerState.OPEN
+        alive = [sid for sid in entry.eligible if state(sid) is not open_state]
+        count = len(alive)
+        if count == 0:
+            rstats.primary_fallbacks += 1
+            target = entry.replicas[0]
+        elif count == 1:
+            target = alive[0]
+        else:
+            rng = self._route_rng
+            d = router.config.choices
+            if d >= count:
+                sample = alive
+            elif d == 2:
+                i = rng.randrange(count)
+                j = rng.randrange(count - 1)
+                if j >= i:
+                    j += 1
+                sample = (alive[i], alive[j])
+            else:
+                sample = rng.sample(alive, d)
+            loads = self.monitor.epoch_window
+            target = sample[0]
+            best = loads.get(target, 0)
+            for sid in sample[1:]:
+                load = loads.get(sid, 0)
+                if load < best:
+                    target = sid
+                    best = load
+            if len(sample) > 1:
+                rstats.two_choice_reads += 1
+        self.monitor.record_lookup(target)
+        server = self.cluster.server(target)
+        try:
+            value = guard.call(target, lambda: server.get(key))
+        except ShardUnavailableError:
+            return self._degraded_read(target, key)
         if value is MISSING:
             value = self.cluster.storage.get(key)
             self._backfill(server, key, value)
@@ -213,9 +324,19 @@ class FrontEndClient:
         misses_by_server: dict[str, list[Hashable]] = {}
         queued: set[Hashable] = set()
         ring_server_for = self.cluster.ring.server_for
+        routes = self._routes
         for key in keys:
             if key not in policy and key not in queued:
                 queued.add(key)
+                if routes is not None:
+                    entry = routes.get(key)
+                    if entry is not None:
+                        # Replicated keys keep their two-choices routing
+                        # even inside a batch — grouping them under the
+                        # primary would re-concentrate the hot load the
+                        # tier exists to spread.
+                        prefetched[key] = self._fetch_replicated(key, entry)
+                        continue
                 misses_by_server.setdefault(ring_server_for(key), []).append(key)
         for server_id, missed in misses_by_server.items():
             server = self.cluster.server(server_id)
@@ -265,12 +386,53 @@ class FrontEndClient:
         Storage already holds the authoritative value, so a lost
         invalidation only risks shard-side staleness — which cold revival
         (:meth:`CacheCluster.revive_server`) wipes.
+
+        Keys with replicated-tier state fan out instead: see
+        :meth:`_invalidate_replicas`.
         """
+        router = self.router
+        if router is not None:
+            targets = router.write_targets(key)
+            if targets:
+                self._invalidate_replicas(key, targets)
+                return
         server = self.cluster.server_for(key)
         try:
             self.guard.call(server.server_id, lambda: server.delete(key))
         except ShardUnavailableError:
             self.guard.stats.lost_invalidations += 1
+
+    def _invalidate_replicas(self, key: Hashable, targets: tuple[str, ...]) -> None:
+        """Fan a write's invalidation out to every shard holding a copy.
+
+        ``targets`` is the router's write-target set: the full replica
+        set plus any quarantined shards from earlier failed deletes. A
+        delete that cannot land quarantines its shard — the copy there
+        may now be stale, so the shard leaves the read choice set until
+        some later delete succeeds or it revives cold. A delete that does
+        land lifts any quarantine. This is what preserves the zero-
+        stale-read guarantee under kill/revive during replicated writes.
+        """
+        router = self.router
+        rstats = router.stats
+        guard = self.guard
+        cluster = self.cluster
+        for server_id in targets:
+            try:
+                server = cluster.server(server_id)
+            except ClusterError:
+                # The shard left the cluster entirely; its copy is gone.
+                router.clear_pending(key, server_id)
+                continue
+            rstats.replica_invalidations += 1
+            try:
+                guard.call(server_id, lambda s=server: s.delete(key))
+            except ShardUnavailableError:
+                guard.stats.lost_invalidations += 1
+                rstats.failed_replica_invalidations += 1
+                router.quarantine(key, server_id)
+            else:
+                router.clear_pending(key, server_id)
 
     def execute(self, request: Any) -> Any:
         """Dispatch one workload operation.

@@ -9,7 +9,7 @@ imbalance) used by the harnesses.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping
+from typing import Callable, Hashable, Iterable, Mapping
 
 from repro.cluster.backend import BackendCacheServer
 from repro.cluster.faults import FaultInjector
@@ -72,6 +72,11 @@ class CacheCluster:
             )
         self.ring = ConsistentHashRing(server_ids, virtual_nodes=virtual_nodes)
         self.storage = storage if storage is not None else PersistentStore()
+        #: callbacks invoked with a shard id after it revives *cold* (its
+        #: contents were wiped). Front ends register here so routing state
+        #: keyed on shard contents/load — per-shard epoch load windows,
+        #: pending replica demotions — can be reset at the same moment.
+        self.cold_revival_listeners: list[Callable[[str], None]] = []
 
     # ----------------------------------------------------------- inspection
 
@@ -95,6 +100,11 @@ class CacheCluster:
     def server_for(self, key: Hashable) -> BackendCacheServer:
         """The shard responsible for ``key`` per the ring."""
         return self._servers[self.ring.server_for(key)]
+
+    def replicas_for(self, key: Hashable, r: int) -> tuple[str, ...]:
+        """The ``r`` distinct shard ids of ``key``'s replica set
+        (primary first; see :meth:`ConsistentHashRing.lookup_replicas`)."""
+        return self.ring.lookup_replicas(key, r)
 
     # ------------------------------------------------------ elastic topology
 
@@ -153,6 +163,8 @@ class CacheCluster:
         self._require_faults().revive(server_id)
         if cold:
             server.flush()
+            for listener in self.cold_revival_listeners:
+                listener(server_id)
 
     # ------------------------------------------------------------ aggregate
 

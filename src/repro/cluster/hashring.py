@@ -6,6 +6,14 @@ hash ring: each back-end server owns many virtual points on a 32-bit ring
 key's hash. This solves key discovery and minimizes churn when servers
 join or leave — and, as the paper stresses, it balances *key counts* but
 not *key workloads*, which is exactly the load-imbalance CoT attacks.
+
+The replicated hot-key tier extends the single-owner mapping with
+:meth:`ConsistentHashRing.lookup_replicas`: the ``r`` *distinct* servers
+whose points follow the key's hash, in ring order, with the primary owner
+first — DistCache-style replica placement without a second hash function.
+Replica lookups are served from a per-ring-epoch successor table so the
+hot read path pays one bisect plus a tuple fetch rather than ``r`` ring
+walks.
 """
 
 from __future__ import annotations
@@ -48,6 +56,12 @@ class ConsistentHashRing:
         self._points: list[int] = []
         self._owners: list[str] = []
         self._servers: set[str] = set()
+        #: monotone membership-change counter; every add/remove bumps it,
+        #: invalidating the cached successor tables below
+        self._epoch = 0
+        #: ``r -> tuple-per-ring-point of the next r distinct owners``,
+        #: built lazily per (epoch, r) so replica lookups are one bisect
+        self._successors: dict[int, list[tuple[str, ...]]] = {}
         for server in servers:
             self.add_server(server)
 
@@ -62,6 +76,11 @@ class ConsistentHashRing:
     def virtual_nodes(self) -> int:
         """Ring points per server."""
         return self._virtual_nodes
+
+    @property
+    def epoch(self) -> int:
+        """Membership-change counter (bumped by every add/remove)."""
+        return self._epoch
 
     def __len__(self) -> int:
         return len(self._servers)
@@ -89,6 +108,8 @@ class ConsistentHashRing:
         pairs.sort()
         self._points = [p for p, _ in pairs]
         self._owners = [o for _, o in pairs]
+        self._epoch += 1
+        self._successors.clear()
 
     def remove_server(self, server: str) -> None:
         """Remove all of ``server``'s points (its keys redistribute)."""
@@ -102,6 +123,8 @@ class ConsistentHashRing:
         ]
         self._points = [p for p, _ in keep]
         self._owners = [o for _, o in keep]
+        self._epoch += 1
+        self._successors.clear()
 
     def server_for(self, key: Hashable) -> str:
         """The server responsible for ``key``.
@@ -119,6 +142,64 @@ class ConsistentHashRing:
         if idx == len(self._points):
             idx = 0
         return self._owners[idx]
+
+    # ------------------------------------------------------------- replicas
+
+    def _successor_table(self, r: int) -> list[tuple[str, ...]]:
+        """``table[i]`` = the first ``r`` distinct owners at/after point ``i``.
+
+        Built once per (membership epoch, ``r``) and then shared by every
+        :meth:`lookup_replicas` call: the amortized replica lookup is one
+        bisect plus a tuple fetch instead of an O(r · collisions) ring
+        walk per key. The build itself walks forward from each point with
+        a small seen-set — with balanced virtual nodes the expected walk
+        is a few steps (partial coupon collecting over the server set).
+        """
+        owners = self._owners
+        n = len(owners)
+        table: list[tuple[str, ...]] = [()] * n
+        for i in range(n):
+            picked: list[str] = []
+            seen: set[str] = set()
+            j = i
+            for _ in range(n):
+                owner = owners[j]
+                if owner not in seen:
+                    seen.add(owner)
+                    picked.append(owner)
+                    if len(picked) == r:
+                        break
+                j += 1
+                if j == n:
+                    j = 0
+            table[i] = tuple(picked)
+        self._successors[r] = table
+        return table
+
+    def lookup_replicas(self, key: Hashable, r: int) -> tuple[str, ...]:
+        """The ``r`` distinct servers holding ``key``'s replica set.
+
+        Walks the ring from the key's hash, collecting the first ``r``
+        *distinct* owners in point order — ``result[0]`` is always
+        :meth:`server_for`'s primary owner, so an unreplicated lookup is
+        the degenerate ``r=1`` case. When fewer than ``r`` servers exist
+        the whole membership is returned (capped, never padded); the
+        distinct-owner guarantee means a replica set never places two
+        copies on one shard regardless of virtual-point collisions.
+        """
+        if r < 1:
+            raise ConfigurationError("replica count must be >= 1")
+        if not self._points:
+            raise ClusterError("hash ring is empty")
+        r = min(r, len(self._servers))
+        table = self._successors.get(r)
+        if table is None:
+            table = self._successor_table(r)
+        point = _hash32(str(key))
+        idx = bisect.bisect_left(self._points, point)
+        if idx == len(self._points):
+            idx = 0
+        return table[idx]
 
     def assignment(self, keys: Iterable[Hashable]) -> dict[str, list[Hashable]]:
         """Group ``keys`` by owning server (analysis helper)."""

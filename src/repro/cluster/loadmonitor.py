@@ -66,6 +66,23 @@ class LoadMonitor:
         """Monitored server ids."""
         return tuple(self._total)
 
+    @property
+    def epoch_window(self) -> Mapping[str, int]:
+        """The live per-epoch load dict (read-only view for hot paths).
+
+        Two-choices routing compares two shard loads per replicated read;
+        going through :meth:`epoch_loads`'s defensive copy would make the
+        comparison O(shards) per read. The returned mapping is the
+        monitor's own dict — callers may bind it once (its identity is
+        stable across :meth:`reset_epoch`/:meth:`reset`) but must never
+        mutate it.
+        """
+        return self._epoch
+
+    def epoch_load(self, server: str) -> int:
+        """This epoch's lookup count for one shard (0 if never seen)."""
+        return self._epoch.get(server, 0)
+
     def record_lookup(self, server: str) -> None:
         """Count one lookup routed to ``server``.
 
@@ -129,6 +146,20 @@ class LoadMonitor:
     def epoch_imbalance(self) -> float:
         """``I_c`` over the current epoch window (Algorithm 3 input)."""
         return load_imbalance(self._epoch)
+
+    def reset_server_window(self, server: str) -> None:
+        """Zero one shard's *epoch* window (cold-revival accounting fix).
+
+        A shard that revives cold starts from an empty cache and zero
+        real load, but its epoch counter still holds the lookups routed
+        at it before (and during) the outage. Leaving those in place
+        skews power-of-two-choices routing: the revived shard looks
+        loaded and is shunned (or, had it been idle pre-kill, looks cold
+        and is flooded). Lifetime counters are left untouched — they are
+        the whole-experiment measurement, not the routing signal.
+        """
+        if server in self._epoch:
+            self._epoch[server] = 0
 
     def reset_epoch(self) -> None:
         """Start a new epoch window."""

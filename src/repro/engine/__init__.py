@@ -46,6 +46,7 @@ from repro.engine.runners import (
 from repro.engine.spec import (
     Phase,
     PolicySpec,
+    ReplicationSpec,
     RunContext,
     Scale,
     ScenarioSpec,
@@ -71,6 +72,7 @@ __all__ = [
     "PolicySpec",
     "PolicyStreamRunner",
     "RegisteredExperiment",
+    "ReplicationSpec",
     "RunContext",
     "Runner",
     "Scale",

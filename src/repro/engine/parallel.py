@@ -338,6 +338,8 @@ def cluster_spec_parallelizable(spec: ScenarioSpec) -> bool:
     * no faults, custom storage, verify oracle, tracer, per-client
       factory or hooks — each either couples clients through shared
       mutable state or holds live objects the parent would need back;
+    * no replicated hot-key tier — its router is shared agreement state
+      (promotion epochs, quarantines) that cannot span processes;
     * at least two front ends (one gains nothing from a process), and
       the spec must survive pickling.
 
@@ -353,6 +355,7 @@ def cluster_spec_parallelizable(spec: ScenarioSpec) -> bool:
         and spec.tracer is None
         and spec.topology.storage is None
         and spec.topology.faults is None
+        and not spec.topology.replication.enabled
         and (workload.read_fraction is None or workload.read_fraction >= 1.0)
         and spec.num_clients >= 2
         and spawn_safe(spec)

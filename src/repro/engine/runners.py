@@ -27,6 +27,7 @@ from typing import Protocol, runtime_checkable
 
 from repro.cluster.client import FrontEndClient
 from repro.cluster.cluster import CacheCluster
+from repro.cluster.replication import HotKeyRouter
 from repro.core.elastic import ElasticCoTClient
 from repro.engine import telemetry as T
 from repro.engine.spec import RunContext, ScenarioSpec, make_generator
@@ -61,6 +62,10 @@ STREAM_CHUNK = 16_384
 #: both are part of the reproducibility contract).
 CLUSTER_MIXER_SEED_OFFSET = 1_000
 SIM_MIXER_SEED_OFFSET = 500
+
+#: Seed offset separating a front end's replica-choice RNG from its key
+#: and mixer streams (replication-enabled runs only).
+REPLICA_ROUTE_SEED_OFFSET = 2_000
 
 
 @dataclass
@@ -239,17 +244,30 @@ class ClusterRunner:
             # factory-built clients, e.g. elastic ones, as well).
             for client in front_ends:
                 client.tracer = spec.tracer
+        router: HotKeyRouter | None = None
+        if topology.replication.enabled:
+            # One shared router per run (the agreement layer); each front
+            # end keeps its own independently-seeded choice RNG.
+            router = HotKeyRouter(cluster, topology.replication.build_config())
+            for i, client in enumerate(front_ends):
+                client.attach_router(
+                    router, seed=spec.base_seed + REPLICA_ROUTE_SEED_OFFSET + i
+                )
 
         bus = TelemetryBus()
         per_client = spec.total_accesses // num_clients
         if spec.phases is not None:
-            driven = self._drive_phased(spec, cluster, front_ends, per_client, bus)
+            driven = self._drive_phased(
+                spec, cluster, front_ends, per_client, bus, router
+            )
         elif spec.interleave:
-            driven = self._drive_interleaved(spec, cluster, front_ends, per_client)
+            driven = self._drive_interleaved(
+                spec, cluster, front_ends, per_client, router
+            )
         else:
-            driven = self._drive_sequential(spec, front_ends, per_client)
+            driven = self._drive_sequential(spec, front_ends, per_client, router)
 
-        self._publish(spec, cluster, front_ends, driven, bus)
+        self._publish(spec, cluster, front_ends, driven, bus, router)
         return ScenarioResult(
             spec,
             bus.snapshot(),
@@ -265,8 +283,16 @@ class ClusterRunner:
         spec: ScenarioSpec,
         front_ends: list[FrontEndClient],
         per_client: int,
+        router: HotKeyRouter | None = None,
     ) -> int:
         read_fraction = spec.workload.read_fraction
+        # Promotion-epoch cadence: with a router attached, the promoted
+        # key set is refreshed every `refresh_every` accesses (counted
+        # across the whole run), keeping epoch boundaries deterministic.
+        refresh_every = (
+            spec.topology.replication.refresh_every if router is not None else 0
+        )
+        driven = 0
         for i, client in enumerate(front_ends):
             generator = spec.workload.build_generator(
                 spec.scale.key_space, spec.base_seed, i
@@ -276,8 +302,15 @@ class ClusterRunner:
                 remaining = per_client
                 while remaining > 0:
                     n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
-                    for key in generator.keys_array(n):
-                        get(format_key(key))
+                    if refresh_every:
+                        for key in generator.keys_array(n):
+                            get(format_key(key))
+                            driven += 1
+                            if driven % refresh_every == 0:
+                                router.refresh(front_ends)
+                    else:
+                        for key in generator.keys_array(n):
+                            get(format_key(key))
                     remaining -= n
             else:
                 mixer = OperationMixer(
@@ -289,8 +322,15 @@ class ClusterRunner:
                 remaining = per_client
                 while remaining > 0:
                     n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
-                    for request in mixer.next_requests(n):
-                        execute(request)
+                    if refresh_every:
+                        for request in mixer.next_requests(n):
+                            execute(request)
+                            driven += 1
+                            if driven % refresh_every == 0:
+                                router.refresh(front_ends)
+                    else:
+                        for request in mixer.next_requests(n):
+                            execute(request)
                     remaining -= n
         return per_client * len(front_ends)
 
@@ -300,17 +340,26 @@ class ClusterRunner:
         cluster: CacheCluster,
         front_ends: list[FrontEndClient],
         per_client: int,
+        router: HotKeyRouter | None = None,
     ) -> int:
         generators = [
             spec.workload.build_generator(spec.scale.key_space, spec.base_seed, i)
             for i in range(len(front_ends))
         ]
         warmup = int(per_client * spec.warmup_fraction)
+        refresh_every = (
+            spec.topology.replication.refresh_every if router is not None else 0
+        )
+        driven = 0
         for j in range(per_client):
             if warmup and j == warmup:
                 cluster.reset_epoch()
             for client, generator in zip(front_ends, generators):
                 client.get(format_key(generator.next_key()))
+                if refresh_every:
+                    driven += 1
+                    if driven % refresh_every == 0:
+                        router.refresh(front_ends)
         return per_client * len(front_ends)
 
     def _drive_phased(
@@ -320,9 +369,13 @@ class ClusterRunner:
         front_ends: list[FrontEndClient],
         per_client: int,
         bus: TelemetryBus,
+        router: HotKeyRouter | None = None,
     ) -> int:
         faults = spec.topology.faults
         verify = spec.verify_value
+        refresh_every = (
+            spec.topology.replication.refresh_every if router is not None else 0
+        )
         context = RunContext(
             spec=spec, cluster=cluster, faults=faults, front_ends=front_ends
         )
@@ -352,7 +405,12 @@ class ClusterRunner:
                     value = client.get(key)
                     if verify is not None and value != verify(key):
                         bus.inc(T.INCORRECT_READS)
-            driven += phase_accesses * len(front_ends)
+                    if refresh_every:
+                        driven += 1
+                        if driven % refresh_every == 0:
+                            router.refresh(front_ends)
+            if not refresh_every:
+                driven += phase_accesses * len(front_ends)
             after = _resilience_counts(front_ends)
             # Publish the epochs that closed during this phase.
             for client in elastic:
@@ -387,6 +445,7 @@ class ClusterRunner:
         front_ends: list[FrontEndClient],
         driven: int,
         bus: TelemetryBus,
+        router: HotKeyRouter | None = None,
     ) -> None:
         counts = _resilience_counts(front_ends)
         accesses = sum(c.policy.stats.accesses for c in front_ends)
@@ -405,6 +464,20 @@ class ClusterRunner:
         bus.fallback_latency = sum(
             c.monitor.fallback_latency_total for c in front_ends
         )
+        if router is not None:
+            rstats = router.stats
+            bus.inc(T.REPLICA_REFRESHES, rstats.refreshes)
+            bus.inc(T.REPLICA_PROMOTIONS, rstats.promotions)
+            bus.inc(T.REPLICA_DEMOTIONS, rstats.demotions)
+            bus.inc(T.REPLICATED_READS, rstats.replicated_reads)
+            bus.inc(T.TWO_CHOICE_READS, rstats.two_choice_reads)
+            bus.inc(T.REPLICA_PRIMARY_FALLBACKS, rstats.primary_fallbacks)
+            bus.inc(T.REPLICA_INVALIDATIONS, rstats.replica_invalidations)
+            bus.inc(
+                T.FAILED_REPLICA_INVALIDATIONS,
+                rstats.failed_replica_invalidations,
+            )
+            bus.set_gauge("replication.active_keys", float(len(router)))
         elastic = [c for c in front_ends if isinstance(c, ElasticCoTClient)]
         if elastic and spec.phases is None:
             # Phased runs publish epochs incrementally; publish here

@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 __all__ = [
     "Phase",
     "PolicySpec",
+    "ReplicationSpec",
     "Scale",
     "ScenarioSpec",
     "StreamHooks",
@@ -190,6 +191,45 @@ class PolicySpec:
 
 
 @dataclass(frozen=True)
+class ReplicationSpec:
+    """The replicated hot-key tier's declarative axis (default: off).
+
+    With ``enabled=False`` (the default everywhere) the runner builds no
+    router and every run is byte-identical to the pre-tier engine. When
+    enabled, the runner shares one
+    :class:`~repro.cluster.replication.HotKeyRouter` across the run's
+    front ends and refreshes the promoted key set every
+    ``refresh_every`` total accesses — a deterministic promotion-epoch
+    cadence, so two runs of the same spec agree on every epoch boundary.
+    The remaining fields mirror
+    :class:`~repro.cluster.replication.ReplicationConfig`.
+    """
+
+    enabled: bool = False
+    degree: int = 3
+    choices: int = 2
+    top_n: int = 64
+    max_keys: int = 64
+    min_share: float = 0.05
+    demote_share: float | None = None
+    #: total accesses (across front ends) between promotion epochs
+    refresh_every: int = 2_048
+
+    def build_config(self) -> "Any":
+        """The cluster-layer config this spec describes."""
+        from repro.cluster.replication import ReplicationConfig
+
+        return ReplicationConfig(
+            degree=self.degree,
+            choices=self.choices,
+            top_n=self.top_n,
+            max_keys=self.max_keys,
+            min_share=self.min_share,
+            demote_share=self.demote_share,
+        )
+
+
+@dataclass(frozen=True)
 class TopologySpec:
     """Cluster shape: shards, front ends, capacities, storage, faults.
 
@@ -202,6 +242,8 @@ class TopologySpec:
     value_size: int = 1
     storage: "PersistentStore | None" = None
     faults: "FaultInjector | None" = None
+    #: replicated hot-key tier axis; the default is off (classic protocol)
+    replication: ReplicationSpec = field(default_factory=ReplicationSpec)
 
 
 @dataclass(frozen=True)

@@ -58,6 +58,17 @@ BREAKER_CLOSES = "resilience.breaker_closes"
 FAILED_INVALIDATIONS = "resilience.failed_invalidations"
 INCORRECT_READS = "verify.incorrect_reads"
 
+# Replicated hot-key tier counters (published only on runs with a
+# replication-enabled topology; absent counters read as 0).
+REPLICA_REFRESHES = "replication.refreshes"
+REPLICA_PROMOTIONS = "replication.promotions"
+REPLICA_DEMOTIONS = "replication.demotions"
+REPLICATED_READS = "replication.replicated_reads"
+TWO_CHOICE_READS = "replication.two_choice_reads"
+REPLICA_PRIMARY_FALLBACKS = "replication.primary_fallbacks"
+REPLICA_INVALIDATIONS = "replication.replica_invalidations"
+FAILED_REPLICA_INVALIDATIONS = "replication.failed_invalidations"
+
 #: Canonical histogram name for the per-request latency distribution
 #: (timed runners publish it; the Prometheus exporter renders it as a
 #: ``*_seconds`` histogram family).

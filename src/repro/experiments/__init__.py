@@ -13,6 +13,7 @@ from repro.experiments import (  # noqa: F401  (imported to register specs)
     extension_decay,
     extension_distributions,
     extension_edge_rtt,
+    extension_hotkey,
     fig3_cache_size_sweep,
     fig4_hit_rates,
     fig5_end_to_end,
@@ -32,6 +33,7 @@ __all__ = [
     "extension_decay",
     "extension_distributions",
     "extension_edge_rtt",
+    "extension_hotkey",
     "fig3_cache_size_sweep",
     "fig4_hit_rates",
     "fig5_end_to_end",

@@ -307,6 +307,36 @@ class TestRecovery:
         assert guard.state(victim) is BreakerState.CLOSED
         assert guard.breaker(victim).closes >= 1
 
+    def test_cold_revival_zeroes_load_window_with_router_attached(self):
+        """LoadMonitor accounting across kill/revive: a cold-revived shard
+        restarts with an empty cache, so its pre-outage epoch-window load
+        must not make it look busy to two-choices routing — the window is
+        zeroed on revival while lifetime counters stay intact."""
+        from repro.cluster.replication import HotKeyRouter, ReplicationConfig
+
+        cluster, faults = faulty_cluster(n=4)
+        client = FrontEndClient(
+            cluster, LRUCache(8), guard=tight_guard(cluster)
+        )
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=2))
+        client.attach_router(router, seed=3)
+        for i in range(400):
+            client.get(format_key(i))
+        victim = max(
+            client.monitor.epoch_loads(), key=client.monitor.epoch_load
+        )
+        window_before = client.monitor.epoch_load(victim)
+        lifetime_before = client.monitor.total_loads()[victim]
+        assert window_before > 0
+        cluster.kill_server(victim)
+        cluster.revive_server(victim, cold=True)
+        assert client.monitor.epoch_load(victim) == 0
+        assert client.monitor.total_loads()[victim] == lifetime_before
+        # other shards' windows are untouched
+        assert any(
+            load > 0 for load in client.monitor.epoch_loads().values()
+        )
+
     def test_outage_is_transparent_to_callers(self):
         """Kill → serve → revive, not one exception escapes the client."""
         cluster, faults = faulty_cluster()

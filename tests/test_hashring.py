@@ -162,3 +162,106 @@ class TestCollisionDeterminism:
             ring = ConsistentHashRing(order, virtual_nodes=32)
             mappings.append(tuple(ring.server_for(k) for k in keys))
         assert len(set(mappings)) == 1
+
+
+def naive_replicas(ring: ConsistentHashRing, key, r: int) -> tuple[str, ...]:
+    """Reference implementation: per-call ring walk, no successor table."""
+    import bisect
+
+    from repro.cluster.hashring import _hash32
+
+    points, owners = ring._points, ring._owners
+    idx = bisect.bisect_left(points, _hash32(str(key)))
+    seen: list[str] = []
+    for step in range(len(points)):
+        owner = owners[(idx + step) % len(points)]
+        if owner not in seen:
+            seen.append(owner)
+            if len(seen) == r:
+                break
+    return tuple(seen)
+
+
+class TestReplicaLookup:
+    """``lookup_replicas`` — the hot-key tier's placement primitive."""
+
+    def test_validation(self):
+        ring = ConsistentHashRing(SERVERS)
+        with pytest.raises(ConfigurationError):
+            ring.lookup_replicas("k", 0)
+        with pytest.raises(ClusterError):
+            ConsistentHashRing().lookup_replicas("k", 2)
+
+    def test_primary_first_matches_server_for(self):
+        ring = ConsistentHashRing(SERVERS)
+        for i in range(2000):
+            key = format_key(i)
+            assert ring.lookup_replicas(key, 3)[0] == ring.server_for(key)
+
+    def test_owners_always_distinct(self):
+        ring = ConsistentHashRing(SERVERS, virtual_nodes=64)
+        for i in range(2000):
+            replicas = ring.lookup_replicas(format_key(i), 4)
+            assert len(replicas) == 4
+            assert len(set(replicas)) == 4
+
+    def test_r_capped_at_membership_never_padded(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        replicas = ring.lookup_replicas("k", 10)
+        assert sorted(replicas) == ["a", "b", "c"]
+        assert ring.lookup_replicas("k", 1) == (ring.server_for("k"),)
+
+    def test_table_matches_naive_walk(self):
+        ring = ConsistentHashRing(SERVERS, virtual_nodes=128)
+        for i in range(1000):
+            key = format_key(i)
+            for r in (1, 2, 3, 8):
+                assert ring.lookup_replicas(key, r) == naive_replicas(
+                    ring, key, r
+                )
+
+    def test_distinct_owners_on_collision_heavy_ring(self, monkeypatch):
+        """Many virtual points share one 32-bit hash: the walk must still
+        deliver r *distinct* owners, never two copies on one shard."""
+        from repro.cluster import hashring as hashring_module
+
+        monkeypatch.setattr(
+            hashring_module, "_hash32", lambda data: (len(data) * 7) % 13
+        )
+        ring = ConsistentHashRing(SERVERS, virtual_nodes=16)
+        for i in range(200):
+            key = format_key(i)
+            replicas = ring.lookup_replicas(key, 3)
+            assert len(set(replicas)) == 3
+            assert replicas == naive_replicas(ring, key, 3)
+            assert replicas[0] == ring.server_for(key)
+
+    def test_membership_change_invalidates_successor_table(self):
+        churned = ConsistentHashRing(SERVERS, virtual_nodes=64)
+        keys = [format_key(i) for i in range(500)]
+        for key in keys:
+            churned.lookup_replicas(key, 3)  # warm the r=3 table
+        epoch = churned.epoch
+        churned.add_server("s-new")
+        churned.remove_server("s0")
+        assert churned.epoch > epoch
+        fresh = ConsistentHashRing(
+            sorted(churned.servers), virtual_nodes=64
+        )
+        assert [churned.lookup_replicas(k, 3) for k in keys] == [
+            fresh.lookup_replicas(k, 3) for k in keys
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.sets(st.sampled_from(SERVERS), min_size=1),
+        st.integers(0, 10_000),
+        st.integers(1, 8),
+    )
+    def test_replica_sets_total_over_any_subset(self, subset, key_id, r):
+        ring = ConsistentHashRing(sorted(subset), virtual_nodes=32)
+        replicas = ring.lookup_replicas(format_key(key_id), r)
+        assert len(replicas) == min(r, len(subset))
+        assert len(set(replicas)) == len(replicas)
+        assert set(replicas) <= subset
+        assert replicas == naive_replicas(ring, format_key(key_id), r)

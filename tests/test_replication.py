@@ -1,0 +1,475 @@
+"""Tests for the replicated hot-key tier (router, routing, coherence).
+
+Covers the promotion/demotion protocol (epoch transitions, tracker-driven
+refresh, hysteresis), power-of-two-choices routing (load spreading,
+OPEN-breaker exclusion, primary fallback), write-fanout coherence
+(quarantine on failed invalidation, cold-revival clearing), the engine's
+replication axis, and a hypothesis state machine asserting zero stale
+reads under random promote/demote/write/kill/revive interleavings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
+
+from repro.cluster.client import FrontEndClient
+from repro.cluster.cluster import CacheCluster
+from repro.cluster.faults import FaultInjector
+from repro.cluster.replication import (
+    HotKeyRouter,
+    ReplicationConfig,
+    tracker_report,
+)
+from repro.cluster.retry import (
+    BreakerConfig,
+    BreakerState,
+    ClusterGuard,
+    RetryPolicy,
+)
+from repro.core.cache import CoTCache
+from repro.engine import (
+    ClusterRunner,
+    PolicySpec,
+    ReplicationSpec,
+    Scale,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    cluster_spec_parallelizable,
+)
+from repro.errors import ConfigurationError
+from repro.policies.base import MISSING
+from repro.policies.lru import LRUCache
+
+
+def make_cluster(n=8, seed=0):
+    faults = FaultInjector(seed=seed)
+    cluster = CacheCluster(
+        num_servers=n, virtual_nodes=256, value_size=1, faults=faults
+    )
+    return cluster, faults
+
+
+def make_client(cluster, router=None, seed=1, policy=None, threshold=3,
+                cooldown=1e9):
+    guard = ClusterGuard(
+        cluster.server_ids,
+        retry=RetryPolicy(max_attempts=2, base_backoff=1e-4),
+        breaker=BreakerConfig(failure_threshold=threshold, cooldown=cooldown),
+    )
+    client = FrontEndClient(
+        cluster, policy if policy is not None else LRUCache(8), guard=guard
+    )
+    if router is not None:
+        client.attach_router(router, seed=seed)
+    return client
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(degree=0)
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(choices=0)
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(min_share=0.0)
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(min_share=0.1, demote_share=0.2)
+
+    def test_demote_share_defaults_to_half(self):
+        assert ReplicationConfig(min_share=0.1).effective_demote_share == 0.05
+        assert (
+            ReplicationConfig(min_share=0.1, demote_share=0.02)
+            .effective_demote_share
+            == 0.02
+        )
+
+
+class TestPromotionProtocol:
+    def test_promote_places_distinct_replicas_primary_first(self):
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        replicas = router.promote("usertable:0")
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+        assert replicas[0] == cluster.ring.server_for("usertable:0")
+        assert router.is_replicated("usertable:0")
+        assert router.replicas("usertable:0") == replicas
+
+    def test_promote_is_idempotent_and_epochs_advance(self):
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(cluster)
+        epoch0 = router.epoch
+        first = router.promote("usertable:1")
+        epoch1 = router.epoch
+        assert epoch1 > epoch0
+        assert router.promote("usertable:1") == first
+        assert router.epoch == epoch1  # idempotent: no new epoch
+        router.demote("usertable:1")
+        assert router.epoch > epoch1
+        assert not router.is_replicated("usertable:1")
+        router.demote("usertable:1")  # idempotent demote
+
+    def test_demote_invalidates_nonprimary_copies(self):
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        key = "usertable:2"
+        replicas = router.promote(key)
+        for sid in replicas:
+            cluster.server(sid).set(key, "copy")
+        router.demote(key)
+        primary = replicas[0]
+        assert cluster.server(primary).get(key) == "copy"
+        for sid in replicas[1:]:
+            assert cluster.server(sid).get(key) is MISSING
+
+    def test_demote_with_dead_replica_quarantines_it(self):
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        key = "usertable:3"
+        replicas = router.promote(key)
+        victim = replicas[1]
+        cluster.server(victim).set(key, "stale")
+        cluster.kill_server(victim)
+        router.demote(key)
+        assert victim in router.pending_demotions(key)
+        assert router.stats.deferred_demotions >= 1
+        # the quarantined shard stays in write fan-out until the delete lands
+        assert victim in router.write_targets(key)
+        # cold revival wipes the shard and lifts the quarantine
+        cluster.revive_server(victim, cold=True)
+        assert not router.pending_demotions(key)
+        assert router.write_targets(key) == ()
+
+    def test_repromote_excludes_quarantined_shard_from_reads(self):
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        key = "usertable:4"
+        replicas = router.promote(key)
+        victim = replicas[1]
+        cluster.server(victim).set(key, "stale")
+        cluster.kill_server(victim)
+        router.demote(key)
+        assert victim in router.pending_demotions(key)
+        again = router.promote(key)
+        assert again == replicas
+        entry = router.routes[key]
+        assert victim in entry.quarantine
+        assert victim not in entry.eligible
+
+
+class TestRefresh:
+    def test_refresh_promotes_tracker_heavy_hitters(self):
+        cluster, _ = make_cluster()
+        storage = cluster.storage
+        for i in range(64):
+            storage.set(f"usertable:{i}", i)
+        router = HotKeyRouter(
+            cluster, ReplicationConfig(degree=3, min_share=0.3, top_n=8)
+        )
+        clients = [
+            make_client(
+                cluster, router, seed=i,
+                policy=CoTCache(capacity=4, tracker_capacity=32),
+            )
+            for i in range(2)
+        ]
+        hot = "usertable:0"
+        for _ in range(200):
+            for c in clients:
+                c.get(hot)
+                c.policy.invalidate(hot)  # keep it missing locally
+        for i in range(1, 32):
+            clients[0].get(f"usertable:{i}")
+        promoted, demoted = router.refresh(clients)
+        assert hot in promoted
+        assert router.is_replicated(hot)
+        assert demoted == ()
+
+    def test_refresh_demotes_cooled_keys(self):
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(cluster, ReplicationConfig(min_share=0.3))
+        router.promote("usertable:99")
+        clients = [
+            make_client(
+                cluster, router, seed=7,
+                policy=CoTCache(capacity=4, tracker_capacity=32),
+            )
+        ]
+        # the tracker reports entirely different keys; the stale promotion
+        # has zero share and falls below the hysteresis floor
+        for _ in range(50):
+            clients[0].get("usertable:1")
+        promoted, demoted = router.refresh(clients)
+        assert "usertable:99" in demoted
+        assert not router.is_replicated("usertable:99")
+
+    def test_tracker_report_empty_for_untracked_policies(self):
+        assert tracker_report(LRUCache(4), 8) == []
+
+    def test_refresh_respects_max_keys(self):
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(
+            cluster,
+            ReplicationConfig(min_share=0.01, max_keys=2, top_n=16),
+        )
+        client = make_client(
+            cluster, router, policy=CoTCache(capacity=4, tracker_capacity=32)
+        )
+        for i in range(4):
+            for _ in range(25):
+                client.get(f"usertable:{i}")
+                client.policy.invalidate(f"usertable:{i}")
+        router.refresh([client])
+        assert len(router) <= 2
+
+
+class TestTwoChoicesRouting:
+    def test_replicated_reads_spread_across_replicas(self):
+        cluster, _ = make_cluster()
+        for i in range(8):
+            cluster.storage.set(f"usertable:{i}", i)
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        client = make_client(cluster, router, policy=LRUCache(2))
+        key = "usertable:0"
+        replicas = router.promote(key)
+        for _ in range(600):
+            assert client.get(key) == 0
+            client.policy.invalidate(key)  # force the backend path
+        loads = client.monitor.total_loads()
+        for sid in replicas:
+            assert loads.get(sid, 0) > 100  # all three carry the key
+        assert router.stats.replicated_reads == 600
+        assert router.stats.two_choice_reads == 600
+
+    def test_open_breaker_shard_never_chosen(self):
+        cluster, _ = make_cluster()
+        cluster.storage.set("usertable:0", "v")
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        client = make_client(cluster, router, threshold=2, cooldown=1e9)
+        key = "usertable:0"
+        replicas = router.promote(key)
+        victim = replicas[1]
+        cluster.kill_server(victim)
+        # drive until the victim's breaker trips (sampling is randomized)
+        for _ in range(100):
+            client.get(key)
+            client.policy.invalidate(key)
+        assert client.guard.state(victim) is BreakerState.OPEN
+        before = client.monitor.total_loads().get(victim, 0)
+        degraded_before = client.monitor.degraded_reads()
+        for _ in range(200):
+            assert client.get(key) == "v"
+            client.policy.invalidate(key)
+        assert client.monitor.total_loads().get(victim, 0) == before
+        # the surviving replicas serve everything: no degraded reads
+        assert client.monitor.degraded_reads() == degraded_before
+        assert router.stats.primary_fallbacks == 0
+
+    def test_all_replicas_down_degrades_to_storage(self):
+        cluster, _ = make_cluster(n=3)
+        cluster.storage.set("usertable:0", "auth")
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        client = make_client(cluster, router, threshold=1, cooldown=1e9)
+        key = "usertable:0"
+        for sid in router.promote(key):
+            cluster.kill_server(sid)
+        values = {client.get(key) for _ in range(20)}
+        for _ in range(20):
+            client.policy.invalidate(key)
+            values.add(client.get(key))
+        assert values == {"auth"}
+        assert router.stats.primary_fallbacks > 0
+
+    def test_single_choice_config_still_routes(self):
+        cluster, _ = make_cluster()
+        cluster.storage.set("usertable:0", 0)
+        router = HotKeyRouter(
+            cluster, ReplicationConfig(degree=2, choices=1)
+        )
+        client = make_client(cluster, router, policy=LRUCache(2))
+        router.promote("usertable:0")
+        for _ in range(50):
+            client.get("usertable:0")
+            client.policy.invalidate("usertable:0")
+        assert router.stats.replicated_reads == 50
+        assert router.stats.two_choice_reads == 0
+
+
+class TestWriteFanout:
+    def test_write_invalidates_every_replica(self):
+        cluster, _ = make_cluster()
+        cluster.storage.set("usertable:0", "v1")
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        client = make_client(cluster, router, policy=LRUCache(4))
+        key = "usertable:0"
+        replicas = router.promote(key)
+        for sid in replicas:
+            cluster.server(sid).set(key, "v1")
+        client.set(key, "v2")
+        for sid in replicas:
+            assert cluster.server(sid).get(key) is MISSING
+        assert router.stats.replica_invalidations >= 3
+
+    def test_failed_fanout_quarantines_and_recovers(self):
+        cluster, _ = make_cluster()
+        cluster.storage.set("usertable:0", "v1")
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        client = make_client(cluster, router, threshold=1, cooldown=1e9)
+        key = "usertable:0"
+        replicas = router.promote(key)
+        victim = replicas[1]
+        cluster.server(victim).set(key, "v1")
+        cluster.kill_server(victim)
+        client.set(key, "v2")
+        entry = router.routes[key]
+        assert victim in entry.quarantine
+        assert victim not in entry.eligible
+        assert router.stats.failed_replica_invalidations >= 1
+        # reads keep returning the new value (victim is out of the choice set)
+        for _ in range(50):
+            assert client.get(key) == "v2"
+            client.policy.invalidate(key)
+        # cold revival wipes the stale copy and restores eligibility
+        cluster.revive_server(victim, cold=True)
+        entry = router.routes[key]
+        assert victim not in entry.quarantine
+        assert victim in entry.eligible
+        assert cluster.server(victim).get(key) is MISSING
+
+    def test_get_many_routes_replicated_keys_through_choice_set(self):
+        cluster, _ = make_cluster()
+        for i in range(16):
+            cluster.storage.set(f"usertable:{i}", i)
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        client = make_client(cluster, router, policy=LRUCache(2))
+        key = "usertable:0"
+        replicas = router.promote(key)
+        for _ in range(300):
+            batch = client.get_many([key, "usertable:5", "usertable:9"])
+            assert batch[key] == 0
+            client.policy.invalidate(key)
+        loads = client.monitor.total_loads()
+        assert all(loads.get(sid, 0) > 50 for sid in replicas)
+
+
+class TestEngineAxis:
+    def test_replication_spec_disabled_publishes_no_tier_counters(self):
+        spec = ScenarioSpec(
+            scale=Scale.tiny(),
+            workload=WorkloadSpec(dist="zipf-0.99"),
+            policy=PolicySpec(name="lru", cache_lines=16),
+            accesses=2_000,
+        )
+        result = ClusterRunner().run(spec)
+        assert not any(
+            name.startswith("replication.")
+            for name in result.telemetry.counters
+        )
+        assert all(client.router is None for client in result.front_ends)
+
+    def test_replication_spec_enabled_builds_shared_router(self):
+        spec = ScenarioSpec(
+            scale=Scale.tiny(),
+            workload=WorkloadSpec(dist="zipf-1.2", read_fraction=0.8),
+            policy=PolicySpec(name="cot", cache_lines=32, tracker_lines=64),
+            topology=TopologySpec(
+                replication=ReplicationSpec(
+                    enabled=True, degree=2, min_share=0.02, refresh_every=256
+                )
+            ),
+            accesses=4_000,
+        )
+        result = ClusterRunner().run(spec)
+        routers = {id(client.router) for client in result.front_ends}
+        assert len(routers) == 1  # one shared agreement layer
+        counters = result.telemetry.counters
+        assert counters["replication.refreshes"] > 0
+        assert "replication.active_keys" in result.telemetry.gauges
+
+    def test_replication_enabled_spec_not_parallelizable(self):
+        base = ScenarioSpec(
+            scale=Scale.tiny(),
+            workload=WorkloadSpec(dist="zipf-0.99"),
+            policy=PolicySpec(name="lru", cache_lines=16),
+        )
+        assert cluster_spec_parallelizable(base)
+        replicated = ScenarioSpec(
+            scale=Scale.tiny(),
+            workload=WorkloadSpec(dist="zipf-0.99"),
+            policy=PolicySpec(name="lru", cache_lines=16),
+            topology=TopologySpec(replication=ReplicationSpec(enabled=True)),
+        )
+        assert not cluster_spec_parallelizable(replicated)
+
+
+class ReplicationMachine(RuleBasedStateMachine):
+    """Zero stale reads under promote/demote/write/kill/revive interleavings.
+
+    One front end over a 4-shard faulty cluster with a replication router.
+    A plain dict mirrors every write (storage is authoritative, so the
+    dict IS the ground truth); every ``get`` must return exactly the
+    mirrored value no matter how promotions, demotions, replicated write
+    fan-outs, shard kills and cold revivals interleave.
+    """
+
+    KEYS = [f"usertable:{i}" for i in range(6)]
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cluster, self.faults = make_cluster(n=4, seed=7)
+        self.router = HotKeyRouter(
+            self.cluster, ReplicationConfig(degree=3)
+        )
+        self.client = make_client(
+            self.cluster, self.router, seed=11, policy=LRUCache(4),
+            threshold=2, cooldown=64.0,
+        )
+        self.model: dict[str, object] = {}
+        self.version = 0
+        self.down: set[str] = set()
+        for key in self.KEYS:
+            self.model[key] = ("v", 0)
+            self.cluster.storage.set(key, ("v", 0))
+
+    @rule(key=st.sampled_from(KEYS))
+    def do_get(self, key: str) -> None:
+        assert self.client.get(key) == self.model[key]
+
+    @rule(key=st.sampled_from(KEYS))
+    def do_set(self, key: str) -> None:
+        self.version += 1
+        value = ("v", self.version)
+        self.client.set(key, value)
+        self.model[key] = value
+
+    @rule(key=st.sampled_from(KEYS))
+    def do_promote(self, key: str) -> None:
+        self.router.promote(key)
+
+    @rule(key=st.sampled_from(KEYS))
+    def do_demote(self, key: str) -> None:
+        self.router.demote(key)
+
+    @rule(shard=st.integers(0, 3))
+    def do_kill(self, shard: int) -> None:
+        sid = f"cache-{shard}"
+        if sid not in self.down:
+            self.cluster.kill_server(sid)
+            self.down.add(sid)
+
+    @rule(shard=st.integers(0, 3))
+    def do_revive_cold(self, shard: int) -> None:
+        sid = f"cache-{shard}"
+        if sid in self.down:
+            self.cluster.revive_server(sid, cold=True)
+            self.down.remove(sid)
+
+
+ReplicationMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestReplicationStateful = ReplicationMachine.TestCase
