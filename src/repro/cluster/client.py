@@ -110,13 +110,34 @@ class FrontEndClient:
         hook that zeroes the revived shard's epoch-load window (a wiped
         shard carries zero real load; stale window counts would skew
         two-choices routing — see :meth:`LoadMonitor.reset_server_window`).
+
+        Idempotent with respect to the cluster's listener list: attaching
+        twice (or re-attaching a new router) rebinds the route table but
+        registers the revival hook only once.
         """
         self.router = router
         self._routes = router.routes
         self._route_rng = router.make_choice_rng(seed)
-        self.cluster.cold_revival_listeners.append(
-            self.monitor.reset_server_window
-        )
+        listeners = self.cluster.cold_revival_listeners
+        if self.monitor.reset_server_window not in listeners:
+            listeners.append(self.monitor.reset_server_window)
+
+    def detach_router(self) -> None:
+        """Leave the tier: classic protocol resumes, revival hook removed.
+
+        Clients outliving a run must not keep mutating a shared cluster's
+        listener list. Idempotent — detaching with no router attached is
+        a no-op.
+        """
+        self.router = None
+        self._routes = None
+        self._route_rng = None
+        try:
+            self.cluster.cold_revival_listeners.remove(
+                self.monitor.reset_server_window
+            )
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------- protocol
 

@@ -29,7 +29,9 @@ Coherence argument (why no stale read escapes):
    from it, so a missing copy is always safe;
 2. a write deletes the key on *every* shard of its write-target set:
    the current replica set plus any shard with an unresolved (pending)
-   demotion-invalidation for that key;
+   demotion-invalidation for that key — and, for a demoted key with
+   pending shards, the ring primary, since its reads have returned to
+   the classic single-owner path;
 3. demotion invalidates the non-primary copies immediately; a shard
    that cannot be reached keeps the key *quarantined* — it is excluded
    from the read choice set and re-enters write fan-out — until the
@@ -249,7 +251,20 @@ class HotKeyRouter:
         #: fan-out and out of read choice sets until cleared.
         self._pending: dict[Hashable, set[str]] = {}
         self._ring_epoch = cluster.ring.epoch
-        cluster.cold_revival_listeners.append(self._on_cold_revival)
+        listeners = cluster.cold_revival_listeners
+        if self._on_cold_revival not in listeners:
+            listeners.append(self._on_cold_revival)
+
+    def detach(self) -> None:
+        """Deregister from the cluster's cold-revival listeners.
+
+        A router outliving its run (tests, reused clusters) must not
+        keep mutating the shared cluster's listener list. Idempotent.
+        """
+        try:
+            self.cluster.cold_revival_listeners.remove(self._on_cold_revival)
+        except ValueError:
+            pass
 
     # ----------------------------------------------------------- inspection
 
@@ -280,13 +295,20 @@ class HotKeyRouter:
         the classic single-owner invalidation. Otherwise the set is the
         full replica set (quarantined members included: their stale copy
         is exactly what the write must kill) plus any pending shards of
-        a demoted incarnation.
+        a demoted incarnation. A demoted key with pending shards has no
+        replica set anymore — its reads go through the classic path to
+        the ring primary, so the primary is in the target set too
+        (otherwise a write would fan out only to the pending shards and
+        leave a stale copy serving on the primary).
         """
         entry = self.routes.get(key)
         pending = self._pending.get(key)
         if entry is None and pending is None:
             return ()
-        targets: list[str] = list(entry.replicas) if entry is not None else []
+        if entry is not None:
+            targets: list[str] = list(entry.replicas)
+        else:
+            targets = [self.cluster.ring.server_for(key)]
         if pending:
             targets.extend(sid for sid in sorted(pending) if sid not in targets)
         return tuple(targets)
@@ -403,11 +425,23 @@ class HotKeyRouter:
             floor = config.effective_demote_share * total
             threshold = config.min_share * total
             keep: set[Hashable] = set()
-            for key, weight in ranked[: config.max_keys]:
-                if key in self.routes:
-                    if weight >= floor:
-                        keep.add(key)
-                elif weight >= threshold:
+            # Hysteresis first: an incumbent above the floor keeps its
+            # slot wherever it ranks, ahead of new promotions. Checking
+            # the floor only inside ranked[:max_keys] would demote a
+            # still-hot incumbent the moment it slips past the rank
+            # cutoff, so keys hovering at the max_keys rank boundary
+            # would flap promote/demote every epoch — exactly what the
+            # floor exists to prevent. The cap still binds: with more
+            # warm incumbents than slots, the coolest are demoted.
+            for key, weight in ranked:
+                if len(keep) >= config.max_keys:
+                    break
+                if key in self.routes and weight >= floor:
+                    keep.add(key)
+            for key, weight in ranked:
+                if len(keep) >= config.max_keys:
+                    break
+                if key not in self.routes and weight >= threshold:
                     keep.add(key)
         else:
             keep = set()

@@ -53,6 +53,17 @@ def make_cluster(n=8, seed=0):
     return cluster, faults
 
 
+class StubTrackerPolicy:
+    """A fake front end whose tracker reports a fixed heavy-hitter list."""
+
+    def __init__(self, report):
+        self.tracker = self
+        self._report = list(report)
+
+    def top(self, n):
+        return self._report[:n]
+
+
 def make_client(cluster, router=None, seed=1, policy=None, threshold=3,
                 cooldown=1e9):
     guard = ClusterGuard(
@@ -226,6 +237,43 @@ class TestRefresh:
         router.refresh([client])
         assert len(router) <= 2
 
+    def test_incumbent_above_floor_outside_rank_window_is_kept(self):
+        # Hysteresis must apply over the full ranked list: an incumbent
+        # whose share is above the floor but ranks just outside the top
+        # max_keys would otherwise flap promote/demote every epoch.
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(
+            cluster, ReplicationConfig(min_share=0.2, max_keys=2, top_n=16)
+        )
+        router.promote("usertable:C")
+        # total=95: threshold=19, floor=9.5; C ranks 3rd with weight 15
+        report = StubTrackerPolicy(
+            [("usertable:A", 50.0), ("usertable:B", 30.0), ("usertable:C", 15.0)]
+        )
+        promoted, demoted = router.refresh([report])
+        assert "usertable:C" not in demoted
+        assert router.is_replicated("usertable:C")
+        assert "usertable:A" in promoted
+        # the cap still binds: C holds a slot, so only one promotion fits
+        assert not router.is_replicated("usertable:B")
+        assert len(router) == 2
+
+    def test_max_keys_cap_demotes_coolest_incumbents(self):
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(
+            cluster, ReplicationConfig(min_share=0.2, max_keys=2, top_n=16)
+        )
+        for name in ("A", "B", "C"):
+            router.promote(f"usertable:{name}")
+        report = StubTrackerPolicy(
+            [("usertable:A", 50.0), ("usertable:B", 30.0), ("usertable:C", 15.0)]
+        )
+        promoted, demoted = router.refresh([report])
+        assert promoted == ()
+        assert demoted == ("usertable:C",)
+        assert router.is_replicated("usertable:A")
+        assert router.is_replicated("usertable:B")
+
 
 class TestTwoChoicesRouting:
     def test_replicated_reads_spread_across_replicas(self):
@@ -340,6 +388,33 @@ class TestWriteFanout:
         assert victim in entry.eligible
         assert cluster.server(victim).get(key) is MISSING
 
+    def test_write_after_failed_demote_invalidates_primary(self):
+        # Regression: a demoted key with an unresolved demotion-
+        # invalidation reads through the classic path to the primary, so
+        # the primary must be in the write-target set — otherwise
+        # promote -> kill replica -> demote -> get -> set -> get serves
+        # the pre-write value from the primary while storage holds the
+        # new one.
+        cluster, _ = make_cluster()
+        cluster.storage.set("usertable:0", "v1")
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        client = make_client(cluster, router, threshold=1, cooldown=1e9)
+        key = "usertable:0"
+        replicas = router.promote(key)
+        primary, victim = replicas[0], replicas[1]
+        cluster.server(victim).set(key, "v1")
+        cluster.kill_server(victim)
+        router.demote(key)
+        assert victim in router.pending_demotions(key)
+        assert primary in router.write_targets(key)
+        # classic-path read caches v1 on the primary
+        assert client.get(key) == "v1"
+        client.policy.invalidate(key)
+        assert cluster.server(primary).get(key) == "v1"
+        client.set(key, "v2")
+        assert cluster.server(primary).get(key) is MISSING
+        assert client.get(key) == "v2"
+
     def test_get_many_routes_replicated_keys_through_choice_set(self):
         cluster, _ = make_cluster()
         for i in range(16):
@@ -354,6 +429,38 @@ class TestWriteFanout:
             client.policy.invalidate(key)
         loads = client.monitor.total_loads()
         assert all(loads.get(sid, 0) > 50 for sid in replicas)
+
+
+class TestListenerHygiene:
+    def test_attach_router_registers_revival_hook_once(self):
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(cluster)
+        client = make_client(cluster)
+        client.attach_router(router, seed=1)
+        client.attach_router(router, seed=2)  # re-attach: no duplicate
+        hook = client.monitor.reset_server_window
+        assert cluster.cold_revival_listeners.count(hook) == 1
+
+    def test_detach_router_removes_hook_and_restores_classic_path(self):
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(cluster)
+        client = make_client(cluster, router)
+        client.detach_router()
+        assert client.router is None
+        hook = client.monitor.reset_server_window
+        assert hook not in cluster.cold_revival_listeners
+        client.detach_router()  # idempotent
+        cluster.storage.set("usertable:0", "v")
+        assert client.get("usertable:0") == "v"  # classic path works
+
+    def test_router_detach_removes_cold_revival_listener(self):
+        cluster, _ = make_cluster()
+        before = len(cluster.cold_revival_listeners)
+        router = HotKeyRouter(cluster)
+        assert len(cluster.cold_revival_listeners) == before + 1
+        router.detach()
+        assert len(cluster.cold_revival_listeners) == before
+        router.detach()  # idempotent
 
 
 class TestEngineAxis:
