@@ -26,6 +26,16 @@ fi
 echo "== tests =="
 python -m pytest -x -q
 
+echo "== fuzz =="
+# Bounded model-based fuzz: the stateful hypothesis machine drives random
+# get/set/delete/get_many/kill/revive/add/remove/epoch/refresh
+# interleavings against the dict oracle (tests/test_cluster_stateful.py).
+# Derandomized here so CI is reproducible; for a deeper randomized soak,
+# drop CLUSTER_FUZZ_DERANDOMIZE and raise the budgets. Replay a specific
+# run with:  python -m pytest tests/test_cluster_stateful.py --hypothesis-seed=<N>
+CLUSTER_FUZZ_EXAMPLES=200 CLUSTER_FUZZ_STEPS=60 CLUSTER_FUZZ_DERANDOMIZE=1 \
+    python -m pytest tests/test_cluster_stateful.py -q
+
 echo "== engine smoke =="
 python -m repro.experiments --list
 metrics_out="$(mktemp)"

@@ -7,6 +7,7 @@ from repro.cluster.cluster import CacheCluster
 from repro.cluster.faults import FaultInjector, FaultStats, ShardFaultProfile
 from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.invalidation import (
+    CoherenceMixin,
     CoherentFrontEndClient,
     InvalidationBus,
     InvalidationStats,
@@ -37,6 +38,7 @@ __all__ = [
     "ClusterGuard",
     "FrontEndClient",
     "CacheCluster",
+    "CoherenceMixin",
     "CoherentFrontEndClient",
     "ConsistentHashRing",
     "FaultInjector",

@@ -183,6 +183,18 @@ class BackendCacheServer:
         self._bytes_used -= entry[1]
         return True
 
+    def drop(self, key: Hashable) -> None:
+        """Administratively evict ``key`` (topology-change housekeeping).
+
+        Unlike :meth:`delete` this is control-plane work, not a client
+        request: no fault is injected (a flaky shard must not be able to
+        veto the purge of a copy that is about to become reachable again)
+        and no protocol counters move.
+        """
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._bytes_used -= entry[1]
+
     def flush(self) -> None:
         """Drop all entries (counters are kept)."""
         self._entries.clear()

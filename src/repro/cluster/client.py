@@ -101,6 +101,34 @@ class FrontEndClient:
         #: entire hot-path cost of an attached (but idle) tier
         self._routes: dict[Hashable, ReplicaEntry] | None = None
         self._route_rng: random.Random | None = None
+        # Purge per-shard routing state the moment a shard is scaled in:
+        # a forgotten breaker / load-window entry keyed on the departed id
+        # would otherwise linger forever and poison any later shard that
+        # aliased the id.
+        cluster.removal_listeners.append(self._on_server_removed)
+        cluster.cold_revival_listeners.append(self._on_cold_revival)
+
+    def _on_server_removed(self, server_id: str) -> None:
+        """Drop breaker and load-window state of a shard that left."""
+        self.guard.forget(server_id)
+        self.monitor.forget_server(server_id)
+
+    def _on_cold_revival(self, server_id: str) -> None:
+        """Reset this front end's breaker for a shard that revived cold.
+
+        Breaker state must not alias across shard incarnations. The
+        zero-stale-read argument needs "breaker not CLOSED ⇒ the shard is
+        really down" to hold for *every* front end: a write whose
+        shard-side invalidation is skipped by an open breaker is safe
+        only while the stale copy is unreachable cluster-wide. A breaker
+        left OPEN past a cold revival broke that — the writer kept
+        skipping invalidations against a live, wiped shard while other
+        front ends (whose breakers were closed) filled it and then read
+        the copy the writer never deleted. The failure streak belongs to
+        the dead incarnation; the revived shard starts with a clean
+        breaker, exactly as a freshly added shard does.
+        """
+        self.guard.forget(server_id)
 
     def attach_router(self, router: HotKeyRouter, seed: int = 0) -> None:
         """Join the replicated hot-key tier.

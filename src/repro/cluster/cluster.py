@@ -62,6 +62,11 @@ class CacheCluster:
         self._value_size = value_size
         self.faults = faults
         self._servers: dict[str, BackendCacheServer] = {}
+        #: monotonic shard-id counter: ids are minted exactly once per
+        #: cluster lifetime, so a shard added after a scale-in can never
+        #: alias a departed shard and inherit its fault profile, breaker
+        #: state, load window or router quarantine entries.
+        self._next_server_index = num_servers
         server_ids = [f"cache-{i}" for i in range(num_servers)]
         for server_id in server_ids:
             self._servers[server_id] = BackendCacheServer(
@@ -77,6 +82,12 @@ class CacheCluster:
         #: keyed on shard contents/load — per-shard epoch load windows,
         #: pending replica demotions — can be reset at the same moment.
         self.cold_revival_listeners: list[Callable[[str], None]] = []
+        #: callbacks invoked with a shard id after :meth:`remove_server`
+        #: dropped it (mirroring ``cold_revival_listeners``). Front ends
+        #: and routers register here to purge per-shard state — breakers,
+        #: epoch load windows, replica placements — the moment the shard
+        #: leaves, instead of carrying it until some lazy revalidation.
+        self.removal_listeners: list[Callable[[str], None]] = []
 
     # ----------------------------------------------------------- inspection
 
@@ -111,10 +122,19 @@ class CacheCluster:
     def add_server(
         self, capacity_bytes: int | None = None
     ) -> BackendCacheServer:
-        """Scale out by one shard (cloud elasticity hook)."""
-        server_id = f"cache-{len(self._servers)}"
-        while server_id in self._servers:
-            server_id += "x"
+        """Scale out by one shard (cloud elasticity hook).
+
+        The shard id comes from a cluster-lifetime monotonic counter, so
+        ids are never reused: naming the shard after the *current* member
+        count re-minted a removed shard's id after a scale-in (remove
+        ``cache-3`` on a 4-shard cluster, add → ``cache-3`` again), and
+        the reincarnation inherited every piece of per-shard state keyed
+        on the id — the old FaultInjector profile, OPEN breakers, epoch
+        load windows and router quarantines. A fresh id starts clean
+        everywhere by construction.
+        """
+        server_id = f"cache-{self._next_server_index}"
+        self._next_server_index += 1
         template = next(iter(self._servers.values()))
         server = BackendCacheServer(
             server_id,
@@ -127,13 +147,47 @@ class CacheCluster:
         return server
 
     def remove_server(self, server_id: str) -> None:
-        """Scale in: remove a shard (its keys redistribute via the ring)."""
+        """Scale in: remove a shard (its keys redistribute via the ring).
+
+        Two correctness obligations beyond dropping the shard:
+
+        * **Re-homed copies are purged from survivors.** Removing a shard
+          hands its key range back to ring successors, and a successor
+          may still hold a copy from an *earlier* ownership stint — one
+          that missed every invalidation while the key lived elsewhere
+          (add ``D`` → key moves to ``D`` → write deletes on ``D`` only →
+          remove ``D`` → the old owner serves its pre-write copy). Every
+          survivor drops its copies of the keys the departing shard
+          owned, so ownership can never regress onto a stale copy.
+          (Additions need no purge: a new shard starts empty and
+          ownership only ever moves *to* it.)
+        * **Per-shard state is released.** The shard's fault profile is
+          cleared here (a later shard must not inherit an injected
+          fault), and ``removal_listeners`` fire so front ends and
+          routers purge breakers, epoch load windows and replica
+          placements keyed on the id. The
+          :class:`~repro.cluster.invalidation.InvalidationBus` directory
+          needs no hook: it tracks *front-end* copies by client id and is
+          shard-agnostic — re-homing a key does not move or stale the
+          front-end copies the directory describes.
+        """
         if server_id not in self._servers:
             raise ClusterError(f"unknown server: {server_id}")
         if len(self._servers) == 1:
             raise ClusterError("cannot remove the last server")
+        server_for = self.ring.server_for
+        for sid, survivor in self._servers.items():
+            if sid == server_id:
+                continue
+            for key in survivor.keys():
+                if server_for(key) == server_id:
+                    survivor.drop(key)
         self.ring.remove_server(server_id)
         del self._servers[server_id]
+        if self.faults is not None:
+            self.faults.clear(server_id)
+        for listener in self.removal_listeners:
+            listener(server_id)
 
     # --------------------------------------------------------------- faults
 

@@ -149,6 +149,16 @@ class FaultInjector:
             sid for sid, profile in self._profiles.items() if profile.down
         )
 
+    def tracked_servers(self) -> frozenset[str]:
+        """Ids with a fault profile on record (healthy profiles included).
+
+        Cluster-wide invariant checks assert this stays a subset of the
+        live membership: :meth:`~repro.cluster.cluster.CacheCluster.remove_server`
+        clears the departing shard's profile, so a dead-set entry can
+        never outlive its shard and leak onto a future one.
+        """
+        return frozenset(self._profiles)
+
     # ------------------------------------------------------------ injection
 
     def probe(self, server_id: str) -> ShardFailure | None:

@@ -19,11 +19,16 @@ more incarnations ⇒ more fan-out traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Any, Hashable
 
 from repro.cluster.client import FrontEndClient
 
-__all__ = ["InvalidationBus", "InvalidationStats", "CoherentFrontEndClient"]
+__all__ = [
+    "CoherenceMixin",
+    "CoherentFrontEndClient",
+    "InvalidationBus",
+    "InvalidationStats",
+]
 
 
 @dataclass
@@ -97,6 +102,16 @@ class InvalidationBus:
         """Front ends currently holding ``key`` (test/analysis hook)."""
         return frozenset(self._directory.get(key, frozenset()))
 
+    def directory(self) -> dict[Hashable, frozenset[str]]:
+        """Snapshot of the whole directory (invariant-check hook).
+
+        The cluster oracle reconciles this against what every registered
+        front end's policy *actually* caches — any admission path that
+        forgets :meth:`note_cached` (or a drop that skips
+        :meth:`note_dropped`) shows up as a mismatch.
+        """
+        return {key: frozenset(holders) for key, holders in self._directory.items()}
+
     # -------------------------------------------------------------- fan-out
 
     def broadcast_invalidation(self, writer_id: str, key: Hashable) -> int:
@@ -117,35 +132,65 @@ class InvalidationBus:
         return sent
 
 
-class CoherentFrontEndClient(FrontEndClient):
-    """A front end whose local cache participates in invalidation fan-out.
+class CoherenceMixin:
+    """Coherent-front-end behaviour over any :class:`FrontEndClient` base.
 
-    Wraps the base protocol: admissions/evictions are reported to the
-    bus, and writes broadcast invalidations to the other registered front
-    ends *before* the write completes (strong ordering: no front end can
-    serve the old value after the writer's set returns).
+    Mixes the invalidation pipeline into a concrete client class (the
+    plain protocol client, the elastic CoT client, …): admissions and
+    evictions are reported to the bus, and writes broadcast invalidations
+    to the other registered front ends *before* the write completes
+    (strong ordering: no front end can serve the old value after the
+    writer's set returns). Subclasses call :meth:`_attach_bus` once after
+    their own construction.
     """
 
-    def __init__(self, cluster, policy, bus: InvalidationBus, client_id: str) -> None:
-        super().__init__(cluster, policy, client_id=client_id)
+    bus: InvalidationBus
+
+    def _attach_bus(self, bus: InvalidationBus) -> None:
+        """Join the fan-out pipeline (register + eviction reporting)."""
         self.bus = bus
         bus.register(self)
         # Keep the directory honest about capacity evictions: when the
         # policy drops a key on its own, the incarnation disappears.
-        policy.eviction_listeners.append(
+        self.policy.eviction_listeners.append(
             lambda key: bus.note_dropped(self.client_id, key)
         )
 
     # The base read path calls ``policy.admit``; intercept around it so
     # the directory reflects what this front end actually holds. Only a
     # state change (miss -> cached) is reported: repeat hits on a key the
-    # directory already tracks must not churn the bus.
+    # directory already tracks must not churn the bus. The snapshot is
+    # sound here (unlike in ``get_many``) because no single-key read can
+    # evict and then re-admit the *same* key within one call: a hit never
+    # re-admits, and a miss starts uncached.
     def get(self, key: Hashable):
         was_cached = key in self.policy
         value = super().get(key)
         if not was_cached and key in self.policy:
             self.bus.note_cached(self.client_id, key)
         return value
+
+    def get_many(self, keys: list[Hashable]) -> dict[Hashable, Any]:
+        """Batched read with directory reporting per admitted key.
+
+        The base ``get_many`` admits through the same policy entry point
+        as ``get`` but used to bypass this class entirely, so copies
+        obtained via a batch were invisible to the directory — a remote
+        write then skipped them and the untracked copy served stale
+        reads. After the batch, every batch key the policy still holds
+        is reported (evictions inside the batch are reported by the
+        eviction listener as they happen, so the directory converges to
+        the true holder set no matter how admissions and evictions
+        interleave mid-batch).
+        """
+        values = super().get_many(keys)
+        policy = self.policy
+        note_cached = self.bus.note_cached
+        client_id = self.client_id
+        for key in values:
+            if key in policy:
+                note_cached(client_id, key)
+        return values
 
     def set(self, key: Hashable, value) -> None:
         self.bus.broadcast_invalidation(self.client_id, key)
@@ -163,3 +208,15 @@ class CoherentFrontEndClient(FrontEndClient):
             self.policy.invalidate(key)
             self.bus.stats.stale_dropped += 1
         self.bus.note_dropped(self.client_id, key)
+
+
+class CoherentFrontEndClient(CoherenceMixin, FrontEndClient):
+    """A front end whose local cache participates in invalidation fan-out.
+
+    The classic protocol client with :class:`CoherenceMixin` applied —
+    the concrete class every coherence-cost experiment uses.
+    """
+
+    def __init__(self, cluster, policy, bus: InvalidationBus, client_id: str) -> None:
+        super().__init__(cluster, policy, client_id=client_id)
+        self._attach_bus(bus)

@@ -147,6 +147,24 @@ class LoadMonitor:
         """``I_c`` over the current epoch window (Algorithm 3 input)."""
         return load_imbalance(self._epoch)
 
+    def forget_server(self, server: str) -> None:
+        """Purge a removed shard's lookup state (scale-in housekeeping).
+
+        Both the lifetime counter and the epoch window are dropped:
+        leaving the lifetime entry in place would make any later shard
+        that reuses the id look *already known* to
+        :meth:`record_lookup`, so it would skip the mid-epoch-joiner
+        marking and splice its partial window onto the dead
+        incarnation's counts — the double-count behind phantom
+        imbalance spikes. With the entry gone, a reincarnated id
+        registers as a fresh joiner like any other new shard.
+        Degraded-read history (:meth:`degraded_by_server`) is kept — it
+        is a lifetime diagnostic of what happened, not routing state.
+        """
+        self._total.pop(server, None)
+        self._epoch.pop(server, None)
+        self._epoch_new.discard(server)
+
     def reset_server_window(self, server: str) -> None:
         """Zero one shard's *epoch* window (cold-revival accounting fix).
 

@@ -1,0 +1,355 @@
+"""Dict-backed oracle and topology harness for cluster-wide fuzzing.
+
+The elastic cluster's riskiest behaviour lives in the *interleavings*:
+kill/revive/add/remove churn racing reads, writes, invalidation fan-out,
+replica promotion and epoch accounting. Hand-picked scenarios cover the
+interleavings someone thought of; the hypothesis state machine in
+``tests/test_cluster_stateful.py`` drives random ones against the
+trivially correct model in this module and asserts, after every step,
+the invariants the whole system is supposed to keep:
+
+* **freshness** — no stale read ever escapes (:class:`ClusterModel`);
+* **directory honesty** — the :class:`~repro.cluster.invalidation.InvalidationBus`
+  incremental ``directory_size`` equals a full recount, and the directory
+  matches exactly what every registered front end actually caches;
+* **per-shard state liveness** — breakers, LoadMonitor windows, fault
+  profiles and router replica/quarantine sets reference only shards that
+  are currently members (:func:`check_cluster_invariants`);
+* **churn-safe epoch accounting** — the loads the elastic controller
+  sees are always a subset of live, non-fresh, breaker-closed shards, so
+  topology churn cannot fabricate an ``I_c`` spike.
+
+The freshness oracle is mode-aware. In **coherent** mode (fan-out bus
+attached) every read must return the last committed write, full stop. In
+**paper** mode the protocol deliberately lets *other* front ends keep
+their local copies on a write (Section 1's consistency-cost argument),
+so a read is correct iff it returns the committed value **or**, on a
+local cache hit, the value this front end itself last observed for the
+key — i.e. staleness may only come from the reader's own untouched local
+copy, never from the shard layer or storage.
+
+New topology axes (write-path coherence modes, adaptive arbitration,
+network planes) plug in by adding a field to :class:`TopologyCase`,
+wiring it in :class:`ClusterHarness.__init__`, and adding one entry to
+the machine's topology list — the rules and invariants are reused as-is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.cluster.cluster import CacheCluster
+from repro.cluster.faults import FaultInjector
+from repro.cluster.invalidation import CoherenceMixin, InvalidationBus
+from repro.cluster.replication import HotKeyRouter, ReplicationConfig
+from repro.cluster.retry import BreakerConfig, ClusterGuard, RetryPolicy
+from repro.cluster.storage import PersistentStore
+from repro.core.elastic import ElasticCoTClient
+
+__all__ = [
+    "ClusterHarness",
+    "ClusterModel",
+    "CoherentElasticCoTClient",
+    "TopologyCase",
+    "check_cluster_invariants",
+    "synthesized_value",
+]
+
+
+def synthesized_value(key: Hashable) -> Any:
+    """The value storage synthesizes for a never-written (or deleted) key.
+
+    The harness passes this same function to its
+    :class:`~repro.cluster.storage.PersistentStore`, so the oracle and
+    the system agree on unwritten keys by construction.
+    """
+    return ("value-of", key, 0)
+
+
+class CoherentElasticCoTClient(CoherenceMixin, ElasticCoTClient):
+    """An elastic CoT front end participating in invalidation fan-out.
+
+    The combination the experiments do not ship yet but the fuzzer needs:
+    coherent mode *and* epoch-close/resize/decay churn in one client, so
+    the directory stays honest across capacity changes too.
+    """
+
+    def __init__(self, cluster: CacheCluster, bus: InvalidationBus, **kwargs) -> None:
+        super().__init__(cluster, **kwargs)
+        self._attach_bus(bus)
+
+
+_UNSEEN = object()
+
+
+class ClusterModel:
+    """Trivially correct committed-state model with a staleness budget.
+
+    ``_written`` is the dict the whole cluster is pretending to be.
+    ``_last_seen`` records, per ``(client_id, key)``, the value that
+    front end most recently observed — the only value its local cache
+    could legally still hold in paper mode.
+    """
+
+    def __init__(self, coherent: bool) -> None:
+        self.coherent = coherent
+        self._written: dict[Hashable, Any] = {}
+        self._last_seen: dict[tuple[str, Hashable], Any] = {}
+
+    # ------------------------------------------------------------- queries
+
+    def committed(self, key: Hashable) -> Any:
+        """The value an omniscient fresh read of ``key`` must return."""
+        if key in self._written:
+            return self._written[key]
+        return synthesized_value(key)
+
+    # ------------------------------------------------------------ mutation
+
+    def check_read(
+        self, client_id: str, key: Hashable, returned: Any, was_local: bool
+    ) -> None:
+        """Assert one read's result is explainable; record what was seen.
+
+        ``was_local`` is whether the reader's policy held the key before
+        the read (a side-effect-free ``in`` probe). A read that did not
+        hit the local cache went through shard/storage, where *no* mode
+        tolerates staleness — cold revival, the scale-in purge and the
+        replication quarantine exist precisely to keep that layer clean.
+        """
+        committed = self.committed(key)
+        if returned == committed:
+            self._last_seen[(client_id, key)] = returned
+            return
+        if self.coherent:
+            raise AssertionError(
+                f"stale read escaped in coherent mode: {client_id} read "
+                f"{returned!r} for {key!r}, committed is {committed!r}"
+            )
+        if not was_local:
+            raise AssertionError(
+                f"stale read escaped the caching layer: {client_id} read "
+                f"{returned!r} for {key!r} on a local miss, committed is "
+                f"{committed!r}"
+            )
+        allowed = self._last_seen.get((client_id, key), _UNSEEN)
+        if returned != allowed:
+            raise AssertionError(
+                f"unexplainable stale read: {client_id} read {returned!r} "
+                f"for {key!r}; committed is {committed!r} and this front "
+                f"end last observed "
+                f"{'nothing' if allowed is _UNSEEN else repr(allowed)}"
+            )
+
+    def note_write(self, client_id: str, key: Hashable, value: Any) -> None:
+        """A set committed: ``value`` is now the only fresh answer."""
+        self._written[key] = value
+        self._forget_local(client_id, key)
+
+    def note_delete(self, client_id: str, key: Hashable) -> None:
+        """A delete committed: reads revert to the synthesized value."""
+        self._written.pop(key, None)
+        self._forget_local(client_id, key)
+
+    def _forget_local(self, writer_id: str, key: Hashable) -> None:
+        """Drop the local-copy allowances a write invalidates.
+
+        The writer always invalidates its own copy (``record_update``);
+        in coherent mode the fan-out clears every other front end's copy
+        too, so no one retains a staleness allowance.
+        """
+        if self.coherent:
+            for pair in [p for p in self._last_seen if p[1] == key]:
+                del self._last_seen[pair]
+        else:
+            self._last_seen.pop((writer_id, key), None)
+
+
+@dataclass(frozen=True)
+class TopologyCase:
+    """One point in the topology-axis grid the state machine samples.
+
+    Axes mirror the system's real configuration surface: front-end
+    count, coherence mode, the replicated hot-key tier, and how
+    aggressive the retry/breaker layer is (``tight_guard`` trips
+    breakers on the first failure with a short cooldown, maximizing
+    OPEN/HALF_OPEN traffic in short runs).
+    """
+
+    name: str
+    num_servers: int = 3
+    num_front_ends: int = 1
+    coherent: bool = False
+    replicated: bool = False
+    tight_guard: bool = False
+
+    def __str__(self) -> str:  # readable hypothesis failure output
+        return self.name
+
+
+class ClusterHarness:
+    """A fully wired elastic cluster for one fuzzing run.
+
+    Builds the cluster, fault injector, optional invalidation bus and
+    optional hot-key router described by ``case``, plus one elastic CoT
+    front end per ``num_front_ends`` — coherent front ends when the case
+    says so, all attached to the router when replication is on.
+    """
+
+    def __init__(self, case: TopologyCase, seed: int = 0) -> None:
+        self.case = case
+        self.faults = FaultInjector(seed=seed)
+        self.storage = PersistentStore(value_factory=synthesized_value)
+        self.cluster = CacheCluster(
+            num_servers=case.num_servers,
+            capacity_bytes=1 << 16,
+            virtual_nodes=32,
+            value_size=1,
+            storage=self.storage,
+            faults=self.faults,
+        )
+        self.bus = InvalidationBus() if case.coherent else None
+        self.router: HotKeyRouter | None = None
+        if case.replicated:
+            # Low promotion bar + small cap: with a dozen-key universe
+            # the tier promotes and demotes constantly, which is the
+            # point — the replicated read/write/quarantine paths must
+            # hold invariants under maximal churn.
+            self.router = HotKeyRouter(
+                self.cluster,
+                ReplicationConfig(
+                    degree=2,
+                    choices=2,
+                    top_n=8,
+                    max_keys=4,
+                    min_share=0.02,
+                    seed=seed,
+                ),
+            )
+        self.front_ends: list[ElasticCoTClient] = []
+        for i in range(case.num_front_ends):
+            kwargs = dict(
+                target_imbalance=1.5,
+                initial_cache=4,
+                initial_tracker=8,
+                base_epoch=24,
+                client_id=f"fe-{i}",
+                guard=self._build_guard(i),
+            )
+            if case.coherent:
+                client: ElasticCoTClient = CoherentElasticCoTClient(
+                    self.cluster, self.bus, **kwargs
+                )
+            else:
+                client = ElasticCoTClient(self.cluster, **kwargs)
+            if self.router is not None:
+                client.attach_router(self.router, seed=seed * 17 + i)
+            self.front_ends.append(client)
+        self.model = ClusterModel(coherent=case.coherent)
+
+    def _build_guard(self, index: int) -> ClusterGuard:
+        if self.case.tight_guard:
+            return ClusterGuard(
+                self.cluster.server_ids,
+                retry=RetryPolicy(max_attempts=2, base_backoff=0.0, jitter=0.0),
+                breaker=BreakerConfig(failure_threshold=1, cooldown=6.0),
+                seed=index,
+            )
+        return ClusterGuard(self.cluster.server_ids, seed=index)
+
+    # ---------------------------------------------------------- inspection
+
+    @property
+    def live_ids(self) -> tuple[str, ...]:
+        """Current cluster membership."""
+        return self.cluster.server_ids
+
+
+def check_cluster_invariants(harness: ClusterHarness) -> None:
+    """Assert every cross-component structural invariant at once.
+
+    Called by the state machine after every step; each check names the
+    component so a violation reads as a diagnosis, not a riddle.
+    """
+    live = set(harness.cluster.server_ids)
+
+    tracked = harness.faults.tracked_servers()
+    assert tracked <= live, (
+        f"fault profiles reference departed shards: {sorted(tracked - live)}"
+    )
+
+    for client in harness.front_ends:
+        cid = client.client_id
+        breakers = client.guard.tracked_servers()
+        assert breakers <= live, (
+            f"{cid}: breakers reference departed shards: "
+            f"{sorted(breakers - live)}"
+        )
+        window = set(client.monitor.epoch_loads())
+        assert window <= live, (
+            f"{cid}: epoch load window references departed shards: "
+            f"{sorted(window - live)}"
+        )
+        fresh = client.monitor.epoch_new_servers()
+        assert fresh <= live, (
+            f"{cid}: mid-epoch joiner set references departed shards: "
+            f"{sorted(fresh - live)}"
+        )
+        churn_safe = set(client._churn_safe_epoch_loads())
+        assert churn_safe <= live, (
+            f"{cid}: controller would see departed shards: "
+            f"{sorted(churn_safe - live)}"
+        )
+        assert not churn_safe & fresh, (
+            f"{cid}: controller would see mid-epoch joiners: "
+            f"{sorted(churn_safe & fresh)}"
+        )
+        assert not churn_safe & client.guard.unavailable_servers(), (
+            f"{cid}: controller would see breaker-open shards"
+        )
+
+    router = harness.router
+    if router is not None:
+        for key, entry in router.routes.items():
+            replicas = set(entry.replicas)
+            assert replicas <= live, (
+                f"replica set of {key!r} references departed shards: "
+                f"{sorted(replicas - live)}"
+            )
+            quarantine = set(entry.quarantine)
+            assert quarantine <= replicas, (
+                f"quarantine of {key!r} outside its replica set: "
+                f"{sorted(quarantine - replicas)}"
+            )
+            assert tuple(entry.eligible) == tuple(
+                sid for sid in entry.replicas if sid not in entry.quarantine
+            ), f"eligible set of {key!r} inconsistent with its quarantine"
+        for key, pending in router.pending_snapshot().items():
+            assert pending <= live, (
+                f"pending demotions of {key!r} reference departed shards: "
+                f"{sorted(pending - live)}"
+            )
+
+    bus = harness.bus
+    if bus is not None:
+        recounted = bus.recomputed_directory_size()
+        assert bus.stats.directory_size == recounted, (
+            f"directory_size drifted: incremental "
+            f"{bus.stats.directory_size} != recount {recounted}"
+        )
+        directory = {
+            (cid, key)
+            for key, holders in bus.directory().items()
+            for cid in holders
+        }
+        actual = {
+            (client.client_id, key)
+            for client in harness.front_ends
+            for key in client.policy.cached_keys()
+        }
+        assert directory == actual, (
+            f"directory out of sync with front-end caches: "
+            f"untracked copies {sorted(map(repr, actual - directory))}, "
+            f"phantom entries {sorted(map(repr, directory - actual))}"
+        )

@@ -254,17 +254,33 @@ class HotKeyRouter:
         listeners = cluster.cold_revival_listeners
         if self._on_cold_revival not in listeners:
             listeners.append(self._on_cold_revival)
+        # Re-place replica sets the moment a shard is scaled in. Waiting
+        # for the lazy ring-epoch check at the next refresh left a window
+        # in which ``routes`` still named the departed shard: a read
+        # sampling it crashed on the cluster lookup, and its quarantine /
+        # pending entries referenced a shard that no longer existed.
+        removal = cluster.removal_listeners
+        if self._on_server_removed not in removal:
+            removal.append(self._on_server_removed)
 
     def detach(self) -> None:
-        """Deregister from the cluster's cold-revival listeners.
+        """Deregister from the cluster's listener lists.
 
         A router outliving its run (tests, reused clusters) must not
-        keep mutating the shared cluster's listener list. Idempotent.
+        keep mutating the shared cluster's listener lists. Idempotent.
         """
-        try:
-            self.cluster.cold_revival_listeners.remove(self._on_cold_revival)
-        except ValueError:
-            pass
+        for listeners, hook in (
+            (self.cluster.cold_revival_listeners, self._on_cold_revival),
+            (self.cluster.removal_listeners, self._on_server_removed),
+        ):
+            try:
+                listeners.remove(hook)
+            except ValueError:
+                pass
+
+    def _on_server_removed(self, _server_id: str) -> None:
+        """A shard left the cluster: re-place every affected replica set."""
+        self._revalidate_ring()
 
     # ----------------------------------------------------------- inspection
 
@@ -287,6 +303,10 @@ class HotKeyRouter:
     def pending_demotions(self, key: Hashable) -> frozenset[str]:
         """Shards still quarantined for ``key`` (test/analysis hook)."""
         return frozenset(self._pending.get(key, ()))
+
+    def pending_snapshot(self) -> dict[Hashable, frozenset[str]]:
+        """All unresolved demotion-invalidations (invariant-check hook)."""
+        return {key: frozenset(shards) for key, shards in self._pending.items()}
 
     def write_targets(self, key: Hashable) -> tuple[str, ...]:
         """Every shard a write to ``key`` must invalidate, or ``()``.
@@ -544,7 +564,14 @@ class HotKeyRouter:
                     entry.rebuild_eligible()
 
     def _on_cold_revival(self, server_id: str) -> None:
-        """A shard revived cold: its copies are gone, quarantines lift."""
+        """A shard revived cold: its copies are gone, quarantines lift.
+
+        The control-plane breaker is reset too — its failure streak
+        belongs to the dead incarnation, and keeping it open would defer
+        retryable demotion-invalidations against a live shard for a full
+        cooldown (safe, thanks to the quarantine, but needlessly slow).
+        """
+        self.guard.forget(server_id)
         for key in list(self._pending):
             pending = self._pending[key]
             if server_id not in pending:

@@ -282,6 +282,15 @@ class ClusterGuard:
         """The shard's breaker state at the current logical time."""
         return self.breaker(server_id).peek(self._clock)
 
+    def tracked_servers(self) -> frozenset[str]:
+        """Ids with a breaker on record (invariant-check hook).
+
+        After :meth:`forget` runs for removed shards this stays a subset
+        of live membership — an OPEN breaker must not outlive its shard
+        and trip against an unrelated future one.
+        """
+        return frozenset(self._breakers)
+
     def unavailable_servers(self) -> frozenset[str]:
         """Shards whose breaker is not closed right now.
 

@@ -166,14 +166,20 @@ class ElasticCoTClient(FrontEndClient):
         Three classes of shard are excluded so that churn cannot
         fabricate an ``I_c`` spike (and with it a spurious ``EXPAND``):
 
-        * shards no longer on the ring — a removed shard's entry lingers
-          in the monitor at zero load forever, which would floor the
-          imbalance denominator at 1;
+        * shards no longer on the ring — belt-and-braces on top of the
+          removal purge (``CacheCluster.removal_listeners`` →
+          :meth:`LoadMonitor.forget_server`), which already drops a
+          removed shard's entries so they can neither floor the
+          imbalance denominator at 1 nor hand their counts to a later
+          shard aliasing the id (a remove→add inside one epoch used to
+          splice the fresh shard's partial window onto the dead
+          incarnation's counts — a double-count, not workload skew);
         * shards whose circuit breaker is not closed — a shard that died
           mid-epoch contributes a partial count that reflects the
           failure, not workload skew;
-        * shards first seen mid-epoch (scale-out joiners) — their partial
-          window under-counts until the first full epoch.
+        * shards first seen mid-epoch (scale-out joiners, including any
+          id reincarnation after :meth:`~repro.cluster.loadmonitor.LoadMonitor.forget_server`)
+          — their partial window under-counts until the first full epoch.
         """
         members = set(self.cluster.server_ids)
         unavailable = self.guard.unavailable_servers()

@@ -142,6 +142,27 @@ class TestLoadMonitor:
         monitor.reset()
         assert monitor.total_lookups() == 0
 
+    def test_forgotten_server_reincarnates_as_fresh_joiner(self):
+        """Regression (scale-in churn): after ``forget_server`` a later
+        lookup under the same id must register as a *mid-epoch joiner*,
+        not splice onto the dead incarnation's counts — the controller
+        excludes fresh joiners, so a remove→add inside one epoch cannot
+        double-count."""
+        monitor = LoadMonitor(["a", "b"])
+        for _ in range(5):
+            monitor.record_lookup("b")
+        monitor.forget_server("b")
+        assert "b" not in monitor.total_loads()
+        assert "b" not in monitor.epoch_loads()
+        monitor.record_lookup("b")
+        assert "b" in monitor.epoch_new_servers()
+        assert monitor.epoch_loads()["b"] == 1
+        assert monitor.total_loads()["b"] == 1
+        # A full epoch boundary graduates the reincarnation to a
+        # first-class member, exactly like any scale-out joiner.
+        monitor.reset_epoch()
+        assert "b" not in monitor.epoch_new_servers()
+
 
 class TestLoadImbalanceMetric:
     def test_empty(self):
@@ -197,6 +218,51 @@ class TestCacheCluster:
         cluster = CacheCluster(num_servers=1, virtual_nodes=64)
         with pytest.raises(ClusterError):
             cluster.remove_server("cache-0")
+
+    def test_shard_ids_are_never_reused_after_scale_in(self):
+        """Regression: ``add_server`` named shards by the current member
+        count, so remove ``cache-3`` on a 4-shard cluster then add →
+        ``cache-3`` again — and every per-shard structure keyed on the id
+        (breakers, fault profiles, load windows) silently adopted the
+        dead incarnation's state. Ids now come from a monotonic mint."""
+        cluster = CacheCluster(num_servers=4, virtual_nodes=64)
+        cluster.remove_server("cache-3")
+        added = cluster.add_server()
+        assert added.server_id == "cache-4"
+        # And again, including removing an *interior* id.
+        cluster.remove_server("cache-1")
+        assert cluster.add_server().server_id == "cache-5"
+        assert len(set(cluster.server_ids)) == len(cluster.server_ids)
+        # A fresh shard starts with no cached keys.
+        assert not list(added.keys())
+
+    def test_remove_purges_rehomed_copies_from_survivors(self):
+        """Regression (scale-in staleness): removing a shard hands its
+        key range back to ring survivors, and a survivor may still hold
+        a copy from an earlier ownership stint that missed every
+        invalidation since. Those copies are purged at removal."""
+        cluster = CacheCluster(num_servers=3, virtual_nodes=64)
+        victim = "cache-1"
+        key = next(
+            f"key-{i}"
+            for i in range(1000)
+            if cluster.ring.server_for(f"key-{i}") == victim
+        )
+        survivor = next(
+            sid for sid in cluster.server_ids if sid != victim
+        )
+        # Plant a stale copy on the survivor (as an earlier ownership
+        # stint would have left behind).
+        cluster.server(survivor).set(key, "stale-old-copy")
+        cluster.remove_server(victim)
+        assert key not in cluster.server(survivor)
+
+    def test_remove_notifies_removal_listeners(self):
+        cluster = CacheCluster(num_servers=3, virtual_nodes=64)
+        seen: list[str] = []
+        cluster.removal_listeners.append(seen.append)
+        cluster.remove_server("cache-2")
+        assert seen == ["cache-2"]
 
     def test_epoch_reset_propagates(self):
         cluster = CacheCluster(num_servers=2, virtual_nodes=64)

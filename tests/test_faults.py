@@ -299,13 +299,13 @@ class TestRecovery:
         client.set(key, "fresh")
         assert guard.stats.lost_invalidations >= 1
         # Cold revival: the shard restarts empty, so the stale copy that
-        # missed its invalidation cannot be served.
+        # missed its invalidation cannot be served — and the breaker is
+        # reset at the incarnation boundary (the failure streak belonged
+        # to the dead incarnation), so the revived shard is reachable
+        # immediately instead of after a cooldown's worth of traffic.
         cluster.revive_server(victim)
-        for i in range(50):  # traffic advances the logical clock past cooldown
-            client.get(format_key(1000 + i))
-        assert client.get(key) == "fresh"
         assert guard.state(victim) is BreakerState.CLOSED
-        assert guard.breaker(victim).closes >= 1
+        assert client.get(key) == "fresh"
 
     def test_cold_revival_zeroes_load_window_with_router_attached(self):
         """LoadMonitor accounting across kill/revive: a cold-revived shard
@@ -336,6 +336,66 @@ class TestRecovery:
         assert any(
             load > 0 for load in client.monitor.epoch_loads().values()
         )
+
+    def test_breaker_reset_on_cold_revival_prevents_cross_client_staleness(self):
+        """Regression (found by the stateful fuzzer): breakers are
+        per front end, so "my breaker is open" must imply "the shard is
+        really down" — otherwise a writer keeps skipping shard-side
+        invalidations against a shard that *other* front ends (closed
+        breakers) are happily filling and reading. A breaker left OPEN
+        past a cold revival broke exactly that: writer trips its breaker
+        while the shard is dead, shard revives cold, a reader re-fills
+        it, the writer's delete is skipped by the stale-open breaker,
+        and the reader serves the value the delete was meant to kill."""
+        storage = PersistentStore()
+        cluster, faults = faulty_cluster(storage=storage)
+        writer = FrontEndClient(
+            cluster,
+            LRUCache(8),
+            client_id="writer",
+            guard=tight_guard(cluster, threshold=1, cooldown=1e9),
+        )
+        reader = FrontEndClient(cluster, LRUCache(8), client_id="reader")
+        victim = "cache-1"
+        key = next(
+            format_key(i)
+            for i in range(1000)
+            if cluster.ring.server_for(format_key(i)) == victim
+        )
+        cluster.kill_server(victim)
+        writer.set(key, "doomed")  # invalidation fails; breaker trips
+        assert writer.guard.state(victim) is not BreakerState.CLOSED
+        cluster.revive_server(victim, cold=True)
+        # The revival reset the writer's breaker for the new incarnation.
+        assert writer.guard.state(victim) is BreakerState.CLOSED
+        assert reader.get(key) == "doomed"  # re-fills the revived shard
+        writer.delete(key)
+        # Force the reader through the caching layer: its local copy was
+        # dropped here to model any ordinary eviction.
+        reader.policy.invalidate(key)
+        assert reader.get(key) == storage.get(key)
+
+    def test_removed_shard_leaves_no_orphaned_client_state(self):
+        """Regression: scale-in left the departed shard's fault profile,
+        breaker and load-window entries behind forever. All of it is
+        torn down via the cluster's removal listeners."""
+        cluster, faults = faulty_cluster()
+        client = FrontEndClient(
+            cluster, LRUCache(16), guard=tight_guard(cluster)
+        )
+        generator = UniformGenerator(2_000, seed=9)
+        for key in generator.keys(400):
+            client.get(format_key(key))
+        victim = "cache-2"
+        cluster.kill_server(victim)
+        for key in generator.keys(200):
+            client.get(format_key(key))  # accumulate failures on victim
+        cluster.remove_server(victim)
+        assert victim not in faults.tracked_servers()
+        assert victim not in faults.down_servers()
+        assert victim not in client.guard.tracked_servers()
+        assert victim not in client.monitor.total_loads()
+        assert victim not in client.monitor.epoch_loads()
 
     def test_outage_is_transparent_to_callers(self):
         """Kill → serve → revive, not one exception escapes the client."""
@@ -381,8 +441,9 @@ class TestChurnSafeElastic:
             assert record.snapshot.imbalance < 50.0  # no phantom max/1 spike
 
     def test_removed_shard_zero_load_entry_is_ignored(self):
-        """The monitor remembers removed shards at zero load forever; the
-        controller must not let that floor min-load at 1."""
+        """A removed shard's monitor entries are purged outright (via the
+        cluster's removal listener), so a stale zero-load entry can never
+        floor min-load at 1 — and the controller never sees the id."""
         cluster, faults = faulty_cluster()
         client = self.new_elastic(cluster, base_epoch=400)
         generator = UniformGenerator(5_000, seed=12)
@@ -393,9 +454,9 @@ class TestChurnSafeElastic:
         assert replacement != "cache-1"
         for key in generator.keys(4_000):
             client.get(format_key(key))
-        # The stale zero-load entry is still in the monitor...
-        assert "cache-1" in client.monitor.total_loads()
-        # ...but never in the loads the controller sees.
+        # The removal listener purged every monitor entry for the id...
+        assert "cache-1" not in client.monitor.total_loads()
+        # ...so the controller cannot see it either.
         assert "cache-1" not in client._churn_safe_epoch_loads()
         # Uniform workload: no epoch may show the phantom max/1 spike, and
         # no expansion may ride on an inflated imbalance reading.
@@ -404,6 +465,65 @@ class TestChurnSafeElastic:
             if record.decision == "expand":
                 assert record.snapshot.imbalance < 5.0
         assert replacement in client.monitor.total_loads()
+
+    def test_scale_in_cannot_resurrect_a_rehomed_stale_copy(self):
+        """Regression (end to end): read key → scale OUT moves its
+        ownership to the new shard → write deletes only on the new owner
+        → scale the new owner back IN → ownership regresses to the old
+        shard, whose pre-write copy used to serve. The removal-time
+        purge drops re-homed copies from survivors, so the read below
+        must see the write."""
+        storage = PersistentStore()
+        cluster, _ = faulty_cluster(n=3, storage=storage)
+        client = FrontEndClient(cluster, LRUCache(64))
+        keys = [format_key(i) for i in range(300)]
+        owners_before = {k: cluster.ring.server_for(k) for k in keys}
+        for k in keys:
+            client.get(k)  # fills the current owners' shard caches
+        added = cluster.add_server().server_id
+        moved = [
+            k
+            for k in keys
+            if cluster.ring.server_for(k) == added
+            and owners_before[k] != added
+        ]
+        assert moved, "no key re-homed to the new shard; enlarge the key set"
+        key = moved[0]
+        client.set(key, "fresh")  # invalidates the *new* owner only
+        cluster.remove_server(added)  # ownership regresses
+        assert cluster.ring.server_for(key) == owners_before[key]
+        client.policy.invalidate(key)  # force the read through the layer
+        assert client.get(key) == "fresh"
+
+    def test_remove_then_add_within_one_epoch_cannot_double_count(self):
+        """Regression: the monitor purges a removed shard's counts and
+        treats any later same-id traffic as a fresh mid-epoch joiner, so
+        a remove→add inside one epoch can neither splice two
+        incarnations' counts nor leak the joiner into the controller's
+        load view before its first full epoch."""
+        cluster, faults = faulty_cluster()
+        client = self.new_elastic(cluster, base_epoch=10_000)
+        generator = UniformGenerator(5_000, seed=13)
+        for key in generator.keys(1_500):
+            client.get(format_key(key))
+        # Removing the *highest* id is the aliasing-prone case: naming
+        # the next shard by member count re-minted exactly this id.
+        cluster.remove_server("cache-3")
+        replacement = cluster.add_server().server_id
+        for key in generator.keys(1_500):
+            client.get(format_key(key))
+        # Same epoch: the replacement is tracked, flagged fresh, and
+        # invisible to the controller.
+        assert replacement in client.monitor.epoch_new_servers()
+        safe = client._churn_safe_epoch_loads()
+        assert replacement not in safe
+        assert "cache-3" not in safe
+        assert all(count <= 1_500 + 1_500 for count in safe.values())
+        client.close_epoch()
+        for key in generator.keys(1_500):
+            client.get(format_key(key))
+        # Next epoch: the replacement graduates into the load view.
+        assert replacement in client._churn_safe_epoch_loads()
 
     def test_healthy_cluster_expansion_identical_with_and_without_injector(self):
         """Fig. 7's expansion must be byte-identical on a healthy cluster

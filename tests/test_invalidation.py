@@ -149,6 +149,34 @@ class TestDirectoryAccounting:
         assert bus.stats.directory_size == bus.recomputed_directory_size()
         assert bus.stats.peak_directory >= bus.stats.directory_size
 
+    def test_incremental_size_matches_recount_under_direct_note_churn(
+        self, cluster
+    ):
+        """Same reconciliation, driven through the raw directory API —
+        including notes for unregistered clients and double drops."""
+        bus, a, b = make_pair(cluster)
+        rng = random.Random(23)
+        client_ids = ["a", "b", "ghost"]  # ghost is never registered
+        keys = [format_key(i) for i in range(24)]
+        for step in range(2_000):
+            cid = rng.choice(client_ids)
+            key = rng.choice(keys)
+            roll = rng.random()
+            if roll < 0.45:
+                bus.note_cached(cid, key)
+            elif roll < 0.85:
+                bus.note_dropped(cid, key)
+            else:
+                bus.broadcast_invalidation(cid, key)
+            if step % 100 == 0:
+                assert (
+                    bus.stats.directory_size
+                    == bus.recomputed_directory_size()
+                )
+        assert bus.stats.directory_size == bus.recomputed_directory_size()
+        assert bus.stats.peak_directory >= bus.stats.directory_size
+        assert bus.stats.directory_size >= 0
+
     def test_note_cached_idempotent(self, cluster):
         bus, a, _b = make_pair(cluster)
         key = format_key(11)
@@ -161,6 +189,28 @@ class TestDirectoryAccounting:
         bus, a, _b = make_pair(cluster)
         bus.note_dropped("a", format_key(12))
         assert bus.stats.directory_size == 0
+
+    def test_get_many_midbatch_eviction_keeps_directory_honest(self, cluster):
+        """Regression (found by the stateful fuzzer): a batch whose
+        admissions evict an already-tracked key mid-batch and then
+        re-admit it (the key appears later in the same batch) left the
+        re-admitted copy untracked — a snapshot of "cached before the
+        batch" skipped it. A later remote write then missed the copy and
+        it served stale reads forever."""
+        bus, a, b = make_pair(cluster, capacity=2)
+        k, x, y = format_key(1), format_key(2), format_key(3)
+        old = a.get(k)  # tracked: directory {k: {a}}
+        assert bus.holders_of(k) == {"a"}
+        # x and y evict k from the 2-line cache mid-batch; reading k last
+        # re-admits it (evicting x).
+        a.get_many([x, y, k])
+        assert k in a.policy
+        assert bus.holders_of(k) == {"a"}
+        assert bus.stats.directory_size == bus.recomputed_directory_size()
+        # The write must reach the re-admitted copy.
+        b.set(k, "new")
+        assert a.get(k) == "new"
+        assert a.get(k) != old
 
     def test_repeat_hits_do_not_renotify_the_bus(self, cluster):
         """Only the miss -> cached transition may touch the directory;

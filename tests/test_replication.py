@@ -462,6 +462,67 @@ class TestListenerHygiene:
         assert len(cluster.cold_revival_listeners) == before
         router.detach()  # idempotent
 
+    def test_router_detach_removes_removal_listener(self):
+        """The router registers a scale-in hook too; detach must remove
+        both, or a dead router keeps revalidating against the cluster."""
+        cluster, _ = make_cluster()
+        before = len(cluster.removal_listeners)
+        router = HotKeyRouter(cluster)
+        assert len(cluster.removal_listeners) == before + 1
+        router.detach()
+        assert len(cluster.removal_listeners) == before
+        router.detach()  # idempotent
+
+
+class TestScaleInSafety:
+    def test_remove_replica_shard_reroutes_reads_immediately(self):
+        """Regression: scaling in a shard that served in a promoted
+        key's replica set left the stale placement in ``routes`` until
+        the next refresh — any read that sampled the departed shard
+        crashed on the cluster lookup. The removal listener re-places
+        affected replica sets synchronously."""
+        cluster, _ = make_cluster()
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=2))
+        client = make_client(cluster, router, policy=LRUCache(2))
+        key = "usertable:0"
+        cluster.storage.set(key, "v")
+        replicas = router.promote(key)
+        victim = replicas[1]  # non-primary replica
+        cluster.remove_server(victim)
+        entry = router.routes[key]
+        assert victim not in entry.replicas
+        assert all(sid in cluster.server_ids for sid in entry.replicas)
+        for _ in range(20):  # two-choices sampling must never crash
+            assert client.get(key) == "v"
+            client.policy.invalidate(key)
+
+    def test_remove_clears_pending_and_quarantine_references(self):
+        """A quarantined (key, shard) pair is moot once the shard leaves
+        the cluster: its copies left with it."""
+        cluster, _ = make_cluster()
+        cluster.storage.set("usertable:0", "v1")
+        router = HotKeyRouter(cluster, ReplicationConfig(degree=3))
+        client = make_client(cluster, router, threshold=1, cooldown=1e9)
+        key = "usertable:0"
+        replicas = router.promote(key)
+        victim = replicas[1]
+        cluster.server(victim).set(key, "v1")
+        cluster.kill_server(victim)
+        client.set(key, "v2")  # failed fan-out quarantines the victim
+        assert victim in router.routes[key].quarantine
+        cluster.remove_server(victim)
+        entry = router.routes[key]
+        assert victim not in entry.replicas
+        assert victim not in entry.quarantine
+        assert victim not in router.pending_demotions(key)
+        live = set(cluster.server_ids)
+        for pending in router.pending_snapshot().values():
+            assert pending <= live
+        # Reads keep serving the committed value through the new set.
+        for _ in range(10):
+            assert client.get(key) == "v2"
+            client.policy.invalidate(key)
+
 
 class TestEngineAxis:
     def test_replication_spec_disabled_publishes_no_tier_counters(self):
