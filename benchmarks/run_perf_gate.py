@@ -55,6 +55,26 @@ Check mode gates the replicated run at >= 2x modeled throughput and
 <= 0.5x max-shard spread (max/mean) vs the unreplicated baseline.
 ``--hot-key`` runs only this measurement.
 
+Write-path gate
+---------------
+Both modes also probe the write-path strategy layer
+(:mod:`repro.cluster.writepolicy`) on a 50/50 read/write stream:
+
+* **wall-clock**: the same front end drives the stream under inline
+  cache-aside and under an attached write-through strategy, best-of-N
+  rounds each. Write-through must keep >= 1/1.5 of cache-aside's ops/s —
+  the strategy layer's synchronous shard update is allowed to cost, but
+  not to triple the write path.
+* **modeled**: storage round trips dominate real deployments (the
+  in-process testbed makes them free), so acknowledged-path throughput
+  is modeled as ``wall ops/s x 1 / (1 + S x foreground storage writes
+  per op)`` with RPC weight ``S = 10``. Write-behind acknowledges into
+  a dirty buffer (foreground storage writes ~ 0: only shard-down sync
+  fallbacks), so its modeled throughput must beat write-through's by
+  >= 1.3x.
+
+``--write-path`` runs only this measurement.
+
 Tracing-overhead gate
 ---------------------
 Both modes also measure the request tracer's cost on the hot path: the
@@ -434,6 +454,159 @@ def check_hot_key(record: dict | None = None) -> int:
     return 0
 
 
+#: write-path gate targets: write-through may cost at most 1.5x
+#: cache-aside wall-clock; write-behind must model >= 1.3x write-through
+WRITE_THROUGH_OVERHEAD_TARGET = 1.5
+WRITE_BEHIND_SPEEDUP_TARGET = 1.3
+#: modeled storage RPC weight: one synchronous storage write costs this
+#: many in-process op units (free in the testbed, dominant in the cloud)
+STORAGE_RPC_WEIGHT = 10
+WRITE_PROBE_OPS = 24_000
+WRITE_PROBE_ROUNDS = 5
+WRITE_PROBE_KEYS = 4_096
+WRITE_READ_FRACTION = 0.5
+WRITE_PROBE_DIRTY_LIMIT = 64
+WRITE_PROBE_FLUSH_EVERY = 1_024
+
+
+def _write_probe(mode: str) -> dict[str, float]:
+    """Best-of-N wall-clock + modeled throughput of one write mode."""
+    import dataclasses
+    import random as _random
+
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.cluster.client import FrontEndClient
+    from repro.cluster.cluster import CacheCluster
+    from repro.cluster.writepolicy import make_write_policy
+    from repro.policies.registry import make_policy
+
+    cluster = CacheCluster(num_servers=8, value_size=1)
+    client = FrontEndClient(
+        cluster, make_policy("cot", 512, tracker_capacity=2048)
+    )
+    policy = None
+    if mode != "cache-aside":
+        policy = make_write_policy(
+            mode, dirty_limit=WRITE_PROBE_DIRTY_LIMIT
+        )
+        policy.bind_cluster(cluster)
+        client.attach_write_policy(policy)
+    rng = _random.Random(42)
+    ops = [
+        (
+            f"usertable:{rng.randrange(WRITE_PROBE_KEYS)}",
+            rng.random() < WRITE_READ_FRACTION,
+        )
+        for _ in range(WRITE_PROBE_OPS)
+    ]
+    flush_every = WRITE_PROBE_FLUSH_EVERY if mode == "write-behind" else 0
+
+    def sweep() -> float:
+        get, set_ = client.get, client.set
+        started = time.perf_counter()
+        for index, (key, is_read) in enumerate(ops, start=1):
+            if is_read:
+                get(key)
+            else:
+                set_(key, key)
+            if flush_every and index % flush_every == 0:
+                policy.flush()
+        return time.perf_counter() - started
+
+    sweep()  # warm the cache and the branch shapes
+    stats_before = (
+        None if policy is None else dataclasses.asdict(policy.stats)
+    )
+    best = min(sweep() for _ in range(WRITE_PROBE_ROUNDS))
+    wall_ops = WRITE_PROBE_OPS / best
+    # Foreground (acknowledged-path) storage writes per op, from the
+    # strategy's own ledger over the timed rounds. Cache-aside and
+    # write-through write storage synchronously on every set; write-behind
+    # only on shard-down sync fallbacks (none here: no faults injected).
+    writes = sum(1 for _key, is_read in ops if not is_read)
+    if policy is None:
+        foreground = writes * WRITE_PROBE_ROUNDS
+    else:
+        after = dataclasses.asdict(policy.stats)
+        delta = lambda name: after[name] - stats_before[name]  # noqa: E731
+        if mode == "write-behind":
+            foreground = delta("sync_fallbacks")
+        else:
+            foreground = delta("storage_writes")
+    per_op = foreground / (WRITE_PROBE_OPS * WRITE_PROBE_ROUNDS)
+    modeled = wall_ops / (1.0 + STORAGE_RPC_WEIGHT * per_op)
+    record = {
+        "wall_ops_per_sec": wall_ops,
+        "foreground_storage_writes_per_op": per_op,
+        "modeled_ops_per_sec": modeled,
+    }
+    if policy is not None and mode == "write-behind":
+        record["lost_writes"] = float(policy.stats.lost_writes)
+        record["peak_dirty"] = float(policy.stats.peak_dirty)
+    return record
+
+
+def measure_write_path() -> dict:
+    """Probe cache-aside / write-through / write-behind on one stream."""
+    modes = ("cache-aside", "write-through", "write-behind")
+    probes = {mode: _write_probe(mode) for mode in modes}
+    aside = probes["cache-aside"]["wall_ops_per_sec"]
+    through = probes["write-through"]["wall_ops_per_sec"]
+    return {
+        "read_fraction": WRITE_READ_FRACTION,
+        "storage_rpc_weight": STORAGE_RPC_WEIGHT,
+        "modes": probes,
+        "write_through_overhead": aside / through if through else float("inf"),
+        "write_behind_speedup": (
+            probes["write-behind"]["modeled_ops_per_sec"]
+            / probes["write-through"]["modeled_ops_per_sec"]
+        ),
+    }
+
+
+def check_write_path(record: dict | None = None) -> int:
+    """Gate: the strategy layer must stay cheap and write-behind must pay."""
+    record = record if record is not None else measure_write_path()
+    overhead = record["write_through_overhead"]
+    speedup = record["write_behind_speedup"]
+    print(f"write path — 50/50 mixed stream, "
+          f"storage RPC weight S={record['storage_rpc_weight']}:")
+    for mode, probe in record["modes"].items():
+        print(f"  {mode:13s} wall {probe['wall_ops_per_sec']:>12,.0f} ops/s  "
+              f"modeled {probe['modeled_ops_per_sec']:>12,.0f} ops/s  "
+              f"(fg storage writes/op "
+              f"{probe['foreground_storage_writes_per_op']:.3f})")
+    print(f"  write-through overhead {overhead:5.2f}x  (target <= "
+          f"{WRITE_THROUGH_OVERHEAD_TARGET:g}x)")
+    print(f"  write-behind modeled speedup {speedup:5.2f}x  (target >= "
+          f"{WRITE_BEHIND_SPEEDUP_TARGET:g}x)")
+    behind = record["modes"]["write-behind"]
+    failed = []
+    if overhead > WRITE_THROUGH_OVERHEAD_TARGET:
+        failed.append(
+            f"write-through costs {overhead:.2f}x cache-aside "
+            f"(allowed {WRITE_THROUGH_OVERHEAD_TARGET:g}x)"
+        )
+    if speedup < WRITE_BEHIND_SPEEDUP_TARGET:
+        failed.append(
+            f"write-behind modeled speedup {speedup:.2f}x below "
+            f"{WRITE_BEHIND_SPEEDUP_TARGET:g}x"
+        )
+    if behind.get("lost_writes", 0.0):
+        failed.append("write-behind lost acknowledged writes with no faults")
+    if behind.get("peak_dirty", 0.0) > WRITE_PROBE_DIRTY_LIMIT:
+        failed.append("write-behind dirty buffers exceeded their bound")
+    if failed:
+        print("\nwrite-path gate FAILED:")
+        for reason in failed:
+            print(f"  - {reason}")
+        return 1
+    print("write-path gate passed")
+    return 0
+
+
 def check_tracing_overhead(threshold: float) -> int:
     """Gate: traced throughput must stay within ``threshold`` of untraced."""
     metrics = measure_tracing_overhead()
@@ -475,6 +648,7 @@ def record(label: str) -> None:
     results = run_suite_best()
     scaling = measure_parallel_scaling()
     hot_key = measure_hot_key()
+    write_path = measure_write_path()
     entries = load_entries()
     entries.append(
         {
@@ -485,6 +659,7 @@ def record(label: str) -> None:
             "results": results,
             "parallel_scaling": scaling,
             "hot_key": hot_key,
+            "write_path": write_path,
         }
     )
     save_entries(entries)
@@ -496,6 +671,9 @@ def record(label: str) -> None:
               f"({scaling['speedup'][workers]:.2f}x)")
     print(f"  hot_key speedup {hot_key['throughput_speedup']:.2f}x, "
           f"spread ratio {hot_key['spread_ratio']:.2f}")
+    print(f"  write_path through overhead "
+          f"{write_path['write_through_overhead']:.2f}x, behind modeled "
+          f"speedup {write_path['write_behind_speedup']:.2f}x")
 
 
 def check(threshold: float, against: str | None, overhead_threshold: float) -> int:
@@ -555,6 +733,10 @@ def check(threshold: float, against: str | None, overhead_threshold: float) -> i
     if status:
         return status
     print()
+    status = check_write_path()
+    if status:
+        return status
+    print()
     return check_tracing_overhead(overhead_threshold)
 
 
@@ -599,6 +781,12 @@ def main() -> int:
         "single-hot-key pair)",
     )
     parser.add_argument(
+        "--write-path",
+        action="store_true",
+        help="run only the write-path gate (cache-aside vs write-through "
+        "wall clock; write-through vs write-behind modeled throughput)",
+    )
+    parser.add_argument(
         "--overhead-threshold",
         type=float,
         default=0.05,
@@ -610,6 +798,8 @@ def main() -> int:
         return check_parallel_scaling()
     if args.hot_key:
         return check_hot_key()
+    if args.write_path:
+        return check_write_path()
     if args.tracing_overhead:
         return check_tracing_overhead(args.overhead_threshold)
     if args.check:

@@ -64,6 +64,12 @@ echo "== hot-key smoke =="
 # attributable in CI output.
 python benchmarks/run_perf_gate.py --hot-key
 
+echo "== write smoke =="
+# The write-path strategy layer's default must be free: an explicitly
+# attached cache-aside strategy is observation-identical to the inline
+# write body, and write-behind's chaos loss stays within dirty_limit.
+python scripts/write_smoke.py
+
 echo "== perf gate =="
 python benchmarks/run_perf_gate.py --check "$@"
 

@@ -1,0 +1,110 @@
+"""CI write-smoke check: the strategy layer's default must cost nothing.
+
+Two checks, both seconds-scale (scripts/verify.sh runs this between the
+hot-key smoke and the perf gate):
+
+1. **Cache-aside equivalence** — two identically-seeded front ends drive
+   the same mixed stream, one through the client's inline write body
+   (no strategy attached — what every registered experiment runs) and
+   one through an explicitly attached
+   :class:`~repro.cluster.writepolicy.CacheAsideWritePolicy`. Every
+   returned value, the policy hit/miss ledgers, the storage ledgers and
+   the per-shard load distributions must be identical: the strategy
+   layer's default is the inline protocol, observable byte for byte.
+
+2. **Write-behind loss bound** — the ``ext-write`` chaos check: kill
+   the shard holding the deepest dirty buffer, revive it cold, and the
+   acknowledged-write loss must equal the frozen queue depth and stay
+   within ``dirty_limit``.
+
+Run from the repo root with PYTHONPATH=src (scripts/verify.sh does).
+"""
+
+import random
+import sys
+
+from repro.cluster.client import FrontEndClient
+from repro.cluster.cluster import CacheCluster
+from repro.cluster.writepolicy import CacheAsideWritePolicy
+from repro.experiments.extension_write import write_behind_chaos_check
+from repro.policies.registry import make_policy
+
+OPS = 30_000
+KEYS = 4_096
+READ_FRACTION = 0.6
+SEED = 42
+
+
+def _build() -> FrontEndClient:
+    cluster = CacheCluster(num_servers=8, value_size=1)
+    return FrontEndClient(
+        cluster, make_policy("cot", 256, tracker_capacity=1024)
+    )
+
+
+def check_cache_aside_equivalence() -> int:
+    inline = _build()
+    explicit = _build()
+    policy = CacheAsideWritePolicy()
+    policy.bind_cluster(explicit.cluster)
+    explicit.attach_write_policy(policy)
+    rng = random.Random(SEED)
+    ops = []
+    for _ in range(OPS):
+        key = f"usertable:{rng.randrange(KEYS)}"
+        roll = rng.random()
+        ops.append((key, "get" if roll < READ_FRACTION else
+                    "set" if roll < 0.95 else "delete"))
+    for key, op in ops:
+        if op == "get":
+            if inline.get(key) != explicit.get(key):
+                print(f"write smoke: value diverged on get({key!r})",
+                      file=sys.stderr)
+                return 1
+        elif op == "set":
+            value = (key, op)
+            inline.set(key, value)
+            explicit.set(key, value)
+        else:
+            inline.delete(key)
+            explicit.delete(key)
+    pairs = [
+        ("policy hits", inline.policy.stats.hits, explicit.policy.stats.hits),
+        ("policy misses", inline.policy.stats.misses,
+         explicit.policy.stats.misses),
+        ("backend lookups", inline.monitor.total_lookups(),
+         explicit.monitor.total_lookups()),
+        ("storage reads", inline.cluster.storage.stats.reads,
+         explicit.cluster.storage.stats.reads),
+        ("storage writes", inline.cluster.storage.stats.writes,
+         explicit.cluster.storage.stats.writes),
+        ("shard loads", inline.monitor.total_loads(),
+         explicit.monitor.total_loads()),
+    ]
+    for label, a, b in pairs:
+        if a != b:
+            print(f"write smoke: {label} diverged ({a!r} != {b!r})",
+                  file=sys.stderr)
+            return 1
+    print(f"(explicit cache-aside strategy is observation-identical to the "
+          f"inline write body over {OPS:,} mixed ops)")
+    return 0
+
+
+def check_write_behind_bound() -> int:
+    chaos = write_behind_chaos_check()
+    if not chaos["bound_ok"]:
+        print(f"write smoke: write-behind loss bound violated: {chaos}",
+              file=sys.stderr)
+        return 1
+    print(f"(write-behind chaos lost {chaos['write_behind_lost']} of a "
+          f"dirty_limit={chaos['dirty_limit']} budget — bound held)")
+    return 0
+
+
+def main() -> int:
+    return check_cache_aside_equivalence() or check_write_behind_bound()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

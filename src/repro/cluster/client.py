@@ -31,7 +31,7 @@ the classic single-owner protocol.
 from __future__ import annotations
 
 import random
-from typing import Any, Hashable
+from typing import TYPE_CHECKING, Any, Hashable
 
 from repro.cluster.cluster import CacheCluster
 from repro.cluster.loadmonitor import LoadMonitor
@@ -41,6 +41,13 @@ from repro.errors import ClusterError, ShardUnavailableError
 from repro.obs.trace import Trace, Tracer
 from repro.policies.base import MISSING, CachePolicy
 from repro.workloads.request import OpType, Request
+
+if TYPE_CHECKING:  # cycle-free: writepolicy only names this class in hints
+    from repro.cluster.writepolicy import (
+        TTLWritePolicy,
+        WriteBehindPolicy,
+        WritePolicy,
+    )
 
 __all__ = ["FrontEndClient"]
 
@@ -101,6 +108,14 @@ class FrontEndClient:
         #: entire hot-path cost of an attached (but idle) tier
         self._routes: dict[Hashable, ReplicaEntry] | None = None
         self._route_rng: random.Random | None = None
+        #: write-path coherence strategy; ``None`` runs the inline
+        #: cache-aside body below, byte-for-byte the classic protocol
+        self.write_policy: "WritePolicy | None" = None
+        #: the attached policy again iff it needs the read-path TTL /
+        #: dirty-buffer hooks — kept as dedicated slots so the default
+        #: mode pays one ``is None`` test, never an isinstance
+        self._write_ttl: "TTLWritePolicy | None" = None
+        self._write_behind: "WriteBehindPolicy | None" = None
         # Purge per-shard routing state the moment a shard is scaled in:
         # a forgotten breaker / load-window entry keyed on the departed id
         # would otherwise linger forever and poison any later shard that
@@ -167,6 +182,23 @@ class FrontEndClient:
         except ValueError:
             pass
 
+    def attach_write_policy(self, policy: "WritePolicy") -> None:
+        """Adopt a write-path coherence strategy for this front end.
+
+        One shared :class:`~repro.cluster.writepolicy.WritePolicy`
+        instance serves every front end of a run (its dirty buffers and
+        logical clock are cluster state). ``set``/``delete`` dispatch to
+        it; the read path additionally gains the policy's TTL-expiry or
+        dirty-buffer hooks when the strategy declares it needs them.
+        With no policy attached — the default — every path is the
+        inline cache-aside protocol, byte-for-byte.
+        """
+        self.write_policy = policy
+        self._write_behind = policy if policy.buffered else None
+        self._write_ttl = policy if policy.ttl_hooks else None
+        if policy.ttl_hooks:
+            policy.attach_local_hygiene(self)
+
     # ------------------------------------------------------------- protocol
 
     def get(self, key: Hashable) -> Any:
@@ -180,6 +212,10 @@ class FrontEndClient:
         method call) so an attached low-rate tracer costs almost nothing
         on unsampled requests — the perf gate pins the overhead at <5%.
         """
+        ttl = self._write_ttl
+        if ttl is not None:
+            ttl.expire_local(self, key)
+            was_cached = key in self.policy
         tracer = self.tracer
         if tracer is not None:
             tracer.credit += tracer.sample_rate
@@ -187,7 +223,12 @@ class FrontEndClient:
                 return self._traced_get(
                     key, tracer.start_sampled("request.get")
                 )
-        return self.policy.get_or_admit(key, self._fetch_from_backend)
+        value = self.policy.get_or_admit(key, self._fetch_from_backend)
+        # Stamp only copies that actually entered the cache: the policy
+        # may decline to admit a loader's result (CoT's hotness bar).
+        if ttl is not None and not was_cached and key in self.policy:
+            ttl.note_local_fill(self.client_id, key)
+        return value
 
     def _traced_get(self, key: Hashable, trace: Trace) -> Any:
         """Sampled read: same decisions as :meth:`get`, plus a span tree.
@@ -199,13 +240,18 @@ class FrontEndClient:
         """
         trace.note("key", key)
         trace.note("outcome", "hit")
+        ttl = self._write_ttl
+        was_cached = ttl is not None and key in self.policy
         try:
             with trace.span("frontend.cache"):
-                return self.policy.get_or_admit(
+                value = self.policy.get_or_admit(
                     key, lambda k: self._traced_fetch(k, trace)
                 )
         finally:
             self.tracer.finish(trace)
+        if ttl is not None and not was_cached and key in self.policy:
+            ttl.note_local_fill(self.client_id, key)
+        return value
 
     def _traced_fetch(self, key: Hashable, trace: Trace) -> Any:
         """Traced twin of :meth:`_fetch_from_backend` (span per stage)."""
@@ -220,6 +266,9 @@ class FrontEndClient:
             server = self.cluster.server_for(key)
         server_id = server.server_id
         self.monitor.record_lookup(server_id)
+        ttl = self._write_ttl
+        if ttl is not None:
+            ttl.expire_shard(self, server_id, key)
         stats = self.guard.stats
         retries_before = stats.retries
         try:
@@ -233,10 +282,11 @@ class FrontEndClient:
         except ShardUnavailableError:
             trace.note("outcome", "degraded")
             with trace.span("storage.degraded_read", shard=server_id):
-                return self._degraded_read(server_id, key)
+                value = self._degraded_read(server_id, key)
+            return value
         if value is MISSING:
             with trace.span("storage.fallback"):
-                value = self.cluster.storage.get(key)
+                value = self._resolve_miss(key)
             with trace.span("shard.backfill", shard=server_id):
                 self._backfill(server, key, value)
         return value
@@ -260,14 +310,33 @@ class FrontEndClient:
         server = self.cluster.server_for(key)
         server_id = server.server_id
         self.monitor.record_lookup(server_id)
+        ttl = self._write_ttl
+        if ttl is not None:
+            ttl.expire_shard(self, server_id, key)
         try:
             value = self.guard.call(server_id, lambda: server.get(key))
         except ShardUnavailableError:
             return self._degraded_read(server_id, key)
         if value is MISSING:
-            value = self.cluster.storage.get(key)
+            value = self._resolve_miss(key)
             self._backfill(server, key, value)
         return value
+
+    def _resolve_miss(self, key: Hashable) -> Any:
+        """The value a caching-layer miss resolves to.
+
+        Persistent storage is authoritative — except in write-behind
+        mode, where an acknowledged write may still be in a shard's
+        dirty buffer: the queue is part of the shard's state, so a miss
+        (the shard evicted its copy before the flush) must serve the
+        pending value, not the stale durable one.
+        """
+        wb = self._write_behind
+        if wb is not None:
+            value = wb.buffered_value(key)
+            if value is not MISSING:
+                return value
+        return self.cluster.storage.get(key)
 
     def _fetch_replicated(self, key: Hashable, entry: ReplicaEntry) -> Any:
         """Replicated-tier read: power-of-``d``-choices over live replicas.
@@ -323,12 +392,15 @@ class FrontEndClient:
                 rstats.two_choice_reads += 1
         self.monitor.record_lookup(target)
         server = self.cluster.server(target)
+        ttl = self._write_ttl
+        if ttl is not None:
+            ttl.expire_shard(self, target, key)
         try:
             value = guard.call(target, lambda: server.get(key))
         except ShardUnavailableError:
             return self._degraded_read(target, key)
         if value is MISSING:
-            value = self.cluster.storage.get(key)
+            value = self._resolve_miss(key)
             self._backfill(server, key, value)
         return value
 
@@ -344,6 +416,10 @@ class FrontEndClient:
             self.guard.call(server.server_id, lambda: server.set(key, value))
         except ShardUnavailableError:
             pass  # the value is safe in storage; the shard warms later
+        else:
+            ttl = self._write_ttl
+            if ttl is not None:
+                ttl.note_backfill(server.server_id, key)
 
     def get_many(self, keys: list[Hashable]) -> dict[Hashable, Any]:
         """Batched read path (spymemcached's getMulti).
@@ -369,6 +445,12 @@ class FrontEndClient:
         counts as one lookup toward its shard's load.
         """
         policy = self.policy
+        ttl = self._write_ttl
+        was_cached: dict[Hashable, bool] = {}
+        if ttl is not None:
+            for key in keys:
+                ttl.expire_local(self, key)
+            was_cached = {key: key in policy for key in keys}
         prefetched: dict[Hashable, Any] = {}
         misses_by_server: dict[str, list[Hashable]] = {}
         queued: set[Hashable] = set()
@@ -391,6 +473,9 @@ class FrontEndClient:
             server = self.cluster.server(server_id)
             for _ in missed:
                 self.monitor.record_lookup(server_id)
+            if ttl is not None:
+                for key in missed:
+                    ttl.expire_shard(self, server_id, key)
             try:
                 found = self.guard.call(
                     server_id, lambda: server.get_many(missed)
@@ -402,7 +487,7 @@ class FrontEndClient:
             for key in missed:
                 value = found.get(key, MISSING)
                 if value is MISSING:
-                    value = self.cluster.storage.get(key)
+                    value = self._resolve_miss(key)
                     self._backfill(server, key, value)
                 prefetched[key] = value
 
@@ -415,16 +500,36 @@ class FrontEndClient:
             return value
 
         get_or_admit = policy.get_or_admit
-        return {key: get_or_admit(key, loader) for key in keys}
+        values = {key: get_or_admit(key, loader) for key in keys}
+        if ttl is not None:
+            # Stamp fill time for the batch keys that actually entered
+            # (and stayed in) the local cache — mirrors :meth:`get`.
+            for key in values:
+                if not was_cached[key] and key in policy:
+                    ttl.note_local_fill(self.client_id, key)
+        return values
 
     def set(self, key: Hashable, value: Any) -> None:
-        """Write path: storage write + local and layer invalidation."""
+        """Write path: dispatched to the attached write-path strategy.
+
+        With none attached (the default) the inline body *is* the
+        cache-aside strategy: storage write + local and layer
+        invalidation — byte-for-byte the classic protocol.
+        """
+        wp = self.write_policy
+        if wp is not None:
+            wp.on_set(self, key, value)
+            return
         self.cluster.storage.set(key, value)
         self.policy.record_update(key)
         self._invalidate_shard(key)
 
     def delete(self, key: Hashable) -> None:
         """Delete path: authoritative delete + invalidations."""
+        wp = self.write_policy
+        if wp is not None:
+            wp.on_delete(self, key)
+            return
         self.cluster.storage.delete(key)
         self.policy.invalidate(key)
         self._invalidate_shard(key)

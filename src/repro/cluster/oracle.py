@@ -28,10 +28,29 @@ local cache hit, the value this front end itself last observed for the
 key — i.e. staleness may only come from the reader's own untouched local
 copy, never from the shard layer or storage.
 
-New topology axes (write-path coherence modes, adaptive arbitration,
-network planes) plug in by adding a field to :class:`TopologyCase`,
-wiring it in :class:`ClusterHarness.__init__`, and adding one entry to
-the machine's topology list — the rules and invariants are reused as-is.
+The **write-path axis** (:mod:`repro.cluster.writepolicy`) refines the
+budget further:
+
+* *write-through* adds nothing — an acknowledged write is durable and
+  shard-fresh, so the cache-aside budget applies verbatim (and in
+  coherent mode the zero-staleness guarantee is preserved exactly);
+* *write-behind* makes the committed value the **pending** (queued)
+  value while a dirty entry exists; the pre-flush durable value is
+  additionally legal for any reader only while the owning shard (and
+  with it the queue) is unreachable. The model also mirrors the queue
+  itself — per-shard contents, the ``dirty_limit`` bound-flush, loss on
+  cold revival, drain on removal — and the invariant checker diffs it
+  against :meth:`WriteBehindPolicy.dirty_snapshot` every step;
+* *ttl* replaces the local-copy allowance with a bounded window: a read
+  may return any value obsoleted fewer than ``2*ttl`` logical-clock
+  ticks ago (shard copies live < ``ttl`` past fill, and a local copy
+  refilled from an aging shard copy lives < ``ttl`` more), and nothing
+  older, from any layer.
+
+New topology axes (adaptive arbitration, network planes) plug in by
+adding a field to :class:`TopologyCase`, wiring it in
+:class:`ClusterHarness.__init__`, and adding one entry to the machine's
+topology list — the rules and invariants are reused as-is.
 """
 
 from __future__ import annotations
@@ -45,6 +64,7 @@ from repro.cluster.invalidation import CoherenceMixin, InvalidationBus
 from repro.cluster.replication import HotKeyRouter, ReplicationConfig
 from repro.cluster.retry import BreakerConfig, ClusterGuard, RetryPolicy
 from repro.cluster.storage import PersistentStore
+from repro.cluster.writepolicy import WritePolicy, make_write_policy
 from repro.core.elastic import ElasticCoTClient
 
 __all__ = [
@@ -90,20 +110,63 @@ class ClusterModel:
     ``_last_seen`` records, per ``(client_id, key)``, the value that
     front end most recently observed — the only value its local cache
     could legally still hold in paper mode.
+
+    The write-mode refinements (module docstring) add:
+
+    ``_pending``
+        write-behind's acknowledged-but-volatile writes, keyed by key
+        with the owning shard alongside — a literal mirror of
+        :class:`~repro.cluster.writepolicy.WriteBehindPolicy`'s queues,
+        including the bound-flush, loss and drain transitions.
+    ``_stale`` / ``clock``
+        ttl mode's obsolescence ledger: every overwrite records the
+        displaced value with the clock tick that obsoleted it, and a
+        read may return it only while ``clock - tick < 2*ttl``.
+    ``expected_lost``
+        the running total of acknowledged writes that legally died with
+        a killed shard's queue — cross-checked against the policy's
+        ``lost_writes`` counter after every step.
     """
 
-    def __init__(self, coherent: bool) -> None:
+    def __init__(
+        self,
+        coherent: bool,
+        write_mode: str = "cache-aside",
+        dirty_limit: int = 3,
+        ttl: int = 8,
+    ) -> None:
         self.coherent = coherent
+        self.write_mode = write_mode
+        self.dirty_limit = dirty_limit
+        self.ttl = ttl
+        self.clock = 0
+        self.expected_lost = 0
         self._written: dict[Hashable, Any] = {}
         self._last_seen: dict[tuple[str, Hashable], Any] = {}
+        self._pending: dict[Hashable, tuple[Any, str]] = {}
+        self._stale: dict[Hashable, list[tuple[Any, int]]] = {}
 
     # ------------------------------------------------------------- queries
 
-    def committed(self, key: Hashable) -> Any:
-        """The value an omniscient fresh read of ``key`` must return."""
+    def _durable(self, key: Hashable) -> Any:
+        """What storage holds right now (pending writes not yet flushed)."""
         if key in self._written:
             return self._written[key]
         return synthesized_value(key)
+
+    def committed(self, key: Hashable) -> Any:
+        """The value an omniscient fresh read of ``key`` must return."""
+        pending = self._pending.get(key)
+        if pending is not None:
+            return pending[0]
+        return self._durable(key)
+
+    def pending_by_shard(self) -> dict[str, dict[Hashable, Any]]:
+        """The model's write-behind queues, shaped like ``dirty_snapshot``."""
+        shards: dict[str, dict[Hashable, Any]] = {}
+        for key, (value, server_id) in self._pending.items():
+            shards.setdefault(server_id, {})[key] = value
+        return shards
 
     # ------------------------------------------------------------ mutation
 
@@ -117,11 +180,34 @@ class ClusterModel:
         hit the local cache went through shard/storage, where *no* mode
         tolerates staleness — cold revival, the scale-in purge and the
         replication quarantine exist precisely to keep that layer clean.
+        (Write-behind's shard-down window and ttl's expiry window are
+        the two budgeted exceptions, handled before the strict checks.)
         """
         committed = self.committed(key)
         if returned == committed:
             self._last_seen[(client_id, key)] = returned
             return
+        if (
+            self.write_mode == "write-behind"
+            and key in self._pending
+            and returned == self._durable(key)
+        ):
+            # The owning shard — and with it the queue — is unreachable,
+            # so the degraded read legally served the pre-flush durable
+            # value while an acknowledged write is still queued.
+            self._last_seen[(client_id, key)] = returned
+            return
+        if self.write_mode == "ttl":
+            for value, tick in self._stale.get(key, ()):
+                if returned == value and self.clock - tick < 2 * self.ttl:
+                    self._last_seen[(client_id, key)] = returned
+                    return
+            raise AssertionError(
+                f"read outside the ttl staleness window: {client_id} read "
+                f"{returned!r} for {key!r} at clock {self.clock}; committed "
+                f"is {committed!r} and the value is not within "
+                f"{2 * self.ttl} ticks of obsolescence"
+            )
         if self.coherent:
             raise AssertionError(
                 f"stale read escaped in coherent mode: {client_id} read "
@@ -142,15 +228,90 @@ class ClusterModel:
                 f"{'nothing' if allowed is _UNSEEN else repr(allowed)}"
             )
 
-    def note_write(self, client_id: str, key: Hashable, value: Any) -> None:
-        """A set committed: ``value`` is now the only fresh answer."""
-        self._written[key] = value
+    def note_write(
+        self,
+        client_id: str,
+        key: Hashable,
+        value: Any,
+        shard: str | None = None,
+        shard_down: bool = False,
+    ) -> None:
+        """A set committed: ``value`` is now the only fresh answer.
+
+        ``shard`` is the key's owning shard and ``shard_down`` whether
+        it was unreachable when the write was issued — write-behind's
+        queue placement (and its synchronous-fallback escape hatch)
+        depend on both; the other modes ignore them.
+        """
+        if self.write_mode == "write-behind":
+            self._note_buffered_write(key, value, shard, shard_down)
+        elif self.write_mode == "ttl":
+            self._note_obsoleted(key)
+            self._written[key] = value
+        else:
+            self._written[key] = value
         self._forget_local(client_id, key)
 
+    def _note_buffered_write(
+        self, key: Hashable, value: Any, shard: str | None, shard_down: bool
+    ) -> None:
+        if shard_down:
+            # Queue unreachable: the policy acknowledged synchronously
+            # against storage and superseded any dirty entry.
+            self._pending.pop(key, None)
+            self._written[key] = value
+            return
+        assert shard is not None, "write-behind model needs the owning shard"
+        previous = self._pending.get(key)
+        if previous is not None and previous[1] != shard:
+            del self._pending[key]  # re-homed: the old queue entry is dropped
+        on_shard = [k for k, (_, s) in self._pending.items() if s == shard]
+        if key not in on_shard and len(on_shard) >= self.dirty_limit:
+            for k in on_shard:  # mirror the eager bound-flush
+                flushed, _ = self._pending.pop(k)
+                self._written[k] = flushed
+        self._pending[key] = (value, shard)
+
+    def _note_obsoleted(self, key: Hashable) -> None:
+        """ttl bookkeeping: the current value just became history."""
+        self.clock += 1
+        history = self._stale.setdefault(key, [])
+        history.append((self._durable(key), self.clock))
+        self._stale[key] = [
+            (v, t) for v, t in history if self.clock - t < 2 * self.ttl
+        ]
+
     def note_delete(self, client_id: str, key: Hashable) -> None:
-        """A delete committed: reads revert to the synthesized value."""
+        """A delete committed: reads revert to the synthesized value.
+
+        Deletes are synchronous in every write mode, so the pending
+        entry (if any) dies here and the ttl clock still ticks.
+        """
+        self._pending.pop(key, None)
+        if self.write_mode == "ttl":
+            self._note_obsoleted(key)
         self._written.pop(key, None)
         self._forget_local(client_id, key)
+
+    # --------------------------------------------- write-behind transitions
+
+    def note_flush(self, down: set[str]) -> None:
+        """A cadence flush drained every queue on a reachable shard."""
+        for key in [k for k, (_, s) in self._pending.items() if s not in down]:
+            value, _ = self._pending.pop(key)
+            self._written[key] = value
+
+    def note_cold_revival(self, server_id: str) -> None:
+        """The dead incarnation's queue is gone: its writes are lost."""
+        for key in [k for k, (_, s) in self._pending.items() if s == server_id]:
+            del self._pending[key]
+            self.expected_lost += 1
+
+    def note_shard_removed(self, server_id: str) -> None:
+        """Graceful scale-in drains the departing shard's queue."""
+        for key in [k for k, (_, s) in self._pending.items() if s == server_id]:
+            value, _ = self._pending.pop(key)
+            self._written[key] = value
 
     def _forget_local(self, writer_id: str, key: Hashable) -> None:
         """Drop the local-copy allowances a write invalidates.
@@ -171,10 +332,12 @@ class TopologyCase:
     """One point in the topology-axis grid the state machine samples.
 
     Axes mirror the system's real configuration surface: front-end
-    count, coherence mode, the replicated hot-key tier, and how
-    aggressive the retry/breaker layer is (``tight_guard`` trips
-    breakers on the first failure with a short cooldown, maximizing
-    OPEN/HALF_OPEN traffic in short runs).
+    count, coherence mode, the replicated hot-key tier, the write-path
+    coherence mode, and how aggressive the retry/breaker layer is
+    (``tight_guard`` trips breakers on the first failure with a short
+    cooldown, maximizing OPEN/HALF_OPEN traffic in short runs).
+    ``dirty_limit`` and ``ttl`` are deliberately tiny so bound-flushes
+    and expirations fire constantly within a 30-step run.
     """
 
     name: str
@@ -183,6 +346,9 @@ class TopologyCase:
     coherent: bool = False
     replicated: bool = False
     tight_guard: bool = False
+    write_mode: str = "cache-aside"
+    dirty_limit: int = 3
+    ttl: int = 8
 
     def __str__(self) -> str:  # readable hypothesis failure output
         return self.name
@@ -227,6 +393,12 @@ class ClusterHarness:
                     seed=seed,
                 ),
             )
+        self.write_policy: WritePolicy | None = None
+        if case.write_mode != "cache-aside":
+            self.write_policy = make_write_policy(
+                case.write_mode, dirty_limit=case.dirty_limit, ttl=case.ttl
+            )
+            self.write_policy.bind_cluster(self.cluster)
         self.front_ends: list[ElasticCoTClient] = []
         for i in range(case.num_front_ends):
             kwargs = dict(
@@ -245,8 +417,15 @@ class ClusterHarness:
                 client = ElasticCoTClient(self.cluster, **kwargs)
             if self.router is not None:
                 client.attach_router(self.router, seed=seed * 17 + i)
+            if self.write_policy is not None:
+                client.attach_write_policy(self.write_policy)
             self.front_ends.append(client)
-        self.model = ClusterModel(coherent=case.coherent)
+        self.model = ClusterModel(
+            coherent=case.coherent,
+            write_mode=case.write_mode,
+            dirty_limit=case.dirty_limit,
+            ttl=case.ttl,
+        )
 
     def _build_guard(self, index: int) -> ClusterGuard:
         if self.case.tight_guard:
@@ -352,4 +531,36 @@ def check_cluster_invariants(harness: ClusterHarness) -> None:
             f"directory out of sync with front-end caches: "
             f"untracked copies {sorted(map(repr, actual - directory))}, "
             f"phantom entries {sorted(map(repr, directory - actual))}"
+        )
+
+    policy = harness.write_policy
+    if policy is not None and policy.buffered:
+        snapshot = policy.dirty_snapshot()
+        assert set(snapshot) <= live, (
+            f"dirty buffers reference departed shards: "
+            f"{sorted(set(snapshot) - live)}"
+        )
+        for server_id, buffer in snapshot.items():
+            assert len(buffer) <= policy.dirty_limit, (
+                f"dirty buffer of {server_id} holds {len(buffer)} entries, "
+                f"bound is {policy.dirty_limit}"
+            )
+        assert policy.stats.peak_dirty <= policy.dirty_limit, (
+            f"peak dirty depth {policy.stats.peak_dirty} exceeded the "
+            f"bound {policy.dirty_limit}"
+        )
+        expected = harness.model.pending_by_shard()
+        assert snapshot == expected, (
+            f"dirty buffers diverged from the model's queues: "
+            f"system {snapshot!r} != model {expected!r}"
+        )
+        assert policy.stats.lost_writes == harness.model.expected_lost, (
+            f"loss accounting drifted: policy counted "
+            f"{policy.stats.lost_writes} lost writes, the model expected "
+            f"{harness.model.expected_lost}"
+        )
+    if policy is not None and policy.ttl_hooks:
+        assert policy.clock == harness.model.clock, (
+            f"ttl logical clock drifted: policy at {policy.clock}, "
+            f"model at {harness.model.clock}"
         )

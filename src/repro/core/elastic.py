@@ -57,8 +57,12 @@ class ElasticCoTClient(FrontEndClient):
         the administrator's nominal epoch length ``E`` (paper: 5000);
         the effective epoch is ``max(base_epoch, K)``.
     controller:
-        a pre-configured :class:`ResizingController`; one is built from
-        ``target_imbalance`` when omitted.
+        a pre-configured controller; one is built from
+        ``target_imbalance`` when omitted. Any object with the
+        :class:`ResizingController` surface works — ``observe(snapshot)
+        -> ResizeDecision`` plus ``phase``/``alpha_target`` attributes —
+        e.g. :class:`~repro.core.costaware.CostAwareController`, which
+        resizes on memory cost vs. hit value instead of imbalance.
     decay:
         decay policy for Case-2 triggers (default half-life).
     model:
@@ -80,7 +84,7 @@ class ElasticCoTClient(FrontEndClient):
         initial_cache: int = 2,
         initial_tracker: int = 4,
         base_epoch: int = 5000,
-        controller: ResizingController | None = None,
+        controller: "ResizingController | Any | None" = None,
         decay: DecayPolicy | None = None,
         model: HotnessModel | None = None,
         client_id: str = "elastic-0",

@@ -53,6 +53,7 @@ from repro.engine.spec import (
     StreamHooks,
     TopologySpec,
     WorkloadSpec,
+    WriteSpec,
     make_generator,
     spawn_safe,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "TelemetrySnapshot",
     "TopologySpec",
     "WorkloadSpec",
+    "WriteSpec",
     "cluster_spec_parallelizable",
     "configure",
     "configured_workers",

@@ -340,6 +340,9 @@ def cluster_spec_parallelizable(spec: ScenarioSpec) -> bool:
       mutable state or holds live objects the parent would need back;
     * no replicated hot-key tier — its router is shared agreement state
       (promotion epochs, quarantines) that cannot span processes;
+    * no write-path strategy and no bespoke operation mixer — a shared
+      write policy (dirty buffers, logical clock) cannot span processes,
+      and a ``mixer_factory`` drive issues writes;
     * at least two front ends (one gains nothing from a process), and
       the spec must survive pickling.
 
@@ -356,6 +359,8 @@ def cluster_spec_parallelizable(spec: ScenarioSpec) -> bool:
         and spec.topology.storage is None
         and spec.topology.faults is None
         and not spec.topology.replication.enabled
+        and not spec.topology.write.enabled
+        and workload.mixer_factory is None
         and (workload.read_fraction is None or workload.read_fraction >= 1.0)
         and spec.num_clients >= 2
         and spawn_safe(spec)

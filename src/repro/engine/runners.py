@@ -23,7 +23,7 @@ outputs byte-identical across the refactor
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 from repro.cluster.client import FrontEndClient
 from repro.cluster.cluster import CacheCluster
@@ -253,21 +253,31 @@ class ClusterRunner:
                 client.attach_router(
                     router, seed=spec.base_seed + REPLICA_ROUTE_SEED_OFFSET + i
                 )
+        write_policy = None
+        if topology.write.enabled:
+            # One shared strategy per run (dirty buffers / logical clock
+            # are cluster state); the default mode builds nothing at all.
+            write_policy = topology.write.build_policy()
+            write_policy.bind_cluster(cluster)
+            for client in front_ends:
+                client.attach_write_policy(write_policy)
 
         bus = TelemetryBus()
         per_client = spec.total_accesses // num_clients
         if spec.phases is not None:
             driven = self._drive_phased(
-                spec, cluster, front_ends, per_client, bus, router
+                spec, cluster, front_ends, per_client, bus, router, write_policy
             )
         elif spec.interleave:
             driven = self._drive_interleaved(
-                spec, cluster, front_ends, per_client, router
+                spec, cluster, front_ends, per_client, router, write_policy
             )
         else:
-            driven = self._drive_sequential(spec, front_ends, per_client, router)
+            driven = self._drive_sequential(
+                spec, front_ends, per_client, router, write_policy
+            )
 
-        self._publish(spec, cluster, front_ends, driven, bus, router)
+        self._publish(spec, cluster, front_ends, driven, bus, router, write_policy)
         return ScenarioResult(
             spec,
             bus.snapshot(),
@@ -284,50 +294,74 @@ class ClusterRunner:
         front_ends: list[FrontEndClient],
         per_client: int,
         router: HotKeyRouter | None = None,
+        write_policy: "Any | None" = None,
     ) -> int:
-        read_fraction = spec.workload.read_fraction
+        workload = spec.workload
+        read_fraction = workload.read_fraction
         # Promotion-epoch cadence: with a router attached, the promoted
         # key set is refreshed every `refresh_every` accesses (counted
         # across the whole run), keeping epoch boundaries deterministic.
         refresh_every = (
             spec.topology.replication.refresh_every if router is not None else 0
         )
+        # Write-behind flush cadence, same cross-run counting; only a
+        # buffered strategy needs one.
+        flush_every = (
+            spec.topology.write.flush_every
+            if write_policy is not None and write_policy.buffered
+            else 0
+        )
+        # A mixer_factory routes the whole drive through `execute` —
+        # the hatch bespoke operation streams (YCSB A-F) come in through.
+        mixed = workload.mixer_factory is not None or (
+            read_fraction is not None and read_fraction < 1.0
+        )
         driven = 0
         for i, client in enumerate(front_ends):
-            generator = spec.workload.build_generator(
-                spec.scale.key_space, spec.base_seed, i
-            )
-            if read_fraction is None or read_fraction >= 1.0:
+            if not mixed:
+                generator = workload.build_generator(
+                    spec.scale.key_space, spec.base_seed, i
+                )
                 get = client.get
                 remaining = per_client
                 while remaining > 0:
                     n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
-                    if refresh_every:
+                    if refresh_every or flush_every:
                         for key in generator.keys_array(n):
                             get(format_key(key))
                             driven += 1
-                            if driven % refresh_every == 0:
+                            if refresh_every and driven % refresh_every == 0:
                                 router.refresh(front_ends)
+                            if flush_every and driven % flush_every == 0:
+                                write_policy.flush()
                     else:
                         for key in generator.keys_array(n):
                             get(format_key(key))
                     remaining -= n
             else:
-                mixer = OperationMixer(
-                    generator,
-                    read_fraction=read_fraction,
-                    seed=spec.base_seed + CLUSTER_MIXER_SEED_OFFSET + i,
-                )
+                if workload.mixer_factory is not None:
+                    mixer = workload.mixer_factory(i)
+                else:
+                    generator = workload.build_generator(
+                        spec.scale.key_space, spec.base_seed, i
+                    )
+                    mixer = OperationMixer(
+                        generator,
+                        read_fraction=read_fraction,
+                        seed=spec.base_seed + CLUSTER_MIXER_SEED_OFFSET + i,
+                    )
                 execute = client.execute
                 remaining = per_client
                 while remaining > 0:
                     n = STREAM_CHUNK if remaining > STREAM_CHUNK else remaining
-                    if refresh_every:
+                    if refresh_every or flush_every:
                         for request in mixer.next_requests(n):
                             execute(request)
                             driven += 1
-                            if driven % refresh_every == 0:
+                            if refresh_every and driven % refresh_every == 0:
                                 router.refresh(front_ends)
+                            if flush_every and driven % flush_every == 0:
+                                write_policy.flush()
                     else:
                         for request in mixer.next_requests(n):
                             execute(request)
@@ -341,6 +375,7 @@ class ClusterRunner:
         front_ends: list[FrontEndClient],
         per_client: int,
         router: HotKeyRouter | None = None,
+        write_policy: "Any | None" = None,
     ) -> int:
         generators = [
             spec.workload.build_generator(spec.scale.key_space, spec.base_seed, i)
@@ -350,16 +385,23 @@ class ClusterRunner:
         refresh_every = (
             spec.topology.replication.refresh_every if router is not None else 0
         )
+        flush_every = (
+            spec.topology.write.flush_every
+            if write_policy is not None and write_policy.buffered
+            else 0
+        )
         driven = 0
         for j in range(per_client):
             if warmup and j == warmup:
                 cluster.reset_epoch()
             for client, generator in zip(front_ends, generators):
                 client.get(format_key(generator.next_key()))
-                if refresh_every:
+                if refresh_every or flush_every:
                     driven += 1
-                    if driven % refresh_every == 0:
+                    if refresh_every and driven % refresh_every == 0:
                         router.refresh(front_ends)
+                    if flush_every and driven % flush_every == 0:
+                        write_policy.flush()
         return per_client * len(front_ends)
 
     def _drive_phased(
@@ -370,11 +412,17 @@ class ClusterRunner:
         per_client: int,
         bus: TelemetryBus,
         router: HotKeyRouter | None = None,
+        write_policy: "Any | None" = None,
     ) -> int:
         faults = spec.topology.faults
         verify = spec.verify_value
         refresh_every = (
             spec.topology.replication.refresh_every if router is not None else 0
+        )
+        flush_every = (
+            spec.topology.write.flush_every
+            if write_policy is not None and write_policy.buffered
+            else 0
         )
         context = RunContext(
             spec=spec, cluster=cluster, faults=faults, front_ends=front_ends
@@ -405,11 +453,13 @@ class ClusterRunner:
                     value = client.get(key)
                     if verify is not None and value != verify(key):
                         bus.inc(T.INCORRECT_READS)
-                    if refresh_every:
+                    if refresh_every or flush_every:
                         driven += 1
-                        if driven % refresh_every == 0:
+                        if refresh_every and driven % refresh_every == 0:
                             router.refresh(front_ends)
-            if not refresh_every:
+                        if flush_every and driven % flush_every == 0:
+                            write_policy.flush()
+            if not (refresh_every or flush_every):
                 driven += phase_accesses * len(front_ends)
             after = _resilience_counts(front_ends)
             # Publish the epochs that closed during this phase.
@@ -446,6 +496,7 @@ class ClusterRunner:
         driven: int,
         bus: TelemetryBus,
         router: HotKeyRouter | None = None,
+        write_policy: "Any | None" = None,
     ) -> None:
         counts = _resilience_counts(front_ends)
         accesses = sum(c.policy.stats.accesses for c in front_ends)
@@ -478,6 +529,26 @@ class ClusterRunner:
                 rstats.failed_replica_invalidations,
             )
             bus.set_gauge("replication.active_keys", float(len(router)))
+        if write_policy is not None:
+            # Residual depth before the final drain is the interesting
+            # gauge (how much acknowledged data was volatile at the end);
+            # the counters are read after it so the drain's flushes count.
+            bus.set_gauge(
+                "write.dirty_buffer_depth", float(write_policy.dirty_depth())
+            )
+            write_policy.flush()
+            ws = write_policy.stats
+            bus.inc(T.WRITE_STORAGE_WRITES, ws.storage_writes)
+            bus.inc(T.WRITE_THROUGH_WRITES, ws.through_writes)
+            bus.inc(T.WRITE_BUFFERED, ws.buffered_writes)
+            bus.inc(T.WRITE_COALESCED, ws.coalesced_writes)
+            bus.inc(T.WRITE_FLUSHED, ws.flushed_writes)
+            bus.inc(T.WRITE_FLUSHES, ws.flushes)
+            bus.inc(T.WRITE_BOUND_FLUSHES, ws.bound_flushes)
+            bus.inc(T.WRITE_LOST, ws.lost_writes)
+            bus.inc(T.WRITE_SYNC_FALLBACKS, ws.sync_fallbacks)
+            bus.inc(T.WRITE_TTL_EXPIRATIONS, ws.ttl_expirations)
+            bus.set_gauge("write.peak_dirty_depth", float(ws.peak_dirty))
         elastic = [c for c in front_ends if isinstance(c, ElasticCoTClient)]
         if elastic and spec.phases is None:
             # Phased runs publish epochs incrementally; publish here

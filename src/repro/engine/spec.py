@@ -46,6 +46,7 @@ __all__ = [
     "StreamHooks",
     "TopologySpec",
     "WorkloadSpec",
+    "WriteSpec",
     "make_generator",
     "spawn_safe",
 ]
@@ -145,7 +146,9 @@ class WorkloadSpec:
     :func:`spawn_safe`). ``read_fraction`` of ``None`` keeps the
     consumer's default (pure reads on the cluster path, the
     :class:`~repro.workloads.mixer.OperationMixer` default on the sim
-    path); ``mixer_factory`` overrides sim-side mixing entirely.
+    path); ``mixer_factory`` overrides operation mixing entirely — on
+    the sim path and the sequential cluster drive, which routes every
+    operation through ``FrontEndClient.execute`` (the YCSB A-F hatch).
     """
 
     dist: str | None = None
@@ -230,6 +233,40 @@ class ReplicationSpec:
 
 
 @dataclass(frozen=True)
+class WriteSpec:
+    """The write-path coherence axis (default: cache-aside, inline).
+
+    ``mode`` names one of ``repro.cluster.writepolicy.WRITE_MODES``.
+    The default, ``"cache-aside"``, builds no strategy object at all —
+    the client runs its inline write body and every existing experiment
+    stays byte-identical. Any other mode makes the runner share one
+    :class:`~repro.cluster.writepolicy.WritePolicy` across the run's
+    front ends and publish ``write.*`` telemetry.
+    """
+
+    mode: str = "cache-aside"
+    #: write-behind: max acknowledged-but-unflushed writes per shard
+    dirty_limit: int = 64
+    #: write-behind: total accesses (across front ends) between flushes
+    flush_every: int = 2_048
+    #: ttl: logical-clock ticks (write operations) a cached copy lives
+    ttl: int = 1_024
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a strategy object must be built (non-default mode)."""
+        return self.mode != "cache-aside"
+
+    def build_policy(self) -> "Any":
+        """The shared write strategy this spec describes."""
+        from repro.cluster.writepolicy import make_write_policy
+
+        return make_write_policy(
+            self.mode, dirty_limit=self.dirty_limit, ttl=self.ttl
+        )
+
+
+@dataclass(frozen=True)
 class TopologySpec:
     """Cluster shape: shards, front ends, capacities, storage, faults.
 
@@ -244,6 +281,8 @@ class TopologySpec:
     faults: "FaultInjector | None" = None
     #: replicated hot-key tier axis; the default is off (classic protocol)
     replication: ReplicationSpec = field(default_factory=ReplicationSpec)
+    #: write-path coherence axis; the default is inline cache-aside
+    write: WriteSpec = field(default_factory=WriteSpec)
 
 
 @dataclass(frozen=True)

@@ -69,6 +69,21 @@ REPLICA_PRIMARY_FALLBACKS = "replication.primary_fallbacks"
 REPLICA_INVALIDATIONS = "replication.replica_invalidations"
 FAILED_REPLICA_INVALIDATIONS = "replication.failed_invalidations"
 
+# Write-path coherence counters (published only on runs whose topology
+# selects a non-default write mode; absent counters read as 0). The
+# "write.dirty_buffer_depth" / "write.peak_dirty_depth" gauges ride
+# alongside on write-behind runs.
+WRITE_STORAGE_WRITES = "write.storage_writes"
+WRITE_THROUGH_WRITES = "write.through_writes"
+WRITE_BUFFERED = "write.buffered_writes"
+WRITE_COALESCED = "write.coalesced_writes"
+WRITE_FLUSHED = "write.flushed_writes"
+WRITE_FLUSHES = "write.flushes"
+WRITE_BOUND_FLUSHES = "write.bound_flushes"
+WRITE_LOST = "write.lost_writes"
+WRITE_SYNC_FALLBACKS = "write.sync_fallbacks"
+WRITE_TTL_EXPIRATIONS = "write.ttl_expirations"
+
 #: Canonical histogram name for the per-request latency distribution
 #: (timed runners publish it; the Prometheus exporter renders it as a
 #: ``*_seconds`` histogram family).

@@ -14,6 +14,7 @@ from repro.experiments import (  # noqa: F401  (imported to register specs)
     extension_distributions,
     extension_edge_rtt,
     extension_hotkey,
+    extension_write,
     fig3_cache_size_sweep,
     fig4_hit_rates,
     fig5_end_to_end,
@@ -34,6 +35,7 @@ __all__ = [
     "extension_distributions",
     "extension_edge_rtt",
     "extension_hotkey",
+    "extension_write",
     "fig3_cache_size_sweep",
     "fig4_hit_rates",
     "fig5_end_to_end",

@@ -44,7 +44,12 @@ from repro.workloads.request import OpType, Request
 from repro.workloads.uniform import UniformGenerator
 from repro.workloads.zipfian import ZIPFIAN_CONSTANT, ZipfianGenerator
 
-__all__ = ["CoreWorkload", "ScanRequest", "WorkloadLetter"]
+__all__ = [
+    "CoreWorkload",
+    "ScanRequest",
+    "WorkloadLetter",
+    "YcsbOperationSource",
+]
 
 
 @dataclass(frozen=True)
@@ -235,3 +240,46 @@ class CoreWorkload:
             f"ycsb-{self.letter.value}({self._distribution_name}, "
             f"records={self._record_count:,})"
         )
+
+
+class YcsbOperationSource:
+    """Adapt :class:`CoreWorkload` to the engine's mixer drive contract.
+
+    The runners drive any ``WorkloadSpec.mixer_factory`` product through
+    ``next_requests(n)`` → ``FrontEndClient.execute`` — the same surface
+    as :class:`~repro.workloads.mixer.OperationMixer`. This adapter
+    fills that contract from a YCSB core workload, which
+    :class:`OperationMixer` cannot express (inserts, scans,
+    read-modify-write).
+
+    Workload F's read-modify-write is the one impedance mismatch: the
+    workload emits the read half and expects the caller to follow up
+    with :meth:`CoreWorkload.modify`. The adapter queues that write half
+    and emits it as the *next* operation in the stream, so a batch of
+    ``n`` requests is exactly ``n`` operations with reads and their
+    paired writes interleaved in YCSB order (the write half may roll
+    into the following batch).
+    """
+
+    __slots__ = ("workload", "_pending")
+
+    def __init__(self, workload: CoreWorkload) -> None:
+        self.workload = workload
+        self._pending: list[Request] = []
+
+    def next_requests(self, n: int) -> list[Request | ScanRequest]:
+        """Draw exactly ``n`` operations, RMW write halves included."""
+        out: list[Request | ScanRequest] = []
+        while len(out) < n:
+            if self._pending:
+                out.append(self._pending.pop(0))
+                continue
+            op = self.workload.next_operation()
+            if self.workload.is_rmw_read(op):
+                self._pending.append(self.workload.modify(op.key))
+            out.append(op)
+        return out
+
+    def describe(self) -> str:
+        """Human-readable parameterization for experiment logs."""
+        return self.workload.describe()

@@ -3,14 +3,22 @@
 One hypothesis :class:`RuleBasedStateMachine` drives random interleavings
 of the full operation surface — ``get`` / ``set`` / ``delete`` /
 ``get_many`` / ``kill_server`` / ``revive_server`` / ``add_server`` /
-``remove_server`` / epoch closes / router refreshes — against the
-dict-backed oracle in :mod:`repro.cluster.oracle`, across the topology
-grid in ``TOPOLOGIES`` (front-end count × coherence mode × replication ×
-breaker aggressiveness). After every step the machine asserts:
+``remove_server`` / epoch closes / router refreshes / write-behind
+flushes — against the dict-backed oracle in :mod:`repro.cluster.oracle`,
+across the topology grid in ``TOPOLOGIES`` (front-end count × coherence
+mode × replication × write mode × breaker aggressiveness). After every
+step the machine asserts:
 
 * no stale read escapes (mode-aware: coherent reads must always return
   the committed value; paper-mode reads may only serve a front end's own
-  untouched local copy);
+  untouched local copy; acknowledged write-through writes are never
+  served stale from the caching layer; write-behind reads see the queued
+  value — the pre-flush durable value only while the owning shard is
+  down; ttl reads stay inside the ``2*ttl``-tick obsolescence window);
+* write-behind's dirty buffers never exceed ``dirty_limit`` (per shard
+  and at their historic peak), mirror the model's queues entry-for-entry
+  across kill/revive/add/remove interleavings, and ``lost_writes``
+  equals exactly the queue entries dropped by cold revivals;
 * the invalidation directory's incremental size counter matches a full
   recount, and the directory matches what front ends actually cache;
 * per-shard state (fault profiles, breakers, load windows, router
@@ -79,6 +87,24 @@ TOPOLOGIES = (
         replicated=True,
         tight_guard=True,
     ),
+    # Write-path axis (replicated fan-out per mode is pinned by unit
+    # tests; here the modes face topology churn instead).
+    TopologyCase("writethrough-2fe", num_front_ends=2, write_mode="write-through"),
+    TopologyCase(
+        "writethrough-coherent-2fe",
+        num_front_ends=2,
+        coherent=True,
+        write_mode="write-through",
+    ),
+    TopologyCase("writebehind-1fe", write_mode="write-behind", dirty_limit=3),
+    TopologyCase(
+        "writebehind-2fe-tight",
+        num_front_ends=2,
+        write_mode="write-behind",
+        dirty_limit=2,
+        tight_guard=True,
+    ),
+    TopologyCase("ttl-2fe", num_front_ends=2, write_mode="ttl", ttl=6),
 )
 
 #: Small key universe so random operations collide on keys constantly —
@@ -143,8 +169,15 @@ class ElasticClusterMachine(RuleBasedStateMachine):
     def do_set(self, data, key) -> None:
         client = self._client(data)
         value = self._next_value()
+        shard = self.harness.cluster.server_for(key).server_id
         client.set(key, value)
-        self.model.note_write(client.client_id, key, value)
+        self.model.note_write(
+            client.client_id,
+            key,
+            value,
+            shard=shard,
+            shard_down=shard in self.down,
+        )
 
     @rule(data=st.data(), key=keys_st)
     def do_delete(self, data, key) -> None:
@@ -171,6 +204,8 @@ class ElasticClusterMachine(RuleBasedStateMachine):
         # zero-stale-read guarantee holds (a restarted instance is empty).
         self.harness.cluster.revive_server(victim, cold=True)
         self.down.discard(victim)
+        # Cold revival drops the dead incarnation's write-behind queue.
+        self.model.note_cold_revival(victim)
 
     # ------------------------------------------------------ topology churn
 
@@ -198,6 +233,8 @@ class ElasticClusterMachine(RuleBasedStateMachine):
         )
         self.harness.cluster.remove_server(victim)
         self.down.discard(victim)
+        # Graceful scale-in drains the departing shard's queue.
+        self.model.note_shard_removed(victim)
 
     # ------------------------------------------------------- control plane
 
@@ -211,6 +248,17 @@ class ElasticClusterMachine(RuleBasedStateMachine):
     @rule()
     def router_refresh(self) -> None:
         self.harness.router.refresh(self.harness.front_ends)
+
+    @precondition(
+        lambda self: self.harness
+        and self.harness.write_policy is not None
+        and self.harness.write_policy.buffered
+    )
+    @rule()
+    def flush_writes(self) -> None:
+        """The runner's cadence flush: drain every reachable queue."""
+        self.harness.write_policy.flush()
+        self.model.note_flush(self.down)
 
     @precondition(lambda self: self.harness and self.harness.router is not None)
     @rule(key=keys_st)
