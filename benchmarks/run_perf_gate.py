@@ -84,6 +84,23 @@ attached, best-of-N rounds each. The gate fails when the traced loop's
 throughput drops more than ``--overhead-threshold`` (default 5%) below the
 untraced loop — observability must stay effectively free when it is not
 sampling. ``--tracing-overhead`` runs only this measurement.
+
+Adaptive-arbitration gate
+-------------------------
+Both modes also price the :class:`~repro.policies.adaptive.AdaptiveArbiter`
+(DESIGN.md §14). Two probes:
+
+* **shadow overhead**: the same ``FrontEndClient.get`` loop (cot 512/2048)
+  runs pinned and wrapped in an arbiter whose switch margin is unreachably
+  high — the live policy stays cot, so the pair differs only by the
+  SHARDS-sampled ghost shadows and epoch scoring. Min-of-block-medians
+  overhead must stay <= 15% (``ADAPTIVE_OVERHEAD_TARGET``).
+* **tracking quality**: every ``ext-adaptive`` scenario (diurnal,
+  scan-flood, migration) replays at smoke scale; in each settled phase
+  window the arbiter's hit value must land within ``CONVERGENCE_SLACK``
+  (5%) of the best fixed policy for that window.
+
+``--adaptive`` runs only this measurement.
 """
 
 from __future__ import annotations
@@ -293,6 +310,190 @@ def measure_tracing_overhead() -> dict[str, float]:
         "block_medians": [m - 1.0 for m in block_medians],
         "sample_rate": TRACE_SAMPLE_RATE,
     }
+
+
+#: Allowed hot-path slowdown from the adaptive arbiter's shadow machinery
+#: (SHARDS-sampled ghost shadows + epoch scoring), live policy pinned.
+ADAPTIVE_OVERHEAD_TARGET = 0.15
+#: More blocks than the tracing gate: the unpaired two-client comparison
+#: has a higher noise floor, and the minimum over blocks only sheds a
+#: contention burst if some block escaped it.
+ADAPTIVE_BLOCKS = 5
+
+
+def _build_adaptive_client(arbitrated: bool):
+    """A warmed ``FrontEndClient`` (cot 512/2048) plus its key stream.
+
+    With ``arbitrated`` the cot policy rides inside an
+    :class:`~repro.policies.adaptive.AdaptiveArbiter` whose switch margin
+    is unreachably high, pinning the live policy to cot — the pair then
+    differs only by the arbiter's sampling and shadow machinery, which is
+    exactly what the gate prices.
+    """
+    from repro.cluster.client import FrontEndClient
+    from repro.cluster.cluster import CacheCluster
+    from repro.engine.spec import ArbitrationSpec, PolicySpec
+    from repro.workloads.zipfian import ZipfianGenerator
+
+    arbitration = ArbitrationSpec(switch_margin=1e9) if arbitrated else None
+    spec = PolicySpec(
+        name="cot", cache_lines=512, tracker_lines=2048, arbitration=arbitration
+    )
+    generator = ZipfianGenerator(10_000, theta=0.99, seed=42)
+    keys = [f"usertable:{k}" for k in generator.keys_array(TRACE_OPS)]
+    cluster = CacheCluster(num_servers=8, value_size=1, virtual_nodes=1024)
+    client = FrontEndClient(cluster, spec.build(0))
+    warmup = keys * (TRACE_WARMUP // len(keys) + 1)
+    for key in warmup[:TRACE_WARMUP]:
+        client.get(key)
+    return client, keys
+
+
+def measure_adaptive_overhead() -> dict[str, float]:
+    """Time the serving hot path pinned vs. wrapped in the arbiter.
+
+    Same estimator family as :func:`measure_tracing_overhead` — per-round
+    ratios of temporally adjacent whole-stream sweeps, median per block,
+    minimum over ``ADAPTIVE_BLOCKS`` blocks — but the comparison cannot
+    be paired on one object: pinned-vs-arbitrated *is* two different
+    policy stacks. Whole sweeps (not finer time-slicing) are deliberate:
+    alternating the clients at sub-sweep granularity makes each evict
+    the other's working set, which taxes the larger-footprint arbiter
+    for refaults a resident production arbiter never pays.
+    ``ADAPTIVE_OVERHEAD_TARGET`` also sits well above the few-point
+    floor that two independently-built clients differ by from memory
+    layout alone.
+    """
+    import gc
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    pinned, keys = _build_adaptive_client(False)
+    arbitrated, _ = _build_adaptive_client(True)
+    plain_best = wrapped_best = float("inf")
+    block_medians: list[float] = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _block in range(ADAPTIVE_BLOCKS):
+            ratios: list[float] = []
+            for round_index in range(TRACE_ROUNDS):
+                gc.collect()
+                if round_index % 2 == 0:
+                    plain = _sweep(pinned, keys)
+                    wrapped = _sweep(arbitrated, keys)
+                else:
+                    wrapped = _sweep(arbitrated, keys)
+                    plain = _sweep(pinned, keys)
+                plain_best = min(plain_best, plain)
+                wrapped_best = min(wrapped_best, wrapped)
+                ratios.append(wrapped / plain)
+            ratios.sort()
+            block_medians.append(ratios[len(ratios) // 2])
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "pinned_ops_per_sec": len(keys) / plain_best,
+        "arbitrated_ops_per_sec": len(keys) / wrapped_best,
+        "overhead_fraction": min(block_medians) - 1.0,
+        "block_medians": [m - 1.0 for m in block_medians],
+    }
+
+
+def measure_adaptive() -> dict:
+    """Shadow-overhead probe plus smoke-scale convergence per scenario."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.engine.spec import Scale
+    from repro.experiments.extension_adaptive import (
+        CONVERGENCE_SLACK,
+        SCENARIOS,
+        run_scenario,
+    )
+    from repro.policies.registry import POLICY_NAMES
+
+    overhead = measure_adaptive_overhead()
+    scale = Scale.smoke()
+    scenarios: dict[str, dict] = {}
+    for name in SCENARIOS:
+        result = run_scenario(name, scale)
+        ratios: list[float] = []
+        for _start, window, end in result["windows"]:
+            best_fixed = max(
+                sum(result["per_epoch"][p][window:end]) for p in POLICY_NAMES
+            )
+            arbiter_value = sum(result["per_epoch"]["adaptive"][window:end])
+            ratios.append(arbiter_value / best_fixed if best_fixed else 1.0)
+        scenarios[name] = {
+            "window_ratios": ratios,
+            "converged": result["converged"],
+            "switches": result["switches"],
+            "regret": result["regret"],
+            "final_live": result["final_live"],
+        }
+    return {
+        "overhead": overhead,
+        "convergence_slack": CONVERGENCE_SLACK,
+        "scenarios": scenarios,
+    }
+
+
+def check_adaptive(record: dict | None = None) -> int:
+    """Gate: shadows <= 15% on the hot path; convergence on every scenario."""
+    record = record if record is not None else measure_adaptive()
+    overhead = record["overhead"]
+    fraction = overhead["overhead_fraction"]
+    for _retry in range(2):
+        if fraction <= ADAPTIVE_OVERHEAD_TARGET:
+            break
+        # The external-host noise bursts that swamp this box last whole
+        # minutes — sometimes longer than all ADAPTIVE_BLOCKS, inflating
+        # every block median at once. Re-measure in a fresh window and
+        # keep the best estimate: a real hot-path regression is slow in
+        # every window (the overhead twin of the suite gate's
+        # retry-and-merge; convergence is deterministic, not re-run).
+        print(f"  (overhead {fraction:+.2%} over threshold; re-measuring "
+              f"in a fresh window)")
+        retry = measure_adaptive_overhead()
+        if retry["overhead_fraction"] < fraction:
+            overhead = retry
+            fraction = retry["overhead_fraction"]
+            record["overhead"] = retry
+    slack = record["convergence_slack"]
+    blocks = ", ".join(f"{m:+.2%}" for m in overhead["block_medians"])
+    print("adaptive arbitration — shadow overhead on the serving hot path "
+          "(cot 512/2048, live policy pinned):")
+    print(f"  pinned     {overhead['pinned_ops_per_sec']:>14,.0f} ops/s")
+    print(f"  arbitrated {overhead['arbitrated_ops_per_sec']:>14,.0f} ops/s")
+    print(f"  overhead   {fraction:>+14.2%}  (threshold "
+          f"+{ADAPTIVE_OVERHEAD_TARGET:.0%}; block medians {blocks})")
+    failed: list[str] = []
+    if fraction > ADAPTIVE_OVERHEAD_TARGET:
+        failed.append(
+            f"shadow-cache overhead {fraction:+.2%} exceeds "
+            f"+{ADAPTIVE_OVERHEAD_TARGET:.0%} over the pinned policy"
+        )
+    print(f"  convergence (smoke scale; arbiter within {slack:.0%} of the "
+          f"best fixed policy in each settled phase window):")
+    for name, summary in record["scenarios"].items():
+        ratios = ", ".join(f"{r:.3f}" for r in summary["window_ratios"])
+        verdict = "ok" if all(summary["converged"]) else "FAILED"
+        print(f"    {name:10s} ratios [{ratios}]  "
+              f"switches {summary['switches']}  "
+              f"final {summary['final_live']:8s} {verdict}")
+        if not all(summary["converged"]):
+            failed.append(
+                f"{name}: arbiter fell more than {slack:.0%} short of the "
+                f"best fixed policy in a settled window (ratios [{ratios}])"
+            )
+    if failed:
+        print("\nadaptive gate FAILED:")
+        for reason in failed:
+            print(f"  - {reason}")
+        return 1
+    print("adaptive gate passed")
+    return 0
 
 
 #: Required fig4-grid speedup at 4 workers (hosts with >= 4 CPUs).
@@ -649,6 +850,7 @@ def record(label: str) -> None:
     scaling = measure_parallel_scaling()
     hot_key = measure_hot_key()
     write_path = measure_write_path()
+    adaptive = measure_adaptive()
     entries = load_entries()
     entries.append(
         {
@@ -660,6 +862,7 @@ def record(label: str) -> None:
             "parallel_scaling": scaling,
             "hot_key": hot_key,
             "write_path": write_path,
+            "adaptive": adaptive,
         }
     )
     save_entries(entries)
@@ -674,6 +877,12 @@ def record(label: str) -> None:
     print(f"  write_path through overhead "
           f"{write_path['write_through_overhead']:.2f}x, behind modeled "
           f"speedup {write_path['write_behind_speedup']:.2f}x")
+    print(f"  adaptive shadow overhead "
+          f"{adaptive['overhead']['overhead_fraction']:+.2%}, converged "
+          + ", ".join(
+              f"{name}={'yes' if all(s['converged']) else 'NO'}"
+              for name, s in adaptive["scenarios"].items()
+          ))
 
 
 def check(threshold: float, against: str | None, overhead_threshold: float) -> int:
@@ -737,7 +946,11 @@ def check(threshold: float, against: str | None, overhead_threshold: float) -> i
     if status:
         return status
     print()
-    return check_tracing_overhead(overhead_threshold)
+    status = check_tracing_overhead(overhead_threshold)
+    if status:
+        return status
+    print()
+    return check_adaptive()
 
 
 def main() -> int:
@@ -787,6 +1000,13 @@ def main() -> int:
         "wall clock; write-through vs write-behind modeled throughput)",
     )
     parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="run only the adaptive-arbitration gate (shadow-cache overhead "
+        "on the serving hot path with the live policy pinned; convergence "
+        "to the best fixed policy on every ext-adaptive scenario)",
+    )
+    parser.add_argument(
         "--overhead-threshold",
         type=float,
         default=0.05,
@@ -802,6 +1022,8 @@ def main() -> int:
         return check_write_path()
     if args.tracing_overhead:
         return check_tracing_overhead(args.overhead_threshold)
+    if args.adaptive:
+        return check_adaptive()
     if args.check:
         return check(args.threshold, args.against, args.overhead_threshold)
     record(args.label)

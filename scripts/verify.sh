@@ -70,6 +70,14 @@ echo "== write smoke =="
 # write body, and write-behind's chaos loss stays within dirty_limit.
 python scripts/write_smoke.py
 
+echo "== adaptive smoke =="
+# The adaptive arbiter must keep its price and its tracking: the shadow
+# machinery costs <= 15% on the serving hot path with the live policy
+# pinned, and the arbiter converges to the best fixed policy on every
+# ext-adaptive scenario at smoke scale. Same measurement the full perf
+# gate chains, surfaced as a named stage for attributable CI failures.
+python benchmarks/run_perf_gate.py --adaptive
+
 echo "== perf gate =="
 python benchmarks/run_perf_gate.py --check "$@"
 

@@ -97,6 +97,24 @@ class CoTCache(CachePolicy):
         # keys mid-iteration take an explicit list(...) themselves.
         return iter(self._values)
 
+    def cached_items(self) -> Iterator[tuple[Hashable, Any]]:
+        return iter(list(self._values.items()))
+
+    def warm_seed(self, items: Iterable[tuple[Hashable, Any]]) -> None:
+        """Seed from a retiring policy's cached set (warm handoff).
+
+        A plain ``_admit`` would reject every key: nothing is tracked yet,
+        so no key qualifies. Track each key once (a read) first, then
+        offer it — the seeded keys all carry hotness 1 and fill the cache
+        in iteration order until capacity, after which ``h_min`` gating
+        applies as usual.
+        """
+        if self._capacity == 0:
+            return
+        for key, value in items:
+            self._tracker.track(key, AccessType.READ)
+            self._admit(key, value)
+
     def h_min(self) -> float:
         """Minimum hotness among cached keys (admission threshold)."""
         return self._tracker.h_min()

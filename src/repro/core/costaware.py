@@ -81,6 +81,13 @@ class CostAwareController:
         multiplicative dead band around break-even: expand only above
         ``target * hysteresis``, shrink only below ``target /
         hysteresis`` — an expand can never immediately justify a shrink.
+    decay_epsilon:
+        relative dead band on the Case-2 decay trigger (mirroring the
+        ``epsilon`` band in :class:`~repro.core.resizing.ResizingController`):
+        decay only when ``alpha_k_c > alpha_c * (1 + decay_epsilon)``.
+        Without it, measurement noise that leaves ``alpha_k_c`` a hair
+        above ``alpha_c`` at steady state would halve all hotness every
+        single epoch, erasing the frequency history the controller reads.
     min_cache / min_tracker / max_cache:
         safety rails, as in the imbalance controller.
     """
@@ -92,6 +99,7 @@ class CostAwareController:
         tracker_ratio: int = 4,
         warmup_epochs: int = 2,
         hysteresis: float = 1.25,
+        decay_epsilon: float = 0.05,
         min_cache: int = 1,
         min_tracker: int = 2,
         max_cache: int = 1 << 20,
@@ -106,11 +114,14 @@ class CostAwareController:
             raise ConfigurationError("warmup_epochs must be >= 0")
         if hysteresis < 1.0:
             raise ConfigurationError("hysteresis must be >= 1")
+        if decay_epsilon < 0.0:
+            raise ConfigurationError("decay_epsilon must be >= 0")
         self.hit_value = hit_value
         self.line_cost = line_cost
         self.tracker_ratio = tracker_ratio
         self.warmup_epochs = warmup_epochs
         self.hysteresis = hysteresis
+        self.decay_epsilon = decay_epsilon
         self.min_cache = min_cache
         self.min_tracker = min_tracker
         self.max_cache = max_cache
@@ -165,7 +176,7 @@ class CostAwareController:
                 ),
             )
         self.phase = CostPhase.STEADY
-        if snapshot.alpha_k_c > snapshot.alpha_c:
+        if snapshot.alpha_k_c > snapshot.alpha_c * (1.0 + self.decay_epsilon):
             return ResizeDecision(
                 DecisionKind.DECAY,
                 cache,

@@ -26,6 +26,12 @@ class DecayPolicy(abc.ABC):
     #: short name for experiment tables
     name: str = "base"
 
+    #: explicit Case-2 triggers applied (``decay.triggers`` on the bus)
+    triggers: int = 0
+
+    #: continuous per-epoch decays applied (``decay.epoch_decays``)
+    epoch_decays: int = 0
+
     @abc.abstractmethod
     def on_trigger(self, cache: CoTCache) -> None:
         """Called when Algorithm 3 Case 2 fires (explicit decay request)."""
@@ -79,10 +85,12 @@ class ExponentialDecay(DecayPolicy):
         self.rate = rate
         self.trigger_factor = trigger_factor
         self.triggers = 0
+        self.epoch_decays = 0
 
     def on_epoch(self, cache: CoTCache) -> None:
         if self.rate < 1.0:
             cache.decay(self.rate)
+            self.epoch_decays += 1
 
     def on_trigger(self, cache: CoTCache) -> None:
         cache.decay(self.trigger_factor)

@@ -44,6 +44,7 @@ from repro.engine.runners import (
     SimRunner,
 )
 from repro.engine.spec import (
+    ArbitrationSpec,
     Phase,
     PolicySpec,
     ReplicationSpec,
@@ -66,6 +67,7 @@ from repro.engine.telemetry import (
 
 __all__ = [
     "STREAM_CHUNK",
+    "ArbitrationSpec",
     "ClusterRunner",
     "ParallelClusterRunner",
     "Phase",

@@ -35,6 +35,7 @@ from repro.engine.telemetry import PhaseTelemetry, TelemetryBus, TelemetrySnapsh
 from repro.errors import ConfigurationError
 from repro.metrics.latency import LatencyRecorder
 from repro.obs.hist import LatencyHistogram
+from repro.policies.adaptive import AdaptiveArbiter
 from repro.policies.base import MISSING, CachePolicy
 from repro.sim.client import SimClient
 from repro.sim.events import Simulator
@@ -155,7 +156,33 @@ class PolicyStreamRunner:
         bus.inc(T.MISSES, stats.misses)
         bus.inc(T.ACCESSES, stats.accesses)
         bus.inc(T.TOTAL_REQUESTS, accesses)
+        _publish_adaptive(bus, [policy])
         return ScenarioResult(spec, bus.snapshot(), policies=[policy])
+
+
+def _publish_adaptive(bus: TelemetryBus, policies: list[CachePolicy]) -> None:
+    """Publish ``adaptive.*`` telemetry for any arbiters among ``policies``.
+
+    No-op on pinned-policy runs (no counters appear, keeping those runs
+    byte-identical). Counters sum across arbiters; the per-candidate
+    shadow hit rates and the regret estimate are access-weighted.
+    """
+    arbiters = [p for p in policies if isinstance(p, AdaptiveArbiter)]
+    if not arbiters:
+        return
+    bus.inc(T.ADAPTIVE_SWITCHES, sum(a.switches for a in arbiters))
+    bus.inc(T.ADAPTIVE_EPOCHS, sum(a.epochs for a in arbiters))
+    bus.inc(T.ADAPTIVE_SHADOW_SAMPLES, sum(a.samples for a in arbiters))
+    bus.set_gauge(T.ADAPTIVE_REGRET, sum(a.regret for a in arbiters))
+    rates: dict[str, float] = {}
+    weights: dict[str, int] = {}
+    for arbiter in arbiters:
+        for name, rate in arbiter.shadow_hit_rates().items():
+            weight = arbiter.samples or 1
+            rates[name] = rates.get(name, 0.0) + rate * weight
+            weights[name] = weights.get(name, 0) + weight
+    for name, total in rates.items():
+        bus.set_gauge(f"adaptive.shadow_hit_rate.{name}", total / weights[name])
 
 
 # --------------------------------------------------------------------------
@@ -563,6 +590,13 @@ class ClusterRunner:
             bus.set_gauge(
                 "elastic.alpha_target", elastic[0].controller.alpha_target
             )
+        if elastic:
+            triggers = sum(c.decay_policy.triggers for c in elastic)
+            epoch_decays = sum(c.decay_policy.epoch_decays for c in elastic)
+            if triggers or epoch_decays:
+                bus.inc(T.DECAY_TRIGGERS, triggers)
+                bus.inc(T.DECAY_EPOCH_DECAYS, epoch_decays)
+        _publish_adaptive(bus, [c.policy for c in front_ends])
 
 
 # --------------------------------------------------------------------------

@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.sim.server import ServiceModel
 
 __all__ = [
+    "ArbitrationSpec",
     "Phase",
     "PolicySpec",
     "ReplicationSpec",
@@ -175,12 +176,19 @@ class PolicySpec:
     called with the client index. Like generator factories, a ``factory``
     must be a module-level callable (a picklable callable class works too)
     for the spec to stay :func:`spawn_safe`.
+
+    ``arbitration`` (default ``None`` — off, byte-identical to a pinned
+    policy) wraps each client's policy in an
+    :class:`~repro.policies.adaptive.AdaptiveArbiter` at the same
+    ``cache_lines``/``tracker_lines``, with ``name`` as the initial live
+    policy when it is one of the candidates (DESIGN.md §14).
     """
 
     name: str = "none"
     cache_lines: int = 0
     tracker_lines: int | None = None
     factory: Callable[[int], CachePolicy] | None = None
+    arbitration: "ArbitrationSpec | None" = None
 
     def build(self, client_index: int) -> CachePolicy:
         """Construct this spec's policy for one client."""
@@ -188,8 +196,62 @@ class PolicySpec:
             return self.factory(client_index)
         if self.name == "none" or self.cache_lines == 0:
             return make_policy("none", 0)
+        if self.arbitration is not None and self.arbitration.enabled:
+            return self.arbitration.build(
+                self.name, self.cache_lines, self.tracker_lines
+            )
         return make_policy(
             self.name, self.cache_lines, tracker_capacity=self.tracker_lines
+        )
+
+
+@dataclass(frozen=True)
+class ArbitrationSpec:
+    """The adaptive-arbitration axis on :class:`PolicySpec` (default: off).
+
+    With ``PolicySpec.arbitration = None`` (the default everywhere) the
+    engine builds exactly the pinned policy it always has — every
+    registered experiment stays byte-identical, pinned by the golden
+    tests. When attached and ``enabled``, each client's policy becomes an
+    :class:`~repro.policies.adaptive.AdaptiveArbiter` wrapping the spec's
+    sizing; the fields mirror the arbiter's constructor (see
+    ``repro/policies/adaptive.py`` for semantics).
+    """
+
+    enabled: bool = True
+    candidates: tuple[str, ...] = ("lru", "lfu", "arc", "lru2", "cot")
+    epoch_length: int = 2_048
+    sample_shift: int = 6
+    hit_value: float = 1.0
+    line_cost: float = 0.05
+    switch_margin: float = 0.02
+    patience: int = 1
+    min_samples: int = 8
+    #: starting live policy; ``None`` uses the PolicySpec's ``name`` when
+    #: it is a candidate, else the first candidate.
+    initial: str | None = None
+
+    def build(
+        self, name: str, cache_lines: int, tracker_lines: int | None
+    ) -> CachePolicy:
+        """Construct one client's arbiter around the spec's sizing."""
+        from repro.policies.adaptive import AdaptiveArbiter
+
+        initial = self.initial
+        if initial is None:
+            initial = name if name in self.candidates else self.candidates[0]
+        return AdaptiveArbiter(
+            cache_lines,
+            candidates=self.candidates,
+            tracker_capacity=tracker_lines,
+            epoch_length=self.epoch_length,
+            sample_shift=self.sample_shift,
+            hit_value=self.hit_value,
+            line_cost=self.line_cost,
+            switch_margin=self.switch_margin,
+            patience=self.patience,
+            min_samples=self.min_samples,
+            initial=initial,
         )
 
 

@@ -23,8 +23,14 @@ from repro.obs.hist import LatencyHistogram
 
 __all__ = [
     "ACCESSES",
+    "ADAPTIVE_EPOCHS",
+    "ADAPTIVE_REGRET",
+    "ADAPTIVE_SHADOW_SAMPLES",
+    "ADAPTIVE_SWITCHES",
     "BREAKER_CLOSES",
     "BREAKER_OPENS",
+    "DECAY_EPOCH_DECAYS",
+    "DECAY_TRIGGERS",
     "DEGRADED_READS",
     "FAILED_INVALIDATIONS",
     "HITS",
@@ -83,6 +89,24 @@ WRITE_BOUND_FLUSHES = "write.bound_flushes"
 WRITE_LOST = "write.lost_writes"
 WRITE_SYNC_FALLBACKS = "write.sync_fallbacks"
 WRITE_TTL_EXPIRATIONS = "write.ttl_expirations"
+
+# Hotness-decay counters (published by runs whose elastic clients carry a
+# non-trivial DecayPolicy; absent counters read as 0). "triggers" counts
+# explicit Algorithm-3 Case-2 decays, "epoch_decays" the continuous
+# per-epoch agings applied by ExponentialDecay.
+DECAY_TRIGGERS = "decay.triggers"
+DECAY_EPOCH_DECAYS = "decay.epoch_decays"
+
+# Adaptive-arbitration counters/gauges (published only on runs whose
+# PolicySpec enables arbitration; absent counters read as 0). The
+# per-candidate shadow hit rates ride alongside as
+# "adaptive.shadow_hit_rate.<policy>" gauges, and "adaptive.regret" is a
+# gauge holding the cumulative estimated hit value forgone vs the best
+# shadow (scaled back up through the sampling rate).
+ADAPTIVE_SWITCHES = "adaptive.switches"
+ADAPTIVE_EPOCHS = "adaptive.epochs"
+ADAPTIVE_SHADOW_SAMPLES = "adaptive.shadow_samples"
+ADAPTIVE_REGRET = "adaptive.regret"
 
 #: Canonical histogram name for the per-request latency distribution
 #: (timed runners publish it; the Prometheus exporter renders it as a

@@ -58,6 +58,17 @@ class ShardUnavailableError(ClusterError):
     """
 
 
+class WorkloadExhausted(ReproError):
+    """A bounded workload was asked for more keys than it contains.
+
+    Raised by generators with a finite total length (e.g. a
+    :class:`~repro.workloads.shift.PhasedWorkload` whose final phase has a
+    finite ``length``) when ``next_key``/``keys_array`` overrun the budget.
+    Silent overrun would keep drawing from the final phase forever, quietly
+    distorting phase accounting in elasticity experiments.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 

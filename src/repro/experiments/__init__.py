@@ -9,6 +9,7 @@ index."""
 from repro.experiments import (  # noqa: F401  (imported to register specs)
     appendix_tracker_size,
     export,
+    extension_adaptive,
     extension_chaos,
     extension_decay,
     extension_distributions,
@@ -30,6 +31,7 @@ __all__ = [
     "Scale",
     "appendix_tracker_size",
     "export",
+    "extension_adaptive",
     "extension_chaos",
     "extension_decay",
     "extension_distributions",

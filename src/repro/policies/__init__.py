@@ -8,10 +8,13 @@
   (LRU-2 in the paper's experiments).
 * :class:`~repro.policies.perfect.PerfectCache` — the TPC oracle.
 * :class:`~repro.policies.nullcache.NullCache` — the no-cache baseline.
+* :class:`~repro.policies.adaptive.AdaptiveArbiter` — adaptive arbitration
+  over the whole set via ghost shadow caches (DESIGN.md §14).
 * CoT itself lives in :class:`repro.core.cache.CoTCache` and implements the
   same :class:`~repro.policies.base.CachePolicy` interface.
 """
 
+from repro.policies.adaptive import AdaptiveArbiter, ArbiterEpoch
 from repro.policies.arc import ARCCache
 from repro.policies.base import MISSING, CachePolicy
 from repro.policies.lfu import LFUCache
@@ -25,6 +28,8 @@ from repro.policies.tracked_lru import TrackedLRUCache
 
 __all__ = [
     "MISSING",
+    "AdaptiveArbiter",
+    "ArbiterEpoch",
     "CachePolicy",
     "CacheStats",
     "LRUCache",

@@ -1,0 +1,611 @@
+"""Adaptive policy arbitration over ghost shadow caches (Ditto direction).
+
+No fixed replacement policy survives a non-stationary workload: the CoT
+paper's own Algorithm 3 Case 2 (the "Gangnam style" hot-set rotation)
+documents one failure mode, and scan floods / diurnal skew shifts supply
+others. Ditto (arXiv:2309.10239) shows the practical cure: run *every*
+candidate policy as a lightweight shadow simulation fed by a spatial
+sample of the access stream (the FastSim idea), score the shadows on
+observed hit value, and switch the live policy to the winner.
+
+:class:`AdaptiveArbiter` packages that as a :class:`CachePolicy`, so it
+drops anywhere a fixed policy does (policy-stream harnesses, cluster
+front ends, the engine's ``PolicySpec`` axis):
+
+* exactly one **live** policy serves traffic at any time; the arbiter
+  delegates every public operation to it and keeps cumulative statistics
+  across switches;
+* one **shadow** per candidate runs at capacity scaled down by the
+  sampling rate (SHARDS-style: a ``1/2^s`` spatial sample against a
+  ``C/2^s``-line cache estimates the hit rate of a ``C``-line cache) and
+  stores the key as its own value — keys and policy metadata only, no
+  payloads;
+* every ``epoch_length`` accesses the shadows are scored on the
+  hit-value ledger of :class:`~repro.core.costaware.CostAwareController`
+  (``hit_value`` per hit minus ``line_cost`` rent per line — identical
+  rent across candidates, so the ledger ranks by earned value), and the
+  live policy is switched with hysteresis (an additive score margin held
+  for ``patience`` consecutive epochs). Switching compares shadow to
+  shadow — the scaled shadows share a sampling bias that cancels between
+  candidates — while the regret counter is charged against the hit value
+  the live policy *actually served*;
+* a switch performs a **warm handoff**: the incoming policy is seeded
+  from the outgoing policy's cached set via
+  :meth:`~repro.policies.base.CachePolicy.warm_seed`, and any key the
+  incoming policy declines is reported through the arbiter's eviction
+  listeners so coherence directories stay exact.
+
+Spatial sampling uses deterministic hashes (multiplicative hashing for
+int keys, CRC-32 for strings) — never Python's per-process-randomized
+``hash`` — so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence
+
+from repro.core.hotness import HotnessModel
+from repro.errors import ConfigurationError
+from repro.policies.base import MISSING, CachePolicy
+from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.policies.stats import CacheStats
+
+__all__ = ["AdaptiveArbiter", "ArbiterEpoch", "sample_hash"]
+
+#: Knuth's multiplicative constant (2^32 / phi), for integer key hashing.
+_KNUTH = 2654435761
+_MASK32 = 0xFFFFFFFF
+
+#: Scalar-path sampled keys are buffered and replayed into the shadows in
+#: batches of this size (through the policies' ``run_stream`` fast paths),
+#: cutting the per-access shadow cost; any read of shadow state drains the
+#: buffer first, so batching never changes a decision.
+_SHADOW_FLUSH_BATCH = 256
+
+#: Sampled-key memo bound: the sampling decision per key is immutable, so
+#: the arbiter caches it in a plain dict (one dict probe beats recomputing
+#: the hash on every access). The memo is dropped wholesale when it would
+#: outgrow this many keys — scan-style workloads touch unbounded key
+#: ranges exactly once and must not leak memory through the memo.
+_SAMPLE_MEMO_LIMIT = 1 << 20
+
+
+def sample_hash(key: Hashable) -> int:
+    """Deterministic 16-bit sampling hash of a cache key.
+
+    Stable across processes and runs (unlike ``hash(str)``): integers go
+    through multiplicative hashing (upper halfword, where the mixing
+    lives), strings through CRC-32. Anything else hashes its ``repr``.
+    """
+    if type(key) is int:
+        return ((key * _KNUTH) & _MASK32) >> 16
+    if type(key) is str:
+        return zlib.crc32(key.encode("utf-8")) & 0xFFFF
+    return zlib.crc32(repr(key).encode("utf-8")) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class ArbiterEpoch:
+    """One arbitration epoch's record (the arbiter's decision trail)."""
+
+    index: int
+    live: str
+    scores: dict[str, float] = field(default_factory=dict)
+    samples: int = 0
+    switched_to: str | None = None
+    #: hit value the live policy actually served this epoch (the score
+    #: challengers had to beat)
+    live_score: float = 0.0
+
+
+class _Shadow:
+    """One candidate's scaled-down ghost simulation."""
+
+    __slots__ = ("name", "policy")
+
+    def __init__(self, name: str, policy: CachePolicy) -> None:
+        self.name = name
+        self.policy = policy
+
+
+class AdaptiveArbiter(CachePolicy):
+    """Serve through one live policy; score every candidate in shadow.
+
+    Parameters
+    ----------
+    capacity:
+        cache-lines of the live policy (shadows are scaled down by the
+        sampling rate).
+    candidates:
+        registry names of the candidate policies (default: the paper's
+        comparison set LRU / LFU / ARC / LRU-2 / CoT).
+    tracker_capacity:
+        CoT tracker / LRU-2 history size for candidates that take one
+        (default ``4 * capacity``).
+    epoch_length:
+        accesses per arbitration epoch.
+    sample_shift:
+        spatial sampling rate as a power of two: keys whose
+        :func:`sample_hash` has ``sample_shift`` trailing zero bits feed
+        the shadows (rate ``1/2^sample_shift``); shadow capacity is
+        ``capacity >> sample_shift``. ``0`` disables sampling (full-size
+        shadows — accurate and expensive). The default (1/64) keeps all
+        five shadows together under the perf gate's 15% hot-path budget
+        (``run_perf_gate.py --adaptive``) with comfortable noise margin;
+        skew amplifies sampled *volume* well past the key-space rate, so
+        halving the rate roughly halves the dominant cost term.
+    hit_value / line_cost:
+        the cost ledger (same units and meaning as
+        :class:`~repro.core.costaware.CostAwareController`). Shadow
+        epoch score = ``hit_value * hit_rate - line_cost *
+        lines / samples``; rent is identical across candidates, so it
+        shifts, never reorders, the ranking.
+    switch_margin:
+        hysteresis: a challenger's shadow must beat the live candidate's
+        shadow score by ``switch_margin * hit_value`` (additive, in
+        score units) to start a switch.
+    patience:
+        consecutive epochs the same challenger must hold the margin
+        before the switch is executed.
+    min_samples:
+        epochs with fewer sampled accesses than this make no decision
+        (scores too noisy to act on).
+    initial:
+        starting live policy (default: first candidate).
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        candidates: Sequence[str] = POLICY_NAMES,
+        tracker_capacity: int | None = None,
+        epoch_length: int = 2048,
+        sample_shift: int = 6,
+        hit_value: float = 1.0,
+        line_cost: float = 0.05,
+        switch_margin: float = 0.02,
+        patience: int = 1,
+        min_samples: int = 8,
+        initial: str | None = None,
+        model: HotnessModel | None = None,
+        k: int = 2,
+    ) -> None:
+        super().__init__(capacity)
+        if not candidates:
+            raise ConfigurationError("at least one candidate policy is required")
+        if len(set(candidates)) != len(candidates):
+            raise ConfigurationError("candidate names must be unique")
+        if epoch_length < 1:
+            raise ConfigurationError("epoch_length must be >= 1")
+        if not 0 <= sample_shift <= 16:
+            raise ConfigurationError("sample_shift must be in [0, 16]")
+        if hit_value <= 0:
+            raise ConfigurationError("hit_value must be > 0")
+        if line_cost < 0:
+            raise ConfigurationError("line_cost must be >= 0")
+        if switch_margin < 0:
+            raise ConfigurationError("switch_margin must be >= 0")
+        if patience < 1:
+            raise ConfigurationError("patience must be >= 1")
+        if min_samples < 1:
+            raise ConfigurationError("min_samples must be >= 1")
+        self._candidates = tuple(candidates)
+        self._tracker_capacity = (
+            tracker_capacity if tracker_capacity is not None else 4 * capacity
+        )
+        self._model = model
+        self._k = k
+        self._epoch_length = epoch_length
+        self._sample_shift = sample_shift
+        self._sample_mask = (1 << sample_shift) - 1
+        self.hit_value = hit_value
+        self.line_cost = line_cost
+        self.switch_margin = switch_margin
+        self.patience = patience
+        self.min_samples = min_samples
+
+        self._live_name = initial if initial is not None else self._candidates[0]
+        if self._live_name not in self._candidates:
+            raise ConfigurationError(
+                f"initial policy {self._live_name!r} is not a candidate"
+            )
+        self._live = self._build_full(self._live_name)
+        # The live policy shares the arbiter's listener list by identity,
+        # so listeners registered on the arbiter (coherence directories)
+        # hear live-policy evictions even across switches.
+        self._live.eviction_listeners = self.eviction_listeners
+        self._shadows = [
+            _Shadow(name, self._build_shadow(name)) for name in self._candidates
+        ]
+        self._clock = 0
+        self._epoch_samples = 0
+        self.samples = 0
+        self.epochs = 0
+        self.switches = 0
+        self.regret = 0.0
+        self._pending_name: str | None = None
+        self._pending_epochs = 0
+        self._sample_memo: dict[Hashable, bool] = {}
+        #: sampled keys not yet replayed into the shadows. Scalar accesses
+        #: buffer here and flush through the shadows' batched ``run_stream``
+        #: fast paths; the buffer is drained before anything reads or
+        #: mutates shadow state (epoch close, invalidate, resize), so the
+        #: deferral is unobservable.
+        self._shadow_pending: list[Hashable] = []
+        self._live_hits_mark = 0
+        self._live_misses_mark = 0
+        self.history: list[ArbiterEpoch] = []
+
+    # --------------------------------------------------------- construction
+
+    def _build_full(self, name: str) -> CachePolicy:
+        return make_policy(
+            name,
+            self._capacity,
+            tracker_capacity=self._tracker_capacity,
+            model=self._model,
+            k=self._k,
+        )
+
+    def _shadow_sizes(self, capacity: int) -> tuple[int, int]:
+        cache = max(1, capacity >> self._sample_shift)
+        tracker = max(cache + 1, self._tracker_capacity >> self._sample_shift)
+        return cache, tracker
+
+    def _build_shadow(self, name: str) -> CachePolicy:
+        cache, tracker = self._shadow_sizes(self._capacity)
+        return make_policy(
+            name, cache, tracker_capacity=tracker, model=self._model, k=self._k
+        )
+
+    # ----------------------------------------------------------- inspection
+
+    @property
+    def candidates(self) -> tuple[str, ...]:
+        """Candidate policy names, in registry order."""
+        return self._candidates
+
+    @property
+    def live_name(self) -> str:
+        """Name of the policy currently serving traffic."""
+        return self._live_name
+
+    @property
+    def live_policy(self) -> CachePolicy:
+        """The policy instance currently serving traffic (test hook)."""
+        return self._live
+
+    @property
+    def epoch_length(self) -> int:
+        """Accesses per arbitration epoch."""
+        return self._epoch_length
+
+    @property
+    def sample_rate(self) -> float:
+        """Fraction of accesses fed to the shadows."""
+        return 1.0 / (1 << self._sample_shift)
+
+    def shadow_hit_rates(self) -> dict[str, float]:
+        """Lifetime shadow hit rate per candidate (telemetry surface)."""
+        self._flush_shadows()
+        return {s.name: s.policy.stats.hit_rate for s in self._shadows}
+
+    # ------------------------------------------------- stats across switches
+
+    @property
+    def stats(self) -> CacheStats:  # type: ignore[override]
+        """Cumulative serving statistics: retired live policies + current."""
+        live = self._live.stats
+        merged = CacheStats(
+            hits=self._retired.hits + live.hits,
+            misses=self._retired.misses + live.misses,
+            insertions=self._retired.insertions + live.insertions,
+            evictions=self._retired.evictions + live.evictions,
+            invalidations=self._retired.invalidations + live.invalidations,
+            epoch_hits=self._retired.epoch_hits + live.epoch_hits,
+            epoch_misses=self._retired.epoch_misses + live.epoch_misses,
+        )
+        return merged
+
+    @stats.setter
+    def stats(self, value: CacheStats) -> None:
+        # Absorbs the base-class initialisation; the accumulator holds the
+        # counters of every retired live policy.
+        self._retired = value
+
+    # -------------------------------------------------------- the fast paths
+
+    def _sampled(self, key: Hashable) -> bool:
+        memo = self._sample_memo
+        flag = memo.get(key)
+        if flag is None:
+            if len(memo) >= _SAMPLE_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = flag = (sample_hash(key) & self._sample_mask) == 0
+        return flag
+
+    def _flush_shadows(self) -> None:
+        """Replay buffered sampled keys into every shadow (ghost entries)."""
+        pending = self._shadow_pending
+        if not pending:
+            return
+        for shadow in self._shadows:
+            shadow.policy.run_stream(pending)
+        pending.clear()
+
+    def _tick(self, key: Hashable) -> None:
+        """One serving access: advance the epoch clock, sample, buffer.
+
+        Body duplicated inline in :meth:`lookup` and :meth:`get_or_admit`
+        (the per-access method call is measurable on the serving path);
+        keep the three in sync.
+        """
+        if self._clock >= self._epoch_length:
+            self._close_epoch()
+        self._clock += 1
+        memo = self._sample_memo
+        flag = memo.get(key)
+        if flag is None:
+            if len(memo) >= _SAMPLE_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = flag = (sample_hash(key) & self._sample_mask) == 0
+        if flag:
+            self._epoch_samples += 1
+            self.samples += 1
+            pending = self._shadow_pending
+            pending.append(key)
+            if len(pending) >= _SHADOW_FLUSH_BATCH:
+                self._flush_shadows()
+
+    def lookup(self, key: Hashable) -> Any:
+        # inlined _tick
+        if self._clock >= self._epoch_length:
+            self._close_epoch()
+        self._clock += 1
+        memo = self._sample_memo
+        flag = memo.get(key)
+        if flag is None:
+            if len(memo) >= _SAMPLE_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = flag = (sample_hash(key) & self._sample_mask) == 0
+        if flag:
+            self._epoch_samples += 1
+            self.samples += 1
+            pending = self._shadow_pending
+            pending.append(key)
+            if len(pending) >= _SHADOW_FLUSH_BATCH:
+                self._flush_shadows()
+        return self._live.lookup(key)
+
+    def admit(self, key: Hashable, value: Any) -> None:
+        self._live.admit(key, value)
+
+    def get_or_admit(self, key: Hashable, loader: Callable[[Hashable], Any]) -> Any:
+        # inlined _tick
+        if self._clock >= self._epoch_length:
+            self._close_epoch()
+        self._clock += 1
+        memo = self._sample_memo
+        flag = memo.get(key)
+        if flag is None:
+            if len(memo) >= _SAMPLE_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = flag = (sample_hash(key) & self._sample_mask) == 0
+        if flag:
+            self._epoch_samples += 1
+            self.samples += 1
+            pending = self._shadow_pending
+            pending.append(key)
+            if len(pending) >= _SHADOW_FLUSH_BATCH:
+                self._flush_shadows()
+        return self._live.get_or_admit(key, loader)
+
+    def run_stream(self, keys: Iterable[Hashable]) -> None:
+        keys = keys if isinstance(keys, (list, tuple)) else list(keys)
+        self._flush_shadows()  # keep scalar-buffered accesses ordered first
+        mask = self._sample_mask
+        memo = self._sample_memo
+        n = len(keys)
+        i = 0
+        while i < n:
+            if self._clock >= self._epoch_length:
+                self._close_epoch()
+            take = min(n - i, self._epoch_length - self._clock)
+            segment = keys[i : i + take]
+            self._clock += take
+            try:
+                # Happy path: every key's sampling decision is memoized —
+                # one C-level dict probe per access.
+                sampled = [key for key in segment if memo[key]]
+            except KeyError:
+                if len(memo) >= _SAMPLE_MEMO_LIMIT:
+                    memo.clear()
+                for key in segment:
+                    if key not in memo:
+                        memo[key] = (sample_hash(key) & mask) == 0
+                sampled = [key for key in segment if memo[key]]
+            if sampled:
+                self._epoch_samples += len(sampled)
+                self.samples += len(sampled)
+                for shadow in self._shadows:
+                    shadow.policy.run_stream(sampled)
+            self._live.run_stream(segment)
+            i += take
+
+    def invalidate(self, key: Hashable) -> None:
+        self._live.invalidate(key)
+        if self._sampled(key):
+            self._flush_shadows()
+            for shadow in self._shadows:
+                shadow.policy.invalidate(key)
+
+    def record_update(self, key: Hashable) -> None:
+        self._live.record_update(key)
+        if self._sampled(key):
+            self._flush_shadows()
+            for shadow in self._shadows:
+                shadow.policy.record_update(key)
+
+    def resize(self, capacity: int) -> None:
+        super().resize(capacity)
+        self._flush_shadows()
+        cache, _tracker = self._shadow_sizes(capacity)
+        for shadow in self._shadows:
+            shadow.policy.resize(cache)
+
+    # ------------------------------------------------------------ arbitration
+
+    def _score(self, shadow: _Shadow) -> float:
+        stats = shadow.policy.stats
+        accesses = stats.epoch_accesses
+        if accesses == 0:
+            return 0.0
+        rate = stats.epoch_hits / accesses
+        rent = self.line_cost * shadow.policy.capacity / accesses
+        return self.hit_value * rate - rent
+
+    def _live_score(self) -> float:
+        """Hit value the live policy actually served this epoch.
+
+        Used for the regret counter and the epoch record — deliberately
+        *not* the live candidate's shadow score, since after a warm
+        handoff the live instance can lag its own steady-state
+        simulation (the handoff transfers cached keys but not hotness
+        or recency history) and regret should reflect reality.
+        """
+        stats = self._live.stats
+        hits = stats.hits - self._live_hits_mark
+        accesses = hits + (stats.misses - self._live_misses_mark)
+        if accesses == 0:
+            return 0.0
+        rent = self.line_cost * self._live.capacity / accesses
+        return self.hit_value * (hits / accesses) - rent
+
+    def _mark_live(self) -> None:
+        self._live_hits_mark = self._live.stats.hits
+        self._live_misses_mark = self._live.stats.misses
+
+    def close_epoch(self) -> ArbiterEpoch | None:
+        """Force an arbitration decision now (end-of-run flush).
+
+        Returns the epoch record, or ``None`` when no accesses arrived
+        since the previous boundary.
+        """
+        if self._clock == 0:
+            return None
+        return self._close_epoch()
+
+    def _close_epoch(self) -> ArbiterEpoch:
+        self._flush_shadows()
+        scores = {s.name: self._score(s) for s in self._shadows}
+        live_score = self._live_score()
+        samples = self._epoch_samples
+        switched_to: str | None = None
+        if samples >= self.min_samples:
+            best_name = self._live_name
+            best_score = scores[self._live_name]
+            for name in self._candidates:
+                if scores[name] > best_score:
+                    best_name, best_score = name, scores[name]
+            # Regret is charged against what the live policy actually
+            # served; the switch decision compares shadow to shadow,
+            # because the scaled-down shadows share a common sampling
+            # bias that cancels between candidates but not against the
+            # live policy's full-size reality.
+            self.regret += max(0.0, best_score - live_score) * self._clock
+            if (
+                best_name != self._live_name
+                and best_score - scores[self._live_name]
+                > self.switch_margin * self.hit_value
+            ):
+                if self._pending_name == best_name:
+                    self._pending_epochs += 1
+                else:
+                    self._pending_name = best_name
+                    self._pending_epochs = 1
+                if self._pending_epochs >= self.patience:
+                    self._switch(best_name)
+                    switched_to = best_name
+            else:
+                self._pending_name = None
+                self._pending_epochs = 0
+        record = ArbiterEpoch(
+            index=self.epochs,
+            live=switched_to or self._live_name,
+            scores=scores,
+            samples=samples,
+            switched_to=switched_to,
+            live_score=live_score,
+        )
+        self.history.append(record)
+        self.epochs += 1
+        self._clock = 0
+        self._epoch_samples = 0
+        self._mark_live()
+        for shadow in self._shadows:
+            shadow.policy.stats.reset_epoch()
+        return record
+
+    def _switch(self, name: str) -> None:
+        outgoing = self._live
+        incoming = self._build_full(name)
+        incoming.warm_seed(outgoing.cached_items())
+        # Keys the incoming policy declined (or evicted again during the
+        # seed) have silently left the front-end cache: report them so
+        # coherence directories stay exact. Listeners are attached only
+        # after seeding, so seed-time churn is not double-reported.
+        for key in outgoing.cached_keys():
+            if key not in incoming:
+                self._notify_evicted(key)
+        incoming.eviction_listeners = self.eviction_listeners
+        retired = outgoing.stats
+        self._retired.hits += retired.hits
+        self._retired.misses += retired.misses
+        self._retired.insertions += retired.insertions
+        self._retired.evictions += retired.evictions
+        self._retired.invalidations += retired.invalidations
+        self._retired.epoch_hits += retired.epoch_hits
+        self._retired.epoch_misses += retired.epoch_misses
+        self._live = incoming
+        self._live_name = name
+        self.switches += 1
+        self._pending_name = None
+        self._pending_epochs = 0
+
+    # ----------------------------------------------------------- delegation
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._live
+
+    def cached_keys(self) -> Iterator[Hashable]:
+        return self._live.cached_keys()
+
+    def cached_items(self) -> Iterator[tuple[Hashable, Any]]:
+        return self._live.cached_items()
+
+    def _lookup(self, key: Hashable) -> Any:
+        return self._live._lookup(key)
+
+    def _admit(self, key: Hashable, value: Any) -> None:
+        self._live._admit(key, value)
+
+    def _invalidate(self, key: Hashable) -> bool:
+        return self._live._invalidate(key)
+
+    def _resize(self, capacity: int) -> None:
+        self._live.resize(capacity)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveArbiter(live={self._live_name!r}, "
+            f"candidates={self._candidates}, capacity={self._capacity}, "
+            f"epoch={self._epoch_length}, rate=1/{1 << self._sample_shift})"
+        )

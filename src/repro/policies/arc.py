@@ -15,7 +15,7 @@ the Figure 4 / Table 2 experiments expose under highly skewed workloads.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable, Iterable, Iterator
 
 from repro.policies.base import MISSING, CachePolicy
 
@@ -51,6 +51,10 @@ class ARCCache(CachePolicy):
     def cached_keys(self) -> Iterator[Hashable]:
         yield from list(self._t1)
         yield from list(self._t2)
+
+    def cached_items(self) -> Iterator[tuple[Hashable, Any]]:
+        yield from list(self._t1.items())
+        yield from list(self._t2.items())
 
     @property
     def p(self) -> float:
@@ -122,10 +126,46 @@ class ARCCache(CachePolicy):
         self._t1[key] = value
         self.stats.record_insertion()
 
+    def run_stream(self, keys: Iterable[Hashable]) -> None:
+        """Batched read-only stream: lookup + admit-on-miss, loop-inlined.
+
+        Case I (hits) is inlined; misses fall through to ``_admit``
+        (Cases II-IV), which records its own insertion/eviction stats.
+        Per-key semantics are exactly the base implementation's.
+        """
+        t1 = self._t1
+        t2 = self._t2
+        move = t2.move_to_end
+        cstat = self.stats
+        capacity = self._capacity
+        admit = self._admit
+        for key in keys:
+            if key in t1:
+                t2[key] = t1.pop(key)
+                cstat.hits += 1
+                cstat.epoch_hits += 1
+                continue
+            if key in t2:
+                move(key)
+                cstat.hits += 1
+                cstat.epoch_hits += 1
+                continue
+            cstat.misses += 1
+            cstat.epoch_misses += 1
+            if capacity:
+                admit(key, key)
+
     def _replace(self, in_b2: bool) -> None:
-        """The REPLACE(x, p) subroutine: evict from T1 or T2 into a ghost."""
+        """The REPLACE(x, p) subroutine: evict from T1 or T2 into a ghost.
+
+        The ``|T1| == p`` comparison is exact on the real-valued ``p``, as
+        in Figure 4 — it only fires when ``p`` is integral.  Truncating
+        (``int(p)``) fires on any fractional ``p`` with ``⌊p⌋ == |T1|`` and
+        evicts from T1 where the paper evicts from T2 (caught by the
+        fidelity property test in tests/test_arc_fidelity.py).
+        """
         t1_len = len(self._t1)
-        if t1_len >= 1 and ((in_b2 and t1_len == int(self._p)) or t1_len > self._p):
+        if t1_len >= 1 and ((in_b2 and t1_len == self._p) or t1_len > self._p):
             victim, _value = self._t1.popitem(last=False)
             self._b1[victim] = None
         elif self._t2:

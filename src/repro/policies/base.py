@@ -187,6 +187,32 @@ class CachePolicy(abc.ABC):
     def cached_keys(self) -> Iterator[Hashable]:
         """Iterate the currently cached keys (arbitrary order)."""
 
+    def cached_items(self) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate ``(key, value)`` pairs for the currently cached entries.
+
+        The default resolves each key through ``_lookup`` (which may touch
+        recency state); concrete policies override it with a direct read of
+        their value map. Used by the adaptive arbiter's warm handoff, where
+        the source policy is about to be retired anyway.
+        """
+        for key in self.cached_keys():
+            value = self._lookup(key)
+            if value is not MISSING:
+                yield key, value
+
+    def warm_seed(self, items: Iterable[tuple[Hashable, Any]]) -> None:
+        """Seed the cache from another policy's cached set (warm handoff).
+
+        Each pair is offered through the normal admission hook — policies
+        with admission filters (CoT) override this to pre-warm their
+        history first so the handoff is not rejected wholesale. Hit/miss
+        statistics are untouched; insertions/evictions count as usual.
+        """
+        if self._capacity == 0:
+            return
+        for key, value in items:
+            self._admit(key, value)
+
     # ------------------------------------------------------- subclass hooks
 
     @abc.abstractmethod

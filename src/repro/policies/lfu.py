@@ -9,7 +9,7 @@ static cache size", and old frequency builds up with no aging.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable, Iterable, Iterator
 
 from repro.core.heap import IndexedMinHeap
 from repro.policies.base import MISSING, CachePolicy
@@ -42,6 +42,9 @@ class LFUCache(CachePolicy):
     def cached_keys(self) -> Iterator[Hashable]:
         return iter(list(self._values))
 
+    def cached_items(self) -> Iterator[tuple[Hashable, Any]]:
+        return iter(list(self._values.items()))
+
     def frequency_of(self, key: Hashable) -> float:
         """Current in-cache frequency counter of ``key`` (test hook)."""
         return self._heap.priority_of(key)
@@ -49,13 +52,13 @@ class LFUCache(CachePolicy):
     def _lookup(self, key: Hashable) -> Any:
         if key not in self._values:
             return MISSING
-        self._heap.update(key, self._heap.priority_of(key) + 1.0)
+        self._heap.update_delta(key, 1.0)
         return self._values[key]
 
     def _admit(self, key: Hashable, value: Any) -> None:
         if key in self._values:
             self._values[key] = value
-            self._heap.update(key, self._heap.priority_of(key) + 1.0)
+            self._heap.update_delta(key, 1.0)
             return
         if len(self._values) >= self._capacity:
             victim, _freq = self._heap.pop()
@@ -65,6 +68,39 @@ class LFUCache(CachePolicy):
         self._heap.push(key, 1.0)
         self._values[key] = value
         self.stats.record_insertion()
+
+    def run_stream(self, keys: Iterable[Hashable]) -> None:
+        """Batched read-only stream: lookup + admit-on-miss, loop-inlined.
+
+        Per-key semantics are exactly the base implementation's; the
+        method/attribute resolution and stats calls are hoisted so the
+        shadow simulations of the adaptive arbiter stay cheap.
+        """
+        values = self._values
+        heap = self._heap
+        bump = heap.update_delta
+        push = heap.push
+        pop = heap.pop
+        cstat = self.stats
+        capacity = self._capacity
+        for key in keys:
+            if key in values:
+                bump(key, 1.0)
+                cstat.hits += 1
+                cstat.epoch_hits += 1
+                continue
+            cstat.misses += 1
+            cstat.epoch_misses += 1
+            if capacity == 0:
+                continue
+            if len(values) >= capacity:
+                victim, _freq = pop()
+                del values[victim]
+                cstat.evictions += 1
+                self._notify_evicted(victim)
+            push(key, 1.0)
+            values[key] = key
+            cstat.insertions += 1
 
     def _invalidate(self, key: Hashable) -> bool:
         if key not in self._values:

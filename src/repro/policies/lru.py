@@ -8,7 +8,7 @@ experiments (Figure 4) quantify against CoT.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable, Iterable, Iterator
 
 from repro.policies.base import MISSING, CachePolicy
 
@@ -33,6 +33,9 @@ class LRUCache(CachePolicy):
     def cached_keys(self) -> Iterator[Hashable]:
         return iter(list(self._entries))
 
+    def cached_items(self) -> Iterator[tuple[Hashable, Any]]:
+        return iter(list(self._entries.items()))
+
     def _lookup(self, key: Hashable) -> Any:
         if key not in self._entries:
             return MISSING
@@ -50,6 +53,34 @@ class LRUCache(CachePolicy):
             self._notify_evicted(victim)
         self._entries[key] = value
         self.stats.record_insertion()
+
+    def run_stream(self, keys: Iterable[Hashable]) -> None:
+        """Batched read-only stream: lookup + admit-on-miss, loop-inlined.
+
+        Per-key semantics are exactly the base implementation's; the
+        method/attribute resolution and stats calls are hoisted so the
+        shadow simulations of the adaptive arbiter stay cheap.
+        """
+        entries = self._entries
+        move = entries.move_to_end
+        cstat = self.stats
+        capacity = self._capacity
+        for key in keys:
+            if key in entries:
+                move(key)
+                cstat.hits += 1
+                cstat.epoch_hits += 1
+                continue
+            cstat.misses += 1
+            cstat.epoch_misses += 1
+            if capacity == 0:
+                continue
+            if len(entries) >= capacity:
+                victim, _value = entries.popitem(last=False)
+                cstat.evictions += 1
+                self._notify_evicted(victim)
+            entries[key] = key
+            cstat.insertions += 1
 
     def _invalidate(self, key: Hashable) -> bool:
         return self._entries.pop(key, MISSING) is not MISSING

@@ -22,7 +22,7 @@ LRU — exactly the paper's tie-breaking rule, in O(log C) per operation.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable, Iterable, Iterator
 
 from repro.core.heap import IndexedMinHeap
 from repro.errors import ConfigurationError
@@ -94,6 +94,9 @@ class LRUKCache(CachePolicy):
     def cached_keys(self) -> Iterator[Hashable]:
         return iter(list(self._values))
 
+    def cached_items(self) -> Iterator[tuple[Hashable, Any]]:
+        return iter(list(self._values.items()))
+
     # -------------------------------------------------------------- helpers
 
     def _tick(self) -> float:
@@ -146,6 +149,51 @@ class LRUKCache(CachePolicy):
         self._refs[key] = refs
         self._heap.push(key, self._priority(refs))
         self.stats.record_insertion()
+
+    def run_stream(self, keys: Iterable[Hashable]) -> None:
+        """Batched read-only stream: lookup + admit-on-miss, loop-inlined.
+
+        The hit path fuses ``_touch`` (clock tick, reference append, heap
+        reposition); misses replay ``_admit`` with the priority rule
+        inlined. Per-key semantics are exactly the base implementation's.
+        """
+        values = self._values
+        refs_map = self._refs
+        heap = self._heap
+        heap_update = heap.update
+        heap_push = heap.push
+        history_pop = self._history.pop
+        cstat = self.stats
+        capacity = self._capacity
+        k = self._k
+        for key in keys:
+            refs = refs_map.get(key)
+            if refs is not None:
+                self._clock = clock = self._clock + 1.0
+                refs.append(clock)
+                heap_update(
+                    key, refs[0] if len(refs) >= k else clock - _INFANT_OFFSET
+                )
+                cstat.hits += 1
+                cstat.epoch_hits += 1
+                continue
+            cstat.misses += 1
+            cstat.epoch_misses += 1
+            if capacity == 0:
+                continue
+            refs = history_pop(key, None)
+            if refs is None:
+                refs = deque(maxlen=k)
+            self._clock = clock = self._clock + 1.0
+            refs.append(clock)
+            if len(values) >= capacity:
+                self._evict_one()
+            values[key] = key
+            refs_map[key] = refs
+            heap_push(
+                key, refs[0] if len(refs) >= k else clock - _INFANT_OFFSET
+            )
+            cstat.insertions += 1
 
     def _evict_one(self) -> None:
         victim, _prio = self._heap.pop()

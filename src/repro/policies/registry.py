@@ -85,6 +85,12 @@ def make_policy(
         return TrackedLRUCache(
             capacity, tracker_capacity=tracker_capacity, model=model
         )
+    if lowered == "adaptive":
+        from repro.policies.adaptive import AdaptiveArbiter
+
+        return AdaptiveArbiter(
+            capacity, tracker_capacity=tracker_capacity, model=model, k=k
+        )
     if lowered in ("none", "nocache", "null"):
         return NullCache()
     if lowered in ("perfect", "tpc"):

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkloadExhausted
 from repro.workloads.base import KeyGenerator
 
 __all__ = ["Phase", "PhasedWorkload", "RotatingHotSetGenerator"]
@@ -60,12 +60,20 @@ class PhasedWorkload(KeyGenerator):
         """Index of the currently active phase."""
         return self._phase_index
 
+    @property
+    def total_length(self) -> int | None:
+        """Total accesses the schedule serves, or ``None`` if unbounded."""
+        if self._phases[-1].length is None:
+            return None
+        return sum(p.length for p in self._phases)  # type: ignore[misc]
+
     def next_key(self) -> int:
-        while (
-            self._remaining is not None
-            and self._remaining <= 0
-            and self._phase_index + 1 < len(self._phases)
-        ):
+        while self._remaining is not None and self._remaining <= 0:
+            if self._phase_index + 1 >= len(self._phases):
+                raise WorkloadExhausted(
+                    f"{self.describe()} is exhausted after "
+                    f"{self.total_length} accesses"
+                )
             self._phase_index += 1
             self._remaining = self._phases[self._phase_index].length
         if self._remaining is not None:

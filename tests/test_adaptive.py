@@ -1,0 +1,468 @@
+"""Tests for the adaptive policy arbiter (DESIGN.md §14).
+
+Covers the arbiter as a :class:`CachePolicy` (delegation, stats
+continuity across switches, warm handoff, eviction-listener exactness),
+the arbitration decision loop (scoring, hysteresis, patience,
+min-samples guard), the batch/scalar decision equivalence the fused
+run_stream path must preserve, and the engine wiring (ArbitrationSpec
+axis, runner telemetry, spawn safety, default-off byte identity).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.cache import CoTCache
+from repro.engine import (
+    ArbitrationSpec,
+    ClusterRunner,
+    PolicySpec,
+    PolicyStreamRunner,
+    Scale,
+    ScenarioSpec,
+    WorkloadSpec,
+    spawn_safe,
+)
+from repro.errors import ConfigurationError
+from repro.policies.adaptive import AdaptiveArbiter, ArbiterEpoch, sample_hash
+from repro.policies.base import MISSING
+from repro.policies.lru import LRUCache
+from repro.policies.registry import make_policy
+from repro.workloads.zipfian import ZipfianGenerator
+
+
+def zipf_keys(n, key_space=2_000, theta=1.2, seed=7):
+    return list(ZipfianGenerator(key_space, theta=theta, seed=seed).keys(n))
+
+
+class TestSampleHash:
+    def test_int_and_str_are_deterministic_16_bit(self):
+        for key in (0, 1, 12345, 2**40):
+            assert 0 <= sample_hash(key) <= 0xFFFF
+            assert sample_hash(key) == sample_hash(key)
+        assert sample_hash("usertable:17") == sample_hash("usertable:17")
+        assert 0 <= sample_hash("usertable:17") <= 0xFFFF
+
+    def test_other_types_hash_via_repr(self):
+        assert sample_hash((1, 2)) == sample_hash((1, 2))
+
+    def test_int_hash_spreads_low_bits(self):
+        # Sequential ids must not all land in (or out of) the sample.
+        sampled = sum((sample_hash(i) & 0x7) == 0 for i in range(8_000))
+        assert 0.08 < sampled / 8_000 < 0.17  # nominal rate 1/8
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(64, candidates=())
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(64, candidates=("lru", "lru"))
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(64, epoch_length=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(64, sample_shift=17)
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(64, hit_value=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(64, line_cost=-0.1)
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(64, switch_margin=-0.1)
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(64, patience=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(64, min_samples=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(64, initial="nope")
+
+    def test_defaults(self):
+        arbiter = AdaptiveArbiter(64)
+        assert arbiter.candidates == ("lru", "lfu", "arc", "lru2", "cot")
+        assert arbiter.live_name == "lru"
+        assert arbiter.sample_rate == 1 / 64
+        assert arbiter.capacity == 64
+
+    def test_shadows_are_scaled_by_sample_rate(self):
+        arbiter = AdaptiveArbiter(64, sample_shift=3, candidates=("lru",))
+        shadow = arbiter._shadows[0].policy
+        assert shadow.capacity == 64 >> 3
+
+    def test_registry_builds_adaptive(self):
+        policy = make_policy("adaptive", 64, tracker_capacity=256)
+        assert isinstance(policy, AdaptiveArbiter)
+
+
+class TestServingAndStats:
+    def test_delegates_to_live_policy(self):
+        arbiter = AdaptiveArbiter(4, candidates=("lru",), sample_shift=0)
+        arbiter.admit("a", 1)
+        assert arbiter.lookup("a") == 1
+        assert "a" in arbiter
+        assert len(arbiter) == 1
+        assert set(arbiter.cached_keys()) == {"a"}
+        assert dict(arbiter.cached_items()) == {"a": 1}
+        assert arbiter.lookup("b") is MISSING
+        assert arbiter.stats.hits == 1
+        assert arbiter.stats.misses == 1
+
+    def test_stats_accumulate_across_switch(self):
+        arbiter = AdaptiveArbiter(
+            8, candidates=("lru", "lfu"), sample_shift=0, epoch_length=64
+        )
+        for key in zipf_keys(500, key_space=64):
+            if arbiter.lookup(key) is MISSING:
+                arbiter.admit(key, key)
+        stats = arbiter.stats
+        assert stats.hits + stats.misses == 500
+        assert stats.hits > 0
+
+    def test_invalidate_and_update_forward_to_live(self):
+        arbiter = AdaptiveArbiter(4, candidates=("lru",), sample_shift=0)
+        arbiter.lookup("k")  # tick: the shadow admits the ghost entry
+        arbiter.admit("k", "v1")
+        shadow = arbiter._shadows[0].policy
+        # scalar sampled accesses buffer until shadow state is read; peeking
+        # at the shadow directly requires draining the buffer first
+        arbiter._flush_shadows()
+        assert "k" in shadow
+        arbiter.invalidate("k")
+        # the sampled shadow heard the invalidation too (before any
+        # further lookup re-admits the ghost)
+        assert "k" not in shadow
+        assert arbiter.lookup("k") is MISSING
+        assert arbiter.stats.invalidations == 1
+        # writes invalidate the local copy (default record_update), live
+        # and shadow alike
+        arbiter.admit("k", "v2")
+        arbiter.record_update("k")
+        assert "k" not in arbiter
+        assert "k" not in shadow
+
+    def test_resize_reaches_live_and_shadows(self):
+        arbiter = AdaptiveArbiter(64, candidates=("lru",), sample_shift=2)
+        arbiter.resize(32)
+        assert arbiter.capacity == 32
+        assert arbiter.live_policy.capacity == 32
+        assert arbiter._shadows[0].policy.capacity == 32 >> 2
+
+
+class TestArbitration:
+    @staticmethod
+    def lfu_friendly_keys(n, seed=3):
+        """Hot set + one-touch scan: LFU clearly beats LRU."""
+        rng_keys = zipf_keys(n, key_space=1_000, theta=1.3, seed=seed)
+        keys = []
+        scan = 10_000
+        for i, key in enumerate(rng_keys):
+            keys.append(key)
+            if i % 2 == 0:  # interleave a never-repeating scan
+                keys.append(scan)
+                scan += 1
+        return keys
+
+    def test_switches_away_from_losing_policy(self):
+        arbiter = AdaptiveArbiter(
+            32,
+            candidates=("lru", "lfu"),
+            initial="lru",
+            sample_shift=0,
+            epoch_length=512,
+        )
+        arbiter.run_stream(self.lfu_friendly_keys(8_000))
+        assert arbiter.live_name == "lfu"
+        assert arbiter.switches >= 1
+        assert arbiter.epochs > 0
+        assert arbiter.history, "epoch records must accumulate"
+        switch_records = [r for r in arbiter.history if r.switched_to]
+        assert switch_records and switch_records[0].switched_to == "lfu"
+
+    def test_high_margin_blocks_switch(self):
+        arbiter = AdaptiveArbiter(
+            32,
+            candidates=("lru", "lfu"),
+            initial="lru",
+            sample_shift=0,
+            epoch_length=512,
+            switch_margin=10.0,
+        )
+        arbiter.run_stream(self.lfu_friendly_keys(8_000))
+        assert arbiter.live_name == "lru"
+        assert arbiter.switches == 0
+
+    def test_patience_delays_switch(self):
+        impatient = AdaptiveArbiter(
+            32, candidates=("lru", "lfu"), sample_shift=0,
+            epoch_length=512, patience=1,
+        )
+        patient = AdaptiveArbiter(
+            32, candidates=("lru", "lfu"), sample_shift=0,
+            epoch_length=512, patience=3,
+        )
+        keys = self.lfu_friendly_keys(8_000)
+        impatient.run_stream(keys)
+        patient.run_stream(keys)
+        first = next(i for i, r in enumerate(impatient.history) if r.switched_to)
+        later = next(i for i, r in enumerate(patient.history) if r.switched_to)
+        assert later - first >= 2
+
+    def test_min_samples_guard_blocks_decisions(self):
+        arbiter = AdaptiveArbiter(
+            32,
+            candidates=("lru", "lfu"),
+            sample_shift=16,  # nearly nothing sampled
+            epoch_length=256,
+            min_samples=8,
+        )
+        arbiter.run_stream(self.lfu_friendly_keys(4_000))
+        assert arbiter.switches == 0
+
+    def test_close_epoch_flush(self):
+        arbiter = AdaptiveArbiter(8, candidates=("lru",), epoch_length=1 << 20)
+        assert arbiter.close_epoch() is None
+        arbiter.lookup(1)
+        record = arbiter.close_epoch()
+        assert isinstance(record, ArbiterEpoch)
+        assert record.samples == arbiter.samples
+        assert arbiter.close_epoch() is None  # clock reset
+
+    def test_regret_is_nonnegative_and_grows_on_bad_live(self):
+        arbiter = AdaptiveArbiter(
+            32,
+            candidates=("lru", "lfu"),
+            initial="lru",
+            sample_shift=0,
+            epoch_length=512,
+            switch_margin=10.0,  # pinned to the losing policy
+        )
+        arbiter.run_stream(self.lfu_friendly_keys(8_000))
+        assert arbiter.regret > 0
+
+    def test_shadow_hit_rates_exposed_per_candidate(self):
+        arbiter = AdaptiveArbiter(
+            32, candidates=("lru", "lfu"), sample_shift=0, epoch_length=512
+        )
+        arbiter.run_stream(zipf_keys(2_000))
+        rates = arbiter.shadow_hit_rates()
+        assert set(rates) == {"lru", "lfu"}
+        assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+
+
+class TestWarmHandoff:
+    @staticmethod
+    def force_switch(arbiter, to_name="lfu"):
+        record = None
+        for _ in range(200):
+            arbiter.run_stream(
+                TestArbitration.lfu_friendly_keys(arbiter.epoch_length)
+            )
+            if arbiter.live_name == to_name:
+                record = arbiter
+                break
+        assert record is not None, "arbiter never switched"
+
+    def test_incoming_policy_is_seeded_from_outgoing(self):
+        arbiter = AdaptiveArbiter(
+            32, candidates=("lru", "lfu"), initial="lru",
+            sample_shift=0, epoch_length=512,
+        )
+        keys = TestArbitration.lfu_friendly_keys(8_000)
+        # stop right before the first switch to capture the outgoing set
+        first_switch = None
+        probe = AdaptiveArbiter(
+            32, candidates=("lru", "lfu"), initial="lru",
+            sample_shift=0, epoch_length=512,
+        )
+        probe.run_stream(keys)
+        first_switch = next(
+            i for i, r in enumerate(probe.history) if r.switched_to
+        )
+        boundary = (first_switch + 1) * 512
+        arbiter.run_stream(keys[:boundary])
+        outgoing_keys = set(arbiter.live_policy.cached_keys())
+        arbiter.run_stream(keys[boundary : boundary + 512])
+        assert arbiter.live_name == "lfu"
+        live_keys = set(arbiter.live_policy.cached_keys())
+        # the handoff seeded the incoming policy; subsequent accesses may
+        # have churned some entries, but the sets must overlap heavily
+        assert outgoing_keys & live_keys
+
+    def test_dropped_keys_notify_eviction_listeners(self):
+        evicted = []
+        arbiter = AdaptiveArbiter(
+            32, candidates=("lru", "lfu"), initial="lru",
+            sample_shift=0, epoch_length=512,
+        )
+        arbiter.eviction_listeners.append(lambda key: evicted.append(key))
+        cached_before = set()
+
+        keys = TestArbitration.lfu_friendly_keys(12_000)
+        for start in range(0, len(keys), 512):
+            cached_before = set(arbiter.cached_keys())
+            arbiter.run_stream(keys[start : start + 512])
+            if arbiter.switches:
+                break
+        assert arbiter.switches >= 1
+        # every key that silently left the cache during the handoff (or
+        # was evicted by the live policy) was reported
+        gone = cached_before - set(arbiter.cached_keys())
+        assert gone <= set(evicted)
+
+    def test_listeners_keep_firing_after_switch(self):
+        evicted = []
+        arbiter = AdaptiveArbiter(
+            4, candidates=("lru", "lfu"), initial="lru",
+            sample_shift=0, epoch_length=512,
+        )
+        TestWarmHandoff.force_switch(arbiter)
+        evicted.clear()
+        arbiter.eviction_listeners.append(lambda key: evicted.append(key))
+        for i in range(50_000, 50_020):  # tiny cache: must evict
+            if arbiter.lookup(i) is MISSING:
+                arbiter.admit(i, i)
+        assert evicted
+
+    def test_cot_warm_seed_admits_despite_admission_filter(self):
+        outgoing = LRUCache(16)
+        for i in range(16):
+            outgoing.admit(i, i)
+        cot = CoTCache(16, tracker_capacity=64)
+        cot.warm_seed(outgoing.cached_items())
+        assert len(cot) == 16
+        assert set(cot.cached_keys()) == set(range(16))
+
+
+class TestBatchScalarEquivalence:
+    def test_run_stream_matches_per_access_loop(self):
+        keys = zipf_keys(30_000, key_space=5_000, theta=1.1, seed=11)
+
+        def build():
+            return AdaptiveArbiter(
+                128,
+                tracker_capacity=512,
+                epoch_length=1_024,
+                sample_shift=3,
+                initial="lru",
+            )
+
+        batch = build()
+        batch.run_stream(keys)
+        scalar = build()
+        for key in keys:
+            if scalar.lookup(key) is MISSING:
+                scalar.admit(key, key)
+        assert batch.live_name == scalar.live_name
+        assert batch.switches == scalar.switches
+        assert batch.epochs == scalar.epochs
+        assert batch.samples == scalar.samples
+        assert batch.stats.hits == scalar.stats.hits
+        assert batch.stats.misses == scalar.stats.misses
+        batch_path = [r.live for r in batch.history]
+        scalar_path = [r.live for r in scalar.history]
+        assert batch_path == scalar_path
+
+
+class TestEngineAxis:
+    def arbitrated_spec(self, **overrides):
+        defaults = dict(
+            scale=Scale.tiny(),
+            workload=WorkloadSpec(dist="zipf-1.2"),
+            policy=PolicySpec(
+                name="lru",
+                cache_lines=32,
+                tracker_lines=128,
+                arbitration=ArbitrationSpec(
+                    epoch_length=512, sample_shift=1
+                ),
+            ),
+            accesses=6_000,
+        )
+        defaults.update(overrides)
+        return ScenarioSpec(**defaults)
+
+    def test_policy_spec_defaults_to_no_arbitration(self):
+        spec = PolicySpec(name="lru", cache_lines=32)
+        assert spec.arbitration is None
+        assert not isinstance(spec.build(0), AdaptiveArbiter)
+
+    def test_disabled_arbitration_builds_plain_policy(self):
+        spec = PolicySpec(
+            name="cot",
+            cache_lines=32,
+            tracker_lines=128,
+            arbitration=ArbitrationSpec(enabled=False),
+        )
+        assert not isinstance(spec.build(0), AdaptiveArbiter)
+
+    def test_enabled_arbitration_starts_from_spec_policy(self):
+        spec = PolicySpec(
+            name="cot",
+            cache_lines=32,
+            tracker_lines=128,
+            arbitration=ArbitrationSpec(),
+        )
+        policy = spec.build(0)
+        assert isinstance(policy, AdaptiveArbiter)
+        assert policy.live_name == "cot"
+        assert policy.capacity == 32
+
+    def test_initial_outside_candidates_falls_back_to_first(self):
+        spec = PolicySpec(
+            name="perfect",  # not in the candidate set
+            cache_lines=32,
+            arbitration=ArbitrationSpec(candidates=("lru", "lfu")),
+        )
+        policy = spec.build(0)
+        assert isinstance(policy, AdaptiveArbiter)
+        assert policy.live_name == "lru"
+
+    def test_stream_runner_publishes_adaptive_counters(self):
+        result = PolicyStreamRunner().run(self.arbitrated_spec())
+        counters = result.telemetry.counters
+        assert counters["adaptive.epochs"] >= 1
+        assert counters["adaptive.shadow_samples"] > 0
+        assert "adaptive.switches" in counters
+        assert "adaptive.regret" in result.telemetry.gauges
+        shadow_gauges = [
+            name
+            for name in result.telemetry.gauges
+            if name.startswith("adaptive.shadow_hit_rate.")
+        ]
+        assert len(shadow_gauges) == len(result.policy.candidates)
+
+    def test_stream_runner_without_arbitration_publishes_none(self):
+        spec = self.arbitrated_spec(
+            policy=PolicySpec(name="lru", cache_lines=32)
+        )
+        result = PolicyStreamRunner().run(spec)
+        assert not any(
+            name.startswith("adaptive.") for name in result.telemetry.counters
+        )
+        assert not any(
+            name.startswith("adaptive.") for name in result.telemetry.gauges
+        )
+
+    def test_cluster_runner_publishes_adaptive_counters(self):
+        result = ClusterRunner().run(self.arbitrated_spec(accesses=4_000))
+        counters = result.telemetry.counters
+        assert counters["adaptive.epochs"] >= 1
+        assert all(
+            isinstance(client.policy, AdaptiveArbiter)
+            for client in result.front_ends
+        )
+
+    def test_spec_with_arbitration_is_spawn_safe(self):
+        spec = self.arbitrated_spec()
+        assert spawn_safe(spec)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.policy.arbitration == spec.policy.arbitration
+
+    def test_arbitration_spec_validation_happens_at_build(self):
+        spec = PolicySpec(
+            name="lru",
+            cache_lines=32,
+            arbitration=ArbitrationSpec(epoch_length=0),
+        )
+        with pytest.raises(ConfigurationError):
+            spec.build(0)

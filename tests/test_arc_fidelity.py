@@ -1,0 +1,177 @@
+"""ARC fidelity: the repo's ARCCache vs a naive Figure-4 transcription.
+
+:class:`~repro.policies.arc.ARCCache` splits Megiddo & Modha's REQUEST
+routine across ``lookup`` (Case I) and ``admit`` (Cases II-IV) so it fits
+the front-end protocol, keeps ``p`` as a float, and adds invalidate /
+resize extensions. None of that may change a single replacement
+decision, so this module pins it against :class:`ReferenceARC` — a
+deliberately naive, monolithic transcription of the FAST '03 Figure 4
+pseudocode ("ARC(c)" + "REPLACE(x, p)") with no repo idioms — and
+property-tests that hit/miss decisions, the ``p`` trajectory, the cache
+contents (T1/T2, in order) and the ghost lists (B1/B2, in order) agree
+on every access of arbitrary workloads.
+
+The test originally caught a real transcription bug: REPLACE's
+``x ∈ B2 and |T1| = p`` comparison was coded as ``|T1| == int(p)``,
+which fires on any fractional ``p`` with ``⌊p⌋ = |T1|`` — the paper's
+equality (with real-valued ``p``) only holds when ``p`` is integral, so
+ARCCache evicted from T1 where Figure 4 evicts from T2.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.arc import ARCCache
+from repro.policies.base import MISSING
+
+
+class ReferenceARC:
+    """Line-by-line Figure 4 of Megiddo & Modha (FAST 2003).
+
+    One monolithic ``request`` routine, OrderedDicts as the LRU lists
+    (LRU end first), ``p`` a real number. Returns True on hit.
+    """
+
+    def __init__(self, c: int) -> None:
+        self.c = c
+        self.p = 0.0
+        self.t1: OrderedDict = OrderedDict()
+        self.t2: OrderedDict = OrderedDict()
+        self.b1: OrderedDict = OrderedDict()
+        self.b2: OrderedDict = OrderedDict()
+
+    def replace(self, x_in_b2: bool) -> None:
+        t1_len = len(self.t1)
+        if t1_len >= 1 and ((x_in_b2 and t1_len == self.p) or t1_len > self.p):
+            # delete the LRU page in T1; move it to the MRU of B1
+            victim, _ = self.t1.popitem(last=False)
+            self.b1[victim] = None
+        else:
+            # delete the LRU page in T2; move it to the MRU of B2
+            victim, _ = self.t2.popitem(last=False)
+            self.b2[victim] = None
+
+    def request(self, x) -> bool:
+        # Case I: x in T1 u T2 (a hit): move x to MRU of T2.
+        if x in self.t1:
+            self.t2[x] = self.t1.pop(x)
+            return True
+        if x in self.t2:
+            self.t2.move_to_end(x)
+            return True
+        # Case II: x in B1 (a miss): adapt towards recency.
+        if x in self.b1:
+            self.p = min(
+                float(self.c), self.p + max(len(self.b2) / len(self.b1), 1.0)
+            )
+            self.replace(x_in_b2=False)
+            del self.b1[x]
+            self.t2[x] = x
+            return False
+        # Case III: x in B2 (a miss): adapt towards frequency.
+        if x in self.b2:
+            self.p = max(
+                0.0, self.p - max(len(self.b1) / len(self.b2), 1.0)
+            )
+            self.replace(x_in_b2=True)
+            del self.b2[x]
+            self.t2[x] = x
+            return False
+        # Case IV: x is completely new (a miss).
+        l1 = len(self.t1) + len(self.b1)
+        if l1 == self.c:
+            # Case A
+            if len(self.t1) < self.c:
+                self.b1.popitem(last=False)
+                self.replace(x_in_b2=False)
+            else:
+                # B1 is empty: delete the LRU page in T1 (remove from cache)
+                self.t1.popitem(last=False)
+        elif l1 < self.c:
+            # Case B
+            total = l1 + len(self.t2) + len(self.b2)
+            if total >= self.c:
+                if total == 2 * self.c:
+                    self.b2.popitem(last=False)
+                self.replace(x_in_b2=False)
+        self.t1[x] = x
+        return False
+
+
+def drive_both(capacity: int, keys: list[int]):
+    """Feed one key stream through both ARCs, checking after every access."""
+    reference = ReferenceARC(capacity)
+    cache = ARCCache(capacity)
+    for i, key in enumerate(keys):
+        ref_hit = reference.request(key)
+        value = cache.lookup(key)
+        impl_hit = value is not MISSING
+        if not impl_hit:
+            cache.admit(key, key)
+        context = f"access {i} (key {key}, c={capacity})"
+        assert impl_hit == ref_hit, f"hit/miss diverged at {context}"
+        assert cache.p == reference.p, f"p diverged at {context}"
+        assert list(cache._t1) == list(reference.t1), f"T1 diverged at {context}"
+        assert list(cache._t2) == list(reference.t2), f"T2 diverged at {context}"
+        b1, b2 = cache.ghost_keys
+        assert b1 == list(reference.b1), f"B1 diverged at {context}"
+        assert b2 == list(reference.b2), f"B2 diverged at {context}"
+
+
+class TestARCMatchesFigure4:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=12),
+        keys=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=30, max_size=400
+        ),
+    )
+    def test_property_random_streams(self, capacity, keys):
+        drive_both(capacity, keys)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        capacity=st.integers(min_value=2, max_value=16),
+        data=st.data(),
+    )
+    def test_property_dense_reuse_streams(self, capacity, data):
+        """Streams dense enough to keep the directory (T+B) saturated.
+
+        Short shrunk lists rarely reach the fractional-``p`` states where
+        the ``int(p)`` bug bites, so this variant pins the key space to a
+        small multiple of ``c`` and always runs long streams.
+        """
+        key_space = data.draw(
+            st.integers(min_value=capacity, max_value=capacity * 6)
+        )
+        keys = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=key_space - 1),
+                min_size=200,
+                max_size=400,
+            )
+        )
+        drive_both(capacity, keys)
+
+    def test_fractional_p_equality_regression(self):
+        """The minimized stream that caught the ``int(p)`` bug.
+
+        At the final access (a B2 ghost hit on key 3) the state is
+        ``p = 2.5``, ``|T1| = 2``: Figure 4 reads ``|T1| = p`` as false
+        (``p`` is not integral) and REPLACE evicts from T2; the pre-fix
+        code compared ``|T1| == int(p)`` and evicted from T1 instead,
+        leaving T1=[9] / T2=[4, 2, 6, 3] where the paper has
+        T1=[8, 9] / T2=[2, 6, 3].
+        """
+        keys = [0, 1, 2, 3, 0, 4, 5, 5, 3, 6, 7, 7, 8, 4, 9, 2, 6, 3]
+        drive_both(5, keys)
+
+    def test_zipf_like_stream_long(self):
+        # A deterministic skewed stream with revisits, long enough to
+        # exercise every case including DBL overflow at 2c.
+        keys = [((i * i) % 37) % 20 for i in range(3_000)]
+        drive_both(8, keys)

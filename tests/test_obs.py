@@ -420,6 +420,8 @@ def full_bus_snapshot():
         T.HITS, T.MISSES, T.ACCESSES, T.TOTAL_REQUESTS, T.DEGRADED_READS,
         T.RETRIES, T.OPEN_REJECTIONS, T.BREAKER_OPENS, T.BREAKER_CLOSES,
         T.FAILED_INVALIDATIONS, T.INCORRECT_READS,
+        T.DECAY_TRIGGERS, T.DECAY_EPOCH_DECAYS,
+        T.ADAPTIVE_SWITCHES, T.ADAPTIVE_EPOCHS, T.ADAPTIVE_SHADOW_SAMPLES,
     ]
     for i, name in enumerate(canonical):
         bus.inc(name, i + 1)
@@ -546,6 +548,98 @@ class TestPrometheusExport:
         assert series["cot_write_buffered_writes_total"][0][1] > 0
         assert series["cot_write_flushed_writes_total"][0][1] > 0
         assert series["cot_write_peak_dirty_depth"][0][1] <= 4.0
+
+    def test_decay_counters_round_trip_end_to_end(self):
+        """An elastic run's ``decay.*`` telemetry survives render → parse.
+
+        Same shape as the write-mode test above: a real
+        :class:`ClusterRunner` scenario with an elastic front end running
+        :class:`ExponentialDecay`, so the chain decay policy →
+        ``_publish`` → snapshot → exporter → strict parser is exercised
+        end to end (the counters used to live only on the policy object
+        and never reached the bus).
+        """
+        from repro.core.decay import ExponentialDecay
+        from repro.core.elastic import ElasticCoTClient
+        from repro.engine import (
+            ClusterRunner,
+            PolicySpec,
+            ScenarioSpec,
+            TopologySpec,
+            WorkloadSpec,
+        )
+
+        def factory(cluster, _i):
+            return ElasticCoTClient(
+                cluster,
+                target_imbalance=1.1,
+                initial_cache=8,
+                initial_tracker=16,
+                base_epoch=500,
+                decay=ExponentialDecay(rate=0.9),
+            )
+
+        spec = ScenarioSpec(
+            scale=Scale("obs-decay", key_space=500, accesses=6_000,
+                        num_clients=1, num_servers=3),
+            workload=WorkloadSpec(dist="zipf-1.2"),
+            policy=PolicySpec(),
+            topology=TopologySpec(num_clients=1),
+            client_factory=factory,
+            seed=23,
+        )
+        snapshot = ClusterRunner().run(spec).telemetry
+        assert snapshot.counters[T.DECAY_EPOCH_DECAYS] >= 1
+        series = parse_prometheus(render_prometheus(snapshot))
+        for raw in (T.DECAY_TRIGGERS, T.DECAY_EPOCH_DECAYS):
+            name = "cot_" + raw.replace(".", "_") + "_total"
+            assert name in series, f"{name} missing from export"
+            (labels, value) = series[name][0]
+            assert labels["run"] == "0"
+            assert value == float(snapshot.counters[raw])
+        assert series["cot_decay_epoch_decays_total"][0][1] >= 1.0
+
+    def test_adaptive_counters_round_trip_end_to_end(self):
+        """An arbitrated run's ``adaptive.*`` telemetry survives the
+        render → parse round trip, including the per-candidate shadow
+        hit-rate gauges."""
+        from repro.engine import (
+            ArbitrationSpec,
+            PolicySpec,
+            PolicyStreamRunner,
+            ScenarioSpec,
+            WorkloadSpec,
+        )
+
+        spec = ScenarioSpec(
+            scale=Scale("obs-adaptive", key_space=2_000, accesses=8_000,
+                        num_clients=1, num_servers=3),
+            workload=WorkloadSpec(dist="zipf-1.2"),
+            policy=PolicySpec(
+                name="lru",
+                cache_lines=64,
+                tracker_lines=256,
+                arbitration=ArbitrationSpec(epoch_length=512, sample_shift=1),
+            ),
+            seed=29,
+        )
+        result = PolicyStreamRunner().run(spec)
+        snapshot = result.telemetry
+        assert snapshot.counters[T.ADAPTIVE_EPOCHS] >= 1
+        series = parse_prometheus(render_prometheus(snapshot))
+        for raw in (
+            T.ADAPTIVE_SWITCHES, T.ADAPTIVE_EPOCHS, T.ADAPTIVE_SHADOW_SAMPLES
+        ):
+            name = "cot_" + raw.replace(".", "_") + "_total"
+            assert name in series, f"{name} missing from export"
+            assert series[name][0][1] == float(snapshot.counters[raw])
+        assert (
+            series["cot_adaptive_regret"][0][1]
+            == snapshot.gauges[T.ADAPTIVE_REGRET]
+        )
+        for candidate in result.policy.candidates:
+            gauge = f"cot_adaptive_shadow_hit_rate_{candidate}"
+            assert gauge in series, f"{gauge} missing from export"
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,101 @@
+"""Batch ``run_stream`` fast paths must be unobservable.
+
+LRU, LFU, ARC, LRU-2 and CoT override :meth:`CachePolicy.run_stream` with
+loop-inlined fast paths (hoisted attribute lookups, direct stats bumps) so
+the adaptive arbiter's shadow replays stay cheap. These tests drive a twin
+instance through the *base-class* scalar implementation — the semantic
+reference — and assert the two end in byte-identical visible state: cached
+keys in order, full stats, the exact eviction-notification sequence, and
+the policy-specific internals (ARC's ``p``/ghosts, LRU-2's history, LFU's
+frequencies).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies.base import CachePolicy
+from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.workloads.zipfian import ZipfianGenerator
+
+CAPACITY = 64
+TRACKER = 256
+
+
+def _build(name):
+    return make_policy(name, CAPACITY, tracker_capacity=TRACKER)
+
+
+def _visible_state(policy):
+    state = {
+        "cached": list(policy.cached_keys()),
+        "hits": policy.stats.hits,
+        "misses": policy.stats.misses,
+        "insertions": policy.stats.insertions,
+        "evictions": policy.stats.evictions,
+        "epoch_hits": policy.stats.epoch_hits,
+        "epoch_misses": policy.stats.epoch_misses,
+    }
+    name = policy.name
+    if name == "arc":
+        state["p"] = policy.p
+        state["ghosts"] = policy.ghost_keys
+    elif name == "lru2":
+        state["history"] = list(policy._history)
+        state["clock"] = policy._clock
+    elif name == "lfu":
+        state["freqs"] = {k: policy.frequency_of(k) for k in policy.cached_keys()}
+    elif name == "cot":
+        tracker = policy.tracker
+        state["tracked"] = sorted(
+            (key, tracker.hotness_of(key)) for key in tracker._stats
+        )
+        state["h_min"] = policy.h_min()
+    return state
+
+
+def _drive_pair(name, keys):
+    fast = _build(name)
+    slow = _build(name)
+    fast_evicted: list = []
+    slow_evicted: list = []
+    fast.eviction_listeners.append(fast_evicted.append)
+    slow.eviction_listeners.append(slow_evicted.append)
+    fast.run_stream(keys)
+    CachePolicy.run_stream(slow, keys)  # the scalar semantic reference
+    assert fast_evicted == slow_evicted, f"{name}: eviction sequences diverge"
+    assert _visible_state(fast) == _visible_state(slow), f"{name}: state diverges"
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+def test_zipfian_stream_matches_scalar_reference(name):
+    keys = list(ZipfianGenerator(1_000, theta=0.99, seed=7).keys(20_000))
+    _drive_pair(name, keys)
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+def test_scan_then_reuse_matches_scalar_reference(name):
+    """Sequential flood then dense reuse — exercises ghost/history paths."""
+    keys = list(range(400)) + [i % 37 for i in range(3_000)] + list(range(200, 500))
+    _drive_pair(name, keys)
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+def test_interleaved_batches_match_scalar_reference(name):
+    """State carried across multiple run_stream calls stays aligned."""
+    fast = _build(name)
+    slow = _build(name)
+    for seed in (1, 2, 3):
+        keys = list(ZipfianGenerator(300, theta=1.2, seed=seed).keys(4_000))
+        fast.run_stream(keys)
+        CachePolicy.run_stream(slow, keys)
+    assert _visible_state(fast) == _visible_state(slow)
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+def test_zero_capacity_stream(name):
+    policy = make_policy(name, 0, tracker_capacity=TRACKER)
+    policy.run_stream([1, 2, 3, 1, 2])
+    assert len(policy) == 0
+    assert policy.stats.misses == 5
+    assert policy.stats.hits == 0

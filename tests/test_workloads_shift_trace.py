@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkloadExhausted
 from repro.workloads.base import format_key
 from repro.workloads.mixer import OperationMixer
 from repro.workloads.request import OpType, Request
@@ -53,6 +53,75 @@ class TestPhasedWorkload:
     def test_describe(self):
         gen = UniformGenerator(10, seed=1)
         assert "phased" in PhasedWorkload([Phase(gen, None)]).describe()
+
+    def test_total_length(self):
+        gen = UniformGenerator(10, seed=1)
+        assert PhasedWorkload([Phase(gen, 5), Phase(gen, 7)]).total_length == 12
+        assert PhasedWorkload([Phase(gen, 5), Phase(gen, None)]).total_length is None
+
+    def test_bounded_final_phase_exhausts_next_key(self):
+        a = UniformGenerator(10, seed=1)
+        b = UniformGenerator(10, seed=2)
+        phased = PhasedWorkload([Phase(a, 3), Phase(b, 4)])
+        drawn = [phased.next_key() for _ in range(7)]
+        assert len(drawn) == 7
+        assert phased.phase_index == 1
+        with pytest.raises(WorkloadExhausted):
+            phased.next_key()
+        # The error is sticky: further draws keep raising.
+        with pytest.raises(WorkloadExhausted):
+            phased.next_key()
+
+    def test_bounded_single_phase_exhausts(self):
+        phased = PhasedWorkload([Phase(UniformGenerator(10, seed=3), 5)])
+        list(phased.keys(5))
+        with pytest.raises(WorkloadExhausted):
+            phased.next_key()
+
+    def test_phase_boundary_counts_per_generator(self):
+        # Each phase generator must serve exactly its configured length:
+        # draws 1-10 come from phase 0, draws 11-20 from phase 1, draw 21
+        # raises. The index flips on the 11th draw, not the 10th.
+        phased = PhasedWorkload(
+            [
+                Phase(UniformGenerator(4, seed=4), 10),
+                Phase(UniformGenerator(4, seed=5), 10),
+            ]
+        )
+        observed = []
+        for _ in range(20):
+            phased.next_key()
+            observed.append(phased.phase_index)
+        assert observed == [0] * 10 + [1] * 10
+        with pytest.raises(WorkloadExhausted):
+            phased.next_key()
+
+    def test_bounded_final_phase_exhausts_keys_array(self):
+        a = UniformGenerator(10, seed=6)
+        b = UniformGenerator(10, seed=7)
+        phased = PhasedWorkload([Phase(a, 8), Phase(b, 8)])
+        arr = phased.keys_array(16)
+        assert len(arr) == 16
+        with pytest.raises(WorkloadExhausted):
+            phased.keys_array(1)
+
+    def test_keys_array_overrun_raises(self):
+        phased = PhasedWorkload([Phase(UniformGenerator(10, seed=8), 4)])
+        with pytest.raises(WorkloadExhausted):
+            phased.keys_array(5)
+
+    def test_batch_draws_match_scalar_draws(self):
+        def build() -> PhasedWorkload:
+            return PhasedWorkload(
+                [
+                    Phase(ZipfianGenerator(64, theta=1.2, seed=9), 33),
+                    Phase(UniformGenerator(64, seed=10), 31),
+                ]
+            )
+
+        one = build()
+        scalar = [one.next_key() for _ in range(64)]
+        assert list(build().keys_array(64)) == scalar
 
 
 class TestRotatingHotSet:

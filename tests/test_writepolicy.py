@@ -535,6 +535,37 @@ class TestCostAwareController:
         assert decision.kind is DecisionKind.DECAY
         assert decision.decay
 
+    def test_decay_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostAwareController(decay_epsilon=-0.1)
+
+    def test_no_decay_thrash_on_stationary_stream(self):
+        # Regression: at steady state a stationary workload keeps
+        # alpha_k_c a hair above alpha_c (sampling noise, not staleness).
+        # Without a dead band the controller issued DECAY every epoch,
+        # halving all hotness continuously. Inside the epsilon band the
+        # decision must be NONE, epoch after epoch.
+        ctrl = CostAwareController(
+            warmup_epochs=0, hit_value=1.0, line_cost=0.05, decay_epsilon=0.05
+        )
+        decays = 0
+        for _ in range(50):
+            decision = ctrl.observe(
+                cost_snapshot(alpha_c=0.050, alpha_k_c=0.0505)
+            )
+            assert not decision.resized
+            decays += decision.kind is DecisionKind.DECAY
+        assert decays == 0
+        # A genuine Case-2 signal (outside the band, but below the expand
+        # threshold of target * hysteresis) still decays.
+        breach = ctrl.observe(cost_snapshot(alpha_c=0.05, alpha_k_c=0.06))
+        assert breach.kind is DecisionKind.DECAY
+
+    def test_decay_epsilon_zero_restores_legacy_trigger(self):
+        ctrl = CostAwareController(warmup_epochs=0, decay_epsilon=0.0)
+        decision = ctrl.observe(cost_snapshot(alpha_c=0.050, alpha_k_c=0.0505))
+        assert decision.kind is DecisionKind.DECAY
+
     def test_respects_rails(self):
         ctrl = CostAwareController(warmup_epochs=0, line_cost=0.05, max_cache=8)
         held = ctrl.observe(cost_snapshot(cache=8, alpha_k_c=10.0))
