@@ -101,6 +101,25 @@ Both modes also price the :class:`~repro.policies.adaptive.AdaptiveArbiter`
   (5%) of the best fixed policy for that window.
 
 ``--adaptive`` runs only this measurement.
+
+Network-plane gate
+------------------
+Both modes also exercise the socket data plane (:mod:`repro.net`):
+
+* **throughput**: the multi-process closed-loop harness (spawned asyncio
+  shard servers + pipelined front-end clients over real TCP sockets)
+  reports wall-clock requests/sec and requests/sec/core, plus the
+  latency distribution from ``perf_counter_ns`` timings.
+* **pipelining**: the same request stream is driven through one
+  connection at concurrency 1 (strict request/response lockstep) and at
+  depth 32 (pipelined). Check mode gates ``pipelined >= 3x unpipelined``
+  — the whole point of the wire format is amortizing round trips.
+* **equivalence**: a 10k-request mixed stream replays through the
+  in-process plane and the socket plane with identical seeds; every
+  front-end cache decision, shard counter, and storage counter must
+  match exactly (the two-plane contract of DESIGN.md §15).
+
+``--network`` runs only this measurement.
 """
 
 from __future__ import annotations
@@ -496,6 +515,93 @@ def check_adaptive(record: dict | None = None) -> int:
     return 0
 
 
+#: Required pipelined-vs-lockstep speedup at NETWORK_PIPELINE_DEPTH.
+NETWORK_PIPELINE_TARGET = 3.0
+NETWORK_PIPELINE_DEPTH = 32
+#: closed-loop harness sizing (kept small: the gate runs on 1-CPU CI)
+NETWORK_LOAD_SERVERS = 2
+NETWORK_LOAD_CLIENTS = 2
+NETWORK_LOAD_REQUESTS = 5_000
+#: equivalence-stream length (the ISSUE's 10k-request contract)
+NETWORK_EQUIVALENCE_ACCESSES = 10_000
+
+
+def measure_network() -> dict:
+    """Socket-plane probes: harness throughput, pipelining, equivalence."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.net.harness import (
+        decision_equivalence,
+        measure_pipelining,
+        run_network_load,
+    )
+
+    report = run_network_load(
+        num_servers=NETWORK_LOAD_SERVERS,
+        num_clients=NETWORK_LOAD_CLIENTS,
+        requests_per_client=NETWORK_LOAD_REQUESTS,
+    )
+    pipelining = measure_pipelining(depth=NETWORK_PIPELINE_DEPTH)
+    equal, _in_process, _networked = decision_equivalence(
+        accesses=NETWORK_EQUIVALENCE_ACCESSES
+    )
+    histogram = report.histogram
+    return {
+        "servers": report.num_servers,
+        "clients": report.num_clients,
+        "concurrency": report.concurrency,
+        "requests": report.requests,
+        "elapsed_s": report.elapsed,
+        "requests_per_sec": report.throughput,
+        "requests_per_sec_per_core": report.throughput_per_core,
+        "cpu_count": os.cpu_count() or 1,
+        "latency_p50_us": histogram.percentile(50) * 1e6,
+        "latency_p99_us": histogram.percentile(99) * 1e6,
+        "pipelining": pipelining,
+        "decision_equivalent": equal,
+        "equivalence_accesses": NETWORK_EQUIVALENCE_ACCESSES,
+    }
+
+
+def check_network(record: dict | None = None) -> int:
+    """Gate: pipelining must pay >= 3x and both planes must agree."""
+    record = record if record is not None else measure_network()
+    pipelining = record["pipelining"]
+    speedup = pipelining["speedup"]
+    print(f"network plane — {record['servers']} shard server(s), "
+          f"{record['clients']} client process(es) x concurrency "
+          f"{record['concurrency']}, {record['cpu_count']} cpu(s):")
+    print(f"  throughput {record['requests_per_sec']:>12,.0f} req/s  "
+          f"({record['requests_per_sec_per_core']:,.0f} req/s/core; "
+          f"p50 {record['latency_p50_us']:,.0f}us, "
+          f"p99 {record['latency_p99_us']:,.0f}us)")
+    print(f"  pipelining lockstep {pipelining['unpipelined']:>10,.0f} req/s  "
+          f"depth-{pipelining['depth']:.0f} {pipelining['pipelined']:>10,.0f} "
+          f"req/s  (speedup {speedup:.2f}x, target >= "
+          f"{NETWORK_PIPELINE_TARGET:g}x)")
+    print(f"  decision equivalence on {record['equivalence_accesses']:,} "
+          f"requests: {'identical' if record['decision_equivalent'] else 'DIVERGED'}")
+    failed = []
+    if speedup < NETWORK_PIPELINE_TARGET:
+        failed.append(
+            f"pipelining speedup {speedup:.2f}x below "
+            f"{NETWORK_PIPELINE_TARGET:g}x at depth {pipelining['depth']:.0f}"
+        )
+    if not record["decision_equivalent"]:
+        failed.append(
+            "socket plane diverged from the in-process plane on the "
+            "equivalence stream"
+        )
+    if failed:
+        print("\nnetwork gate FAILED:")
+        for reason in failed:
+            print(f"  - {reason}")
+        return 1
+    print("network gate passed")
+    return 0
+
+
 #: Required fig4-grid speedup at 4 workers (hosts with >= 4 CPUs).
 SCALING_TARGET = 2.0
 SCALING_WORKERS = 4
@@ -851,6 +957,7 @@ def record(label: str) -> None:
     hot_key = measure_hot_key()
     write_path = measure_write_path()
     adaptive = measure_adaptive()
+    network = measure_network()
     entries = load_entries()
     entries.append(
         {
@@ -863,6 +970,7 @@ def record(label: str) -> None:
             "hot_key": hot_key,
             "write_path": write_path,
             "adaptive": adaptive,
+            "network": network,
         }
     )
     save_entries(entries)
@@ -883,6 +991,11 @@ def record(label: str) -> None:
               f"{name}={'yes' if all(s['converged']) else 'NO'}"
               for name, s in adaptive["scenarios"].items()
           ))
+    print(f"  network {network['requests_per_sec']:,.0f} req/s "
+          f"({network['requests_per_sec_per_core']:,.0f} req/s/core), "
+          f"pipelining {network['pipelining']['speedup']:.2f}x, "
+          f"equivalence "
+          f"{'ok' if network['decision_equivalent'] else 'DIVERGED'}")
 
 
 def check(threshold: float, against: str | None, overhead_threshold: float) -> int:
@@ -950,7 +1063,11 @@ def check(threshold: float, against: str | None, overhead_threshold: float) -> i
     if status:
         return status
     print()
-    return check_adaptive()
+    status = check_adaptive()
+    if status:
+        return status
+    print()
+    return check_network()
 
 
 def main() -> int:
@@ -1007,6 +1124,13 @@ def main() -> int:
         "to the best fixed policy on every ext-adaptive scenario)",
     )
     parser.add_argument(
+        "--network",
+        action="store_true",
+        help="run only the network-plane gate (closed-loop socket harness "
+        "throughput, pipelining speedup at depth 32, two-plane decision "
+        "equivalence)",
+    )
+    parser.add_argument(
         "--overhead-threshold",
         type=float,
         default=0.05,
@@ -1024,6 +1148,8 @@ def main() -> int:
         return check_tracing_overhead(args.overhead_threshold)
     if args.adaptive:
         return check_adaptive()
+    if args.network:
+        return check_network()
     if args.check:
         return check(args.threshold, args.against, args.overhead_threshold)
     record(args.label)

@@ -9,11 +9,11 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== hygiene =="
 # Committed bytecode / tool caches are repo rot: fail fast if any sneak in.
-if git ls-files | grep -E '(^|/)__pycache__/|\.py[cod]$|(^|/)\.pytest_cache/|(^|/)\.benchmarks/|\.egg-info(/|$)' ; then
-    echo "tracked build/bytecode artifacts found (see above); git rm them" >&2
+if git ls-files | grep -E '(^|/)__pycache__/|\.py[cod]$|(^|/)\.pytest_cache/|(^|/)\.benchmarks/|\.egg-info(/|$)|^benchmarks/output/' ; then
+    echo "tracked build/bytecode/benchmark-output artifacts found (see above); git rm them" >&2
     exit 1
 fi
-echo "(no tracked bytecode or tool-cache artifacts)"
+echo "(no tracked bytecode, tool-cache, or benchmark-output artifacts)"
 
 echo "== lint =="
 if python -m ruff --version >/dev/null 2>&1; then
@@ -69,6 +69,14 @@ echo "== write smoke =="
 # attached cache-aside strategy is observation-identical to the inline
 # write body, and write-behind's chaos loss stays within dirty_limit.
 python scripts/write_smoke.py
+
+echo "== net smoke =="
+# The socket data plane must carry real traffic: 2 asyncio shard servers
+# + pipelined clients on ephemeral localhost ports, pipelining beating
+# lockstep, and a 10k-request stream making byte-identical cache
+# decisions on both planes. Hard 60s ceiling: a hung socket is a bug,
+# not a slow test.
+timeout 60 python scripts/net_smoke.py
 
 echo "== adaptive smoke =="
 # The adaptive arbiter must keep its price and its tracking: the shadow

@@ -349,6 +349,9 @@ class TopologyCase:
     write_mode: str = "cache-aside"
     dirty_limit: int = 3
     ttl: int = 8
+    #: serve the shards over localhost sockets (the repro.net plane) so
+    #: kill/revive churn exercises real connection teardown + reconnect
+    network: bool = False
 
     def __str__(self) -> str:  # readable hypothesis failure output
         return self.name
@@ -375,6 +378,14 @@ class ClusterHarness:
             storage=self.storage,
             faults=self.faults,
         )
+        self.plane = None
+        if case.network:
+            from repro.net.plane import NetworkPlane  # deferred: tier-1 import cost
+
+            self.plane = NetworkPlane(self.cluster).start()
+        #: what front ends bind to — the socket plane when the case asks
+        #: for one, the in-process cluster otherwise (same duck type)
+        self.target = self.plane if self.plane is not None else self.cluster
         self.bus = InvalidationBus() if case.coherent else None
         self.router: HotKeyRouter | None = None
         if case.replicated:
@@ -383,7 +394,7 @@ class ClusterHarness:
             # point — the replicated read/write/quarantine paths must
             # hold invariants under maximal churn.
             self.router = HotKeyRouter(
-                self.cluster,
+                self.target,
                 ReplicationConfig(
                     degree=2,
                     choices=2,
@@ -398,7 +409,7 @@ class ClusterHarness:
             self.write_policy = make_write_policy(
                 case.write_mode, dirty_limit=case.dirty_limit, ttl=case.ttl
             )
-            self.write_policy.bind_cluster(self.cluster)
+            self.write_policy.bind_cluster(self.target)
         self.front_ends: list[ElasticCoTClient] = []
         for i in range(case.num_front_ends):
             kwargs = dict(
@@ -411,10 +422,10 @@ class ClusterHarness:
             )
             if case.coherent:
                 client: ElasticCoTClient = CoherentElasticCoTClient(
-                    self.cluster, self.bus, **kwargs
+                    self.target, self.bus, **kwargs
                 )
             else:
-                client = ElasticCoTClient(self.cluster, **kwargs)
+                client = ElasticCoTClient(self.target, **kwargs)
             if self.router is not None:
                 client.attach_router(self.router, seed=seed * 17 + i)
             if self.write_policy is not None:
@@ -436,6 +447,25 @@ class ClusterHarness:
                 seed=index,
             )
         return ClusterGuard(self.cluster.server_ids, seed=index)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def kill_server(self, server_id: str) -> None:
+        """Take a shard down — and, on the socket plane, drop its sockets.
+
+        A real instance failure severs live TCP connections; routing the
+        kill through here makes the fuzzer exercise the client's
+        reconnect path, not just the injected-fault path.
+        """
+        self.cluster.kill_server(server_id)
+        if self.plane is not None:
+            self.plane.drop_connections(server_id)
+
+    def close(self) -> None:
+        """Tear down the socket plane (no-op for in-process cases)."""
+        if self.plane is not None:
+            self.plane.close()
+            self.plane = None
 
     # ---------------------------------------------------------- inspection
 

@@ -343,6 +343,9 @@ def cluster_spec_parallelizable(spec: ScenarioSpec) -> bool:
     * no write-path strategy and no bespoke operation mixer — a shared
       write policy (dirty buffers, logical clock) cannot span processes,
       and a ``mixer_factory`` drive issues writes;
+    * no socket data plane — a network-enabled topology holds live
+      sockets and a loop thread (and is already measuring real I/O;
+      the in-process process-drive would measure something else);
     * at least two front ends (one gains nothing from a process), and
       the spec must survive pickling.
 
@@ -360,6 +363,7 @@ def cluster_spec_parallelizable(spec: ScenarioSpec) -> bool:
         and spec.topology.faults is None
         and not spec.topology.replication.enabled
         and not spec.topology.write.enabled
+        and not spec.topology.network.enabled
         and workload.mixer_factory is None
         and (workload.read_fraction is None or workload.read_fraction >= 1.0)
         and spec.num_clients >= 2

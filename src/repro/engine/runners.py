@@ -185,6 +185,32 @@ def _publish_adaptive(bus: TelemetryBus, policies: list[CachePolicy]) -> None:
         bus.set_gauge(f"adaptive.shadow_hit_rate.{name}", total / weights[name])
 
 
+def _publish_net(bus: TelemetryBus, net: dict[str, Any]) -> None:
+    """Publish ``net.*`` telemetry from a network plane's wire counters.
+
+    Only network-enabled runs call this (default runs publish no ``net.*``
+    names at all, keeping them byte-identical). The batch-depth
+    distribution is published as a histogram whose observations are the
+    coalesced-flush depths (requests per socket write).
+    """
+    bus.inc(T.NET_CONNECTIONS, net["connections"])
+    bus.inc(T.NET_RECONNECTS, net["reconnects"])
+    bus.inc(T.NET_REQUESTS, net["requests"])
+    bus.inc(T.NET_BATCHES, net["batches"])
+    bus.inc(T.NET_TIMEOUTS, net["timeouts"])
+    bus.inc(T.NET_PROTOCOL_ERRORS, net["protocol_errors"])
+    bus.inc(T.NET_FAULT_ERRORS, net["fault_errors"])
+    bus.inc(T.NET_BYTES_IN, net["bytes_in"])
+    bus.inc(T.NET_BYTES_OUT, net["bytes_out"])
+    depths = net.get("batch_depths") or {}
+    if depths:
+        histogram = LatencyHistogram()
+        for depth, count in sorted(depths.items()):
+            for _ in range(count):
+                histogram.record(float(depth))
+        bus.record_histogram(T.NET_BATCH_DEPTH, histogram)
+
+
 # --------------------------------------------------------------------------
 # cluster runs
 
@@ -245,7 +271,6 @@ class ClusterRunner:
 
         if parallel.should_use_process_drive(spec):
             return parallel.ParallelClusterRunner().run(spec)
-        scale = spec.scale
         topology = spec.topology
         cluster = CacheCluster(
             num_servers=spec.num_servers,
@@ -257,13 +282,36 @@ class ClusterRunner:
         num_clients = spec.num_clients
         if num_clients < 1:
             raise ConfigurationError("cluster scenario needs >= 1 front end")
+        # The socket-plane axis (default off → `target is cluster`, the
+        # classic byte-identical path): front ends, router and write
+        # policy all talk to the plane facade, so every shard hop —
+        # reads, writes, replica invalidations — crosses the wire.
+        plane = None
+        if topology.network.enabled:
+            plane = topology.network.build_plane(cluster)
+        target = cluster if plane is None else plane
+        try:
+            return self._run_on(spec, cluster, target, plane, num_clients)
+        finally:
+            if plane is not None:
+                plane.close()
+
+    def _run_on(
+        self,
+        spec: ScenarioSpec,
+        cluster: CacheCluster,
+        target: Any,
+        plane: Any,
+        num_clients: int,
+    ) -> "ScenarioResult":
+        topology = spec.topology
         if spec.client_factory is not None:
             front_ends = [
-                spec.client_factory(cluster, i) for i in range(num_clients)
+                spec.client_factory(target, i) for i in range(num_clients)
             ]
         else:
             front_ends = [
-                FrontEndClient(cluster, spec.policy.build(i), client_id=f"front-{i}")
+                FrontEndClient(target, spec.policy.build(i), client_id=f"front-{i}")
                 for i in range(num_clients)
             ]
         if spec.tracer is not None:
@@ -275,7 +323,7 @@ class ClusterRunner:
         if topology.replication.enabled:
             # One shared router per run (the agreement layer); each front
             # end keeps its own independently-seeded choice RNG.
-            router = HotKeyRouter(cluster, topology.replication.build_config())
+            router = HotKeyRouter(target, topology.replication.build_config())
             for i, client in enumerate(front_ends):
                 client.attach_router(
                     router, seed=spec.base_seed + REPLICA_ROUTE_SEED_OFFSET + i
@@ -285,7 +333,7 @@ class ClusterRunner:
             # One shared strategy per run (dirty buffers / logical clock
             # are cluster state); the default mode builds nothing at all.
             write_policy = topology.write.build_policy()
-            write_policy.bind_cluster(cluster)
+            write_policy.bind_cluster(target)
             for client in front_ends:
                 client.attach_write_policy(write_policy)
 
@@ -305,6 +353,8 @@ class ClusterRunner:
             )
 
         self._publish(spec, cluster, front_ends, driven, bus, router, write_policy)
+        if plane is not None:
+            _publish_net(bus, plane.telemetry())
         return ScenarioResult(
             spec,
             bus.snapshot(),

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 __all__ = [
     "ArbitrationSpec",
+    "NetworkSpec",
     "Phase",
     "PolicySpec",
     "ReplicationSpec",
@@ -329,6 +330,45 @@ class WriteSpec:
 
 
 @dataclass(frozen=True)
+class NetworkSpec:
+    """The socket data plane axis (default: off, byte-identical).
+
+    With ``enabled=False`` (the default everywhere) the runner builds
+    the classic in-process plane — every registered experiment stays
+    byte-identical, pinned by the golden tests. When enabled, the
+    runner wraps the run's cluster in a
+    :class:`~repro.net.plane.NetworkPlane`: each shard is served over a
+    localhost TCP socket by an asyncio memcached-protocol server and
+    front ends reach it through the pipelined transport
+    (DESIGN.md §15). Decisions are identical by construction — the
+    equivalence gate (:func:`repro.net.harness.decision_equivalence`)
+    enforces it — but the run pays (and ``net.*`` telemetry measures)
+    real serialization and syscall cost.
+    """
+
+    enabled: bool = False
+    host: str = "127.0.0.1"
+    #: persistent connections per shard in the front-end pool
+    pool_size: int = 1
+    #: bounded per-connection inflight queue (server backpressure)
+    inflight_limit: int = 256
+    #: per-request client timeout (seconds) → ``ShardTimeoutError``
+    timeout: float = 5.0
+
+    def build_plane(self, cluster: "CacheCluster") -> "Any":
+        """The started socket plane this spec describes."""
+        from repro.net.plane import NetworkPlane
+
+        return NetworkPlane(
+            cluster,
+            host=self.host,
+            pool_size=self.pool_size,
+            inflight_limit=self.inflight_limit,
+            timeout=self.timeout,
+        ).start()
+
+
+@dataclass(frozen=True)
 class TopologySpec:
     """Cluster shape: shards, front ends, capacities, storage, faults.
 
@@ -345,6 +385,8 @@ class TopologySpec:
     replication: ReplicationSpec = field(default_factory=ReplicationSpec)
     #: write-path coherence axis; the default is inline cache-aside
     write: WriteSpec = field(default_factory=WriteSpec)
+    #: socket data plane axis; the default is the in-process simulator
+    network: NetworkSpec = field(default_factory=NetworkSpec)
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,16 @@ __all__ = [
     "HITS",
     "INCORRECT_READS",
     "MISSES",
+    "NET_BATCHES",
+    "NET_BATCH_DEPTH",
+    "NET_BYTES_IN",
+    "NET_BYTES_OUT",
+    "NET_CONNECTIONS",
+    "NET_FAULT_ERRORS",
+    "NET_PROTOCOL_ERRORS",
+    "NET_RECONNECTS",
+    "NET_REQUESTS",
+    "NET_TIMEOUTS",
     "OPEN_REJECTIONS",
     "REQUEST_LATENCY",
     "RETRIES",
@@ -107,6 +117,25 @@ ADAPTIVE_SWITCHES = "adaptive.switches"
 ADAPTIVE_EPOCHS = "adaptive.epochs"
 ADAPTIVE_SHADOW_SAMPLES = "adaptive.shadow_samples"
 ADAPTIVE_REGRET = "adaptive.regret"
+
+# Network data plane counters (published only on runs whose topology
+# enables the NetworkSpec axis, and by the net load harness; absent
+# counters read as 0). bytes_in/bytes_out aggregate both directions of
+# both sides; "net.pipelined_batches" counts write-coalescing flushes
+# and the NET_BATCH_DEPTH histogram records the depth of each (the
+# pipelining-effectiveness distribution, DESIGN.md §15).
+NET_CONNECTIONS = "net.connections"
+NET_RECONNECTS = "net.reconnects"
+NET_REQUESTS = "net.requests"
+NET_BATCHES = "net.pipelined_batches"
+NET_TIMEOUTS = "net.timeouts"
+NET_PROTOCOL_ERRORS = "net.protocol_errors"
+NET_FAULT_ERRORS = "net.fault_errors"
+NET_BYTES_IN = "net.bytes_in"
+NET_BYTES_OUT = "net.bytes_out"
+
+#: histogram of pipelined batch depths (requests per coalesced flush)
+NET_BATCH_DEPTH = "net.batch_depth"
 
 #: Canonical histogram name for the per-request latency distribution
 #: (timed runners publish it; the Prometheus exporter renders it as a

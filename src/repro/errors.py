@@ -49,6 +49,16 @@ class ShardFlakyError(ShardFailure):
     """A probabilistic (flaky-network / partial-failure) error."""
 
 
+class ProtocolError(ClusterError):
+    """A wire-protocol exchange was malformed (net plane, non-retryable).
+
+    Raised client-side when a shard server answers ``ERROR`` /
+    ``CLIENT_ERROR`` or the response stream cannot be parsed. Unlike
+    :class:`ShardFailure` this is a programming/config error, not a
+    transient fault — the retry layer must *not* retry it.
+    """
+
+
 class ShardUnavailableError(ClusterError):
     """The retry layer gave up on a shard for this operation.
 

@@ -1,0 +1,34 @@
+"""The socket data plane: memcached-protocol shard servers + client.
+
+Two planes serve the same decision logic (DESIGN.md §15):
+
+* the **in-process plane** — the deterministic simulator the experiments
+  run on (:mod:`repro.cluster`), where shard calls are object calls;
+* the **network plane** (this package) — real asyncio socket servers
+  speaking a memcached-style text protocol (:mod:`repro.net.server`), a
+  pipelined front-end transport (:mod:`repro.net.client`), and a
+  closed-loop multi-process load harness (:mod:`repro.net.harness`).
+
+The :class:`~repro.net.plane.NetworkPlane` facade makes a
+:class:`~repro.cluster.cluster.CacheCluster` reachable over localhost
+sockets while preserving the client-facing surface, so the unchanged
+:class:`~repro.cluster.client.FrontEndClient` makes byte-identical cache
+decisions on either plane — the equivalence gate
+(:func:`repro.net.harness.decision_equivalence`) asserts exactly that.
+"""
+
+from repro.net.proto import (
+    MAX_KEY_BYTES,
+    RequestDecoder,
+    ResponseDecoder,
+    dump_value,
+    load_value,
+)
+
+__all__ = [
+    "MAX_KEY_BYTES",
+    "RequestDecoder",
+    "ResponseDecoder",
+    "dump_value",
+    "load_value",
+]

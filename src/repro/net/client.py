@@ -1,0 +1,301 @@
+"""Pipelined asyncio front-end transport for the shard servers.
+
+Three layers (DESIGN.md §15):
+
+* :class:`Connection` — one persistent socket with **request
+  pipelining**: requests are written immediately (a shared lazy-drain
+  task coalesces concurrent writes into one syscall) and a FIFO of
+  futures matches responses back to requests in order. Head-of-line
+  semantics match memcached: responses come back in request order.
+* :class:`ShardEndpoint` — a **connection pool** per shard; each
+  request picks the pooled connection with the fewest inflight
+  requests, reconnecting lazily (and counting reconnects) after a drop.
+  Timeouts and socket errors map onto the *existing* failure taxonomy —
+  :class:`~repro.errors.ShardTimeoutError` /
+  :class:`~repro.errors.ShardDownError` — so the unchanged
+  ``RetryPolicy``/``CircuitBreaker`` layer retries and trips exactly as
+  it does on the in-process plane; ``SERVER_ERROR`` frames reconstruct
+  the injected exception type via :func:`repro.net.proto.decode_failure`.
+* :class:`NetClientStats` — wire counters (bytes, timeouts, reconnects,
+  pipelined batch depths) that surface as ``net.*`` telemetry.
+
+A ``get_many`` is **one wire round-trip per shard**: the caller groups
+keys by ring owner and sends one multi-key ``get`` per group.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+from repro.errors import (
+    ProtocolError,
+    ShardDownError,
+    ShardTimeoutError,
+)
+from repro.net import proto
+from repro.net.proto import (
+    DeleteCommand,
+    GetCommand,
+    Reply,
+    ResponseDecoder,
+    SetCommand,
+    TouchCommand,
+)
+from repro.policies.base import MISSING
+
+__all__ = ["Connection", "NetClientStats", "ShardEndpoint"]
+
+_READ_SIZE = 1 << 16
+
+
+@dataclass
+class NetClientStats:
+    """Client-side wire counters (feeds ``net.*`` telemetry)."""
+
+    connections: int = 0
+    reconnects: int = 0
+    requests: int = 0
+    batches: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: write-coalescing depth distribution: {depth: flushes at that depth}
+    batch_depths: dict[int, int] = field(default_factory=dict)
+
+    def note_batch(self, depth: int) -> None:
+        self.batches += 1
+        self.batch_depths[depth] = self.batch_depths.get(depth, 0) + 1
+
+
+class Connection:
+    """One pipelined persistent connection to a shard server."""
+
+    def __init__(self, reader, writer, stats: NetClientStats) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.stats = stats
+        self.decoder = ResponseDecoder()
+        self.pending: "asyncio.Queue[asyncio.Future] | None" = None
+        self._fifo: list[asyncio.Future] = []
+        self._written_since_drain = 0
+        self._drain_task: asyncio.Task | None = None
+        self._recv_task = asyncio.ensure_future(self._receive_loop())
+        self.dead = False
+
+    @classmethod
+    async def open(cls, host: str, port: int, stats: NetClientStats) -> "Connection":
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            raise ShardDownError(f"connect to {host}:{port} failed: {exc}") from exc
+        stats.connections += 1
+        return cls(reader, writer, stats)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._fifo)
+
+    def request(self, payload: bytes) -> "asyncio.Future[Reply]":
+        """Pipeline one encoded request; the future resolves to its reply.
+
+        The write lands in the stream buffer immediately; one lazy drain
+        task per burst flushes everything written since the last flush
+        in a single syscall (the client-side half of pipelining).
+        """
+        if self.dead:
+            raise ShardDownError("connection is closed")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._fifo.append(future)
+        self.stats.requests += 1
+        self.stats.bytes_out += len(payload)
+        self.writer.write(payload)
+        self._written_since_drain += 1
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.ensure_future(self._drain())
+        return future
+
+    async def _drain(self) -> None:
+        depth, self._written_since_drain = self._written_since_drain, 0
+        self.stats.note_batch(depth)
+        try:
+            await self.writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._fail_all(ShardDownError(f"connection lost: {exc}"))
+
+    async def _receive_loop(self) -> None:
+        try:
+            while True:
+                data = await self.reader.read(_READ_SIZE)
+                if not data:
+                    self._fail_all(ShardDownError("server closed the connection"))
+                    return
+                self.stats.bytes_in += len(data)
+                for reply in self.decoder.feed(data):
+                    if not self._fifo:
+                        # Unsolicited frame: the stream is unsyncable.
+                        self._fail_all(ProtocolError("unsolicited response"))
+                        return
+                    future = self._fifo.pop(0)
+                    if not future.done():
+                        future.set_result(reply)
+                if self.decoder.broken:
+                    self._fail_all(ProtocolError("response stream unparsable"))
+                    return
+        except (ConnectionError, OSError) as exc:
+            self._fail_all(ShardDownError(f"connection lost: {exc}"))
+        except asyncio.CancelledError:
+            self._fail_all(ShardDownError("connection closed"))
+            raise
+
+    def _fail_all(self, exc: Exception) -> None:
+        self.dead = True
+        fifo, self._fifo = self._fifo, []
+        for future in fifo:
+            if not future.done():
+                future.set_exception(exc)
+        self.writer.close()
+
+    async def close(self) -> None:
+        self.dead = True
+        self._recv_task.cancel()
+        try:
+            await self._recv_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class ShardEndpoint:
+    """Connection pool + request API for one shard server.
+
+    The async surface mirrors the
+    :class:`~repro.cluster.backend.BackendCacheServer` client surface
+    (``get``/``get_many``/``set``/``delete``), returning/raising exactly
+    what the in-process plane would — including ``MISSING`` on a miss
+    and :class:`~repro.errors.ShardFailure` subclasses on faults — so a
+    proxy over this endpoint is a drop-in shard object.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        host: str,
+        port: int,
+        pool_size: int = 1,
+        timeout: float = 5.0,
+        stats: NetClientStats | None = None,
+    ) -> None:
+        self.server_id = server_id
+        self.host = host
+        self.port = port
+        self.pool_size = max(1, pool_size)
+        self.timeout = timeout
+        self.stats = stats if stats is not None else NetClientStats()
+        self._pool: list[Connection | None] = [None] * self.pool_size
+        self._connect_lock: asyncio.Lock | None = None
+
+    # ------------------------------------------------------------ transport
+
+    async def _connection(self) -> Connection:
+        """The pooled live connection with the fewest inflight requests.
+
+        Connection establishment is serialized behind a lock so a burst
+        of concurrent requests against an empty (or just-dropped) pool
+        shares the slot's one socket instead of racing opens — the whole
+        point of pipelining is many requests per connection.
+        """
+        best = self._pick()
+        if best is not None:
+            return best
+        if self._connect_lock is None:
+            self._connect_lock = asyncio.Lock()
+        async with self._connect_lock:
+            best = self._pick()  # someone else may have connected meanwhile
+            if best is not None:
+                return best
+            for slot, conn in enumerate(self._pool):
+                if conn is None or conn.dead:
+                    if conn is not None and conn.dead:
+                        self.stats.reconnects += 1
+                    opened = await Connection.open(self.host, self.port, self.stats)
+                    self._pool[slot] = opened
+                    return opened
+        raise ShardDownError("connection pool exhausted")  # pragma: no cover
+
+    def _pick(self) -> Connection | None:
+        """The live pooled connection with the fewest inflight requests.
+
+        ``None`` when a slot is empty/dead — the pool prefers opening
+        (under the lock) up to ``pool_size`` sockets before stacking.
+        """
+        best: Connection | None = None
+        for conn in self._pool:
+            if conn is None or conn.dead:
+                return None
+            if best is None or conn.inflight < best.inflight:
+                best = conn
+        return best
+
+    async def request(self, command: Any) -> Reply:
+        """One pipelined round-trip, with timeout/error → failure mapping."""
+        try:
+            conn = await self._connection()
+            reply = await asyncio.wait_for(
+                conn.request(command.encode()), timeout=self.timeout
+            )
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            raise ShardTimeoutError(
+                f"{self.server_id} did not answer within {self.timeout}s"
+            ) from None
+        if reply.kind == "SERVER_ERROR":
+            self.stats.errors += 1
+            raise proto.decode_failure(reply)
+        if reply.is_error:
+            self.stats.errors += 1
+            raise ProtocolError(f"{self.server_id}: {reply.kind} {reply.message}")
+        return reply
+
+    # -------------------------------------------------------- shard surface
+
+    async def get(self, key: Hashable) -> Any:
+        reply = await self.request(GetCommand((str(key),)))
+        if not reply.values:
+            return MISSING
+        value = reply.values[0]
+        return proto.load_value(value.flags, value.data)
+
+    async def get_many(self, keys: Iterable[Hashable]) -> dict[Hashable, Any]:
+        keys = list(keys)
+        if not keys:
+            return {}
+        reply = await self.request(GetCommand(tuple(str(k) for k in keys)))
+        by_wire_key = {
+            v.key: proto.load_value(v.flags, v.data) for v in reply.values
+        }
+        return {k: by_wire_key[str(k)] for k in keys if str(k) in by_wire_key}
+
+    async def set(self, key: Hashable, value: Any, size: int | None = None) -> None:
+        flags, payload = proto.dump_value(value)
+        await self.request(SetCommand(str(key), flags, 0, payload))
+
+    async def delete(self, key: Hashable) -> bool:
+        reply = await self.request(DeleteCommand(str(key)))
+        return reply.kind == "DELETED"
+
+    async def touch(self, key: Hashable, exptime: int = 0) -> bool:
+        reply = await self.request(TouchCommand(str(key), exptime))
+        return reply.kind == "TOUCHED"
+
+    async def close(self) -> None:
+        pool, self._pool = self._pool, [None] * self.pool_size
+        for conn in pool:
+            if conn is not None:
+                await conn.close()

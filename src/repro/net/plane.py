@@ -1,0 +1,317 @@
+"""The network plane: a cluster facade whose shards live behind sockets.
+
+:class:`NetworkPlane` wraps an existing
+:class:`~repro.cluster.cluster.CacheCluster` and serves every backend
+shard over a localhost TCP socket (one
+:class:`~repro.net.server.ShardServer` each, on an asyncio event loop
+running in a dedicated thread). It then re-exposes the cluster's entire
+*client-facing* surface — ``ring``, ``storage``, ``server_ids``,
+``server()``/``server_for()``, the revival/removal listener lists — but
+``server()`` resolves to a :class:`ShardProxy` whose
+``get``/``get_many``/``set``/``delete`` cross the wire through the
+pipelined transport (:mod:`repro.net.client`).
+
+Because the facade duck-types ``CacheCluster`` exactly where front ends
+touch it, an **unchanged** :class:`~repro.cluster.client.FrontEndClient`
+(elastic, coherent, replicated — all of them) runs against the plane and
+makes byte-identical cache decisions: policy admissions, ring routing,
+retries, breaker trips and storage fallbacks all execute the same code;
+only the shard hop is real I/O. That is the two-plane equivalence
+argument (DESIGN.md §15), and :func:`repro.net.harness.decision_equivalence`
+checks it end to end.
+
+Topology churn maps onto real sockets: shards added after start are
+served lazily on first route; removed shards tear their server down via
+the cluster's ``removal_listeners``; :meth:`drop_connections` hard-drops
+a shard's live connections (the network face of a kill) so clients
+observe ``ConnectionError`` → :class:`~repro.errors.ShardDownError` and
+reconnect lazily after the revival.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.cluster.cluster import CacheCluster
+from repro.errors import ClusterError, ShardDownError
+from repro.net.client import NetClientStats, ShardEndpoint
+from repro.net.server import ShardServer, ShardServerStats
+
+__all__ = ["LoopThread", "NetworkPlane", "ShardProxy"]
+
+
+class LoopThread:
+    """An asyncio event loop running in a daemon thread, callable from sync code."""
+
+    def __init__(self, name: str = "repro-net-loop") -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def call(self, coro, timeout: float | None = None) -> Any:
+        """Run ``coro`` on the loop and block for its result."""
+        future = asyncio.run_coroutine_threadsafe(coro, self.loop)
+        return future.result(timeout)
+
+    def stop(self) -> None:
+        if not self.loop.is_closed():
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._thread.join(timeout=5.0)
+            self.loop.close()
+
+
+class ShardProxy:
+    """Synchronous shard-object stand-in backed by a wire endpoint.
+
+    Exposes exactly the surface front ends use on a
+    :class:`~repro.cluster.backend.BackendCacheServer` — ``server_id``,
+    ``get``, ``get_many``, ``set``, ``delete`` — with every call one
+    blocking round-trip through the plane's loop thread. Exceptions
+    (injected faults, timeouts, dead connections) surface as the same
+    :class:`~repro.errors.ShardFailure` types the in-process plane
+    raises, so the retry/breaker layer upstack is oblivious.
+    """
+
+    def __init__(self, endpoint: ShardEndpoint, loop: LoopThread) -> None:
+        self._endpoint = endpoint
+        self._loop = loop
+
+    @property
+    def server_id(self) -> str:
+        return self._endpoint.server_id
+
+    def get(self, key: Hashable) -> Any:
+        return self._loop.call(self._endpoint.get(key))
+
+    def get_many(self, keys: Iterable[Hashable]) -> dict[Hashable, Any]:
+        return self._loop.call(self._endpoint.get_many(list(keys)))
+
+    def set(self, key: Hashable, value: Any, size: int | None = None) -> None:
+        return self._loop.call(self._endpoint.set(key, value, size))
+
+    def delete(self, key: Hashable) -> bool:
+        return self._loop.call(self._endpoint.delete(key))
+
+    def touch(self, key: Hashable, exptime: int = 0) -> bool:
+        return self._loop.call(self._endpoint.touch(key, exptime))
+
+
+class NetworkPlane:
+    """Serve a :class:`CacheCluster`'s shards over localhost sockets.
+
+    Construct, :meth:`start`, hand to front ends in place of the
+    cluster, :meth:`close` when done (also a context manager).
+    """
+
+    def __init__(
+        self,
+        cluster: CacheCluster,
+        host: str = "127.0.0.1",
+        pool_size: int = 1,
+        inflight_limit: int = 256,
+        timeout: float = 5.0,
+    ) -> None:
+        self.cluster = cluster
+        self.host = host
+        self.pool_size = pool_size
+        self.inflight_limit = inflight_limit
+        self.timeout = timeout
+        self.client_stats = NetClientStats()
+        self._loop: LoopThread | None = None
+        self._servers: dict[str, ShardServer] = {}
+        self._endpoints: dict[str, ShardEndpoint] = {}
+        self._proxies: dict[str, ShardProxy] = {}
+        self._started = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "NetworkPlane":
+        if self._started:
+            return self
+        self._loop = LoopThread()
+        for server_id in self.cluster.server_ids:
+            self._serve_shard(server_id)
+        self.cluster.removal_listeners.append(self._on_server_removed)
+        self._started = True
+        return self
+
+    def close(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        try:
+            self.cluster.removal_listeners.remove(self._on_server_removed)
+        except ValueError:
+            pass
+        loop = self._loop
+        assert loop is not None
+        for endpoint in self._endpoints.values():
+            try:
+                loop.call(endpoint.close(), timeout=5.0)
+            except Exception:
+                pass
+        for server in self._servers.values():
+            try:
+                loop.call(server.stop(), timeout=5.0)
+            except Exception:
+                pass
+        self._endpoints.clear()
+        self._proxies.clear()
+        self._servers.clear()
+        loop.stop()
+        self._loop = None
+
+    def __enter__(self) -> "NetworkPlane":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _serve_shard(self, server_id: str) -> None:
+        assert self._loop is not None
+        backend = self.cluster.server(server_id)
+        server = ShardServer(
+            backend,
+            host=self.host,
+            inflight_limit=self.inflight_limit,
+        )
+        self._loop.call(server.start())
+        endpoint = ShardEndpoint(
+            server_id,
+            server.host,
+            server.port,
+            pool_size=self.pool_size,
+            timeout=self.timeout,
+            stats=self.client_stats,
+        )
+        self._servers[server_id] = server
+        self._endpoints[server_id] = endpoint
+        self._proxies[server_id] = ShardProxy(endpoint, self._loop)
+
+    def _on_server_removed(self, server_id: str) -> None:
+        server = self._servers.pop(server_id, None)
+        endpoint = self._endpoints.pop(server_id, None)
+        self._proxies.pop(server_id, None)
+        if self._loop is None:
+            return
+        if endpoint is not None:
+            try:
+                self._loop.call(endpoint.close(), timeout=5.0)
+            except Exception:
+                pass
+        if server is not None:
+            try:
+                self._loop.call(server.stop(), timeout=5.0)
+            except Exception:
+                pass
+
+    # ------------------------------------------------------- fault surface
+
+    def drop_connections(self, server_id: str) -> None:
+        """Hard-drop a shard's live sockets (network face of a kill)."""
+        server = self._servers.get(server_id)
+        if server is None or self._loop is None:
+            return
+        self._loop.loop.call_soon_threadsafe(server.abort_connections)
+
+    # -------------------------------------------------- cluster duck-typing
+
+    @property
+    def ring(self):
+        return self.cluster.ring
+
+    @property
+    def storage(self):
+        return self.cluster.storage
+
+    @property
+    def faults(self):
+        return self.cluster.faults
+
+    @property
+    def value_size(self) -> int:
+        return self.cluster.value_size
+
+    @property
+    def server_ids(self) -> tuple[str, ...]:
+        return self.cluster.server_ids
+
+    @property
+    def removal_listeners(self) -> list[Callable[[str], None]]:
+        return self.cluster.removal_listeners
+
+    @property
+    def cold_revival_listeners(self) -> list[Callable[[str], None]]:
+        return self.cluster.cold_revival_listeners
+
+    def server(self, server_id: str) -> ShardProxy:
+        proxy = self._proxies.get(server_id)
+        if proxy is None:
+            if not self._started:
+                raise ShardDownError("network plane is not started")
+            # A shard added after start is served lazily on first route.
+            if server_id not in self.cluster.server_ids:
+                raise ClusterError(f"unknown server: {server_id}")
+            self._serve_shard(server_id)
+            proxy = self._proxies[server_id]
+        return proxy
+
+    def server_for(self, key: Hashable) -> ShardProxy:
+        return self.server(self.cluster.ring.server_for(key))
+
+    def replicas_for(self, key: Hashable, r: int) -> tuple[str, ...]:
+        return self.cluster.replicas_for(key, r)
+
+    def loads(self) -> dict[str, int]:
+        return self.cluster.loads()
+
+    def epoch_loads(self) -> dict[str, int]:
+        return self.cluster.epoch_loads()
+
+    def imbalance(self) -> float:
+        return self.cluster.imbalance()
+
+    def total_lookups(self) -> int:
+        return self.cluster.total_lookups()
+
+    def reset_epoch(self) -> None:
+        self.cluster.reset_epoch()
+
+    # ------------------------------------------------------------ telemetry
+
+    def server_stats(self) -> dict[str, ShardServerStats]:
+        return {sid: srv.stats for sid, srv in self._servers.items()}
+
+    def telemetry(self) -> dict[str, Any]:
+        """Aggregated wire counters, shaped for ``net.*`` publishing."""
+        servers = list(self._servers.values())
+        depth_counts: dict[int, int] = {}
+        for source in [self.client_stats.batch_depths] + [
+            s.stats.batch_depths for s in servers
+        ]:
+            for depth, count in source.items():
+                depth_counts[depth] = depth_counts.get(depth, 0) + count
+        return {
+            "connections": self.client_stats.connections,
+            "reconnects": self.client_stats.reconnects,
+            "requests": self.client_stats.requests,
+            "batches": self.client_stats.batches,
+            "timeouts": self.client_stats.timeouts,
+            "errors": self.client_stats.errors,
+            "bytes_in": self.client_stats.bytes_in
+            + sum(s.stats.bytes_in for s in servers),
+            "bytes_out": self.client_stats.bytes_out
+            + sum(s.stats.bytes_out for s in servers),
+            "server_requests": sum(s.stats.requests for s in servers),
+            "protocol_errors": sum(s.stats.protocol_errors for s in servers),
+            "fault_errors": sum(s.stats.fault_errors for s in servers),
+            "batch_depths": depth_counts,
+        }

@@ -1,0 +1,300 @@
+"""Asyncio shard server speaking the memcached-style text protocol.
+
+One :class:`ShardServer` wraps one
+:class:`~repro.cluster.backend.BackendCacheServer` and serves it over a
+TCP socket. The connection design is queue-based load leveling
+(DESIGN.md §15):
+
+* a **reader task** per connection parses requests incrementally
+  (:class:`~repro.net.proto.RequestDecoder`) and enqueues them on a
+  **bounded inflight queue** — when the shard falls behind, the queue
+  fills, the reader stops draining the socket, and TCP backpressure
+  propagates to the client instead of unbounded buffering;
+* a **worker task** per connection drains the queue in arrival order,
+  executes commands against the backend, and **coalesces every response
+  that is ready into one socket write** — the server-side half of
+  pipelining (the batch-depth distribution is recorded per drain);
+* injected shard failures (:class:`~repro.errors.ShardFailure`) become
+  ``SERVER_ERROR <code> …`` frames, so fault schedules exercise the
+  wire path end to end and the client reconstructs the exact exception
+  type for its retry/breaker layer.
+
+Shutdown is a **graceful drain**: :meth:`ShardServer.stop` first closes
+the listener (no new connections), then waits for every inflight queue
+to empty and every response to flush before tearing connections down —
+acknowledged work is never dropped on the floor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.cluster.backend import BackendCacheServer
+from repro.errors import ShardFailure
+from repro.policies.base import MISSING as _MISSING
+from repro.net import proto
+from repro.net.proto import (
+    BadCommand,
+    DeleteCommand,
+    GetCommand,
+    QuitCommand,
+    Reply,
+    RequestDecoder,
+    SetCommand,
+    TouchCommand,
+    Value,
+    VersionCommand,
+)
+
+__all__ = ["ShardServer", "ShardServerStats", "SERVER_VERSION"]
+
+SERVER_VERSION = "repro-net/1"
+
+#: socket read size; large enough that a deep pipeline arrives in one read.
+_READ_SIZE = 1 << 16
+
+
+@dataclass
+class ShardServerStats:
+    """Wire-level counters for one shard server (feeds ``net.*`` telemetry)."""
+
+    connections: int = 0
+    active_connections: int = 0
+    requests: int = 0
+    batches: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    protocol_errors: int = 0
+    fault_errors: int = 0
+    #: response-coalescing depth distribution: {depth: drains at that depth}
+    batch_depths: dict[int, int] = field(default_factory=dict)
+
+
+class _Connection:
+    """One client connection: reader task + bounded queue + worker task."""
+
+    def __init__(self, server: "ShardServer", reader, writer) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=server.inflight_limit)
+        self.decoder = RequestDecoder(max_value_bytes=server.max_value_bytes)
+        self.closing = False
+
+    async def run(self) -> None:
+        stats = self.server.stats
+        stats.connections += 1
+        stats.active_connections += 1
+        worker = asyncio.ensure_future(self._worker())
+        try:
+            await self._read_loop()
+        finally:
+            # EOF (or a fatal protocol error): let queued work drain,
+            # then stop the worker and flush/close the socket.
+            await self.queue.join()
+            worker.cancel()
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+            stats.active_connections -= 1
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_loop(self) -> None:
+        stats = self.server.stats
+        while not self.closing:
+            try:
+                data = await self.reader.read(_READ_SIZE)
+            except (ConnectionError, OSError):
+                break
+            if not data:
+                break
+            stats.bytes_in += len(data)
+            for command in self.decoder.feed(data):
+                # Bounded inflight queue: block (and stop reading the
+                # socket) when the shard is behind — queue-based load
+                # leveling instead of unbounded buffering.
+                await self.queue.put(command)
+                if isinstance(command, QuitCommand) or (
+                    isinstance(command, BadCommand) and command.fatal
+                ):
+                    self.closing = True
+                    break
+
+    async def _worker(self) -> None:
+        stats = self.server.stats
+        while True:
+            command = await self.queue.get()
+            batch = [command]
+            # Coalesce everything already queued into one write+drain:
+            # the server-side half of pipelining.
+            while not self.queue.empty():
+                batch.append(self.queue.get_nowait())
+            out = bytearray()
+            quit_after = False
+            for cmd in batch:
+                reply = self._execute(cmd)
+                if reply is not None:
+                    out += reply
+                if isinstance(cmd, QuitCommand) or (
+                    isinstance(cmd, BadCommand) and cmd.fatal
+                ):
+                    quit_after = True
+            stats.requests += len(batch)
+            stats.batches += 1
+            depth = len(batch)
+            stats.batch_depths[depth] = stats.batch_depths.get(depth, 0) + 1
+            if out:
+                stats.bytes_out += len(out)
+                try:
+                    self.writer.write(bytes(out))
+                    await self.writer.drain()
+                except (ConnectionError, OSError):
+                    quit_after = True
+            for _ in batch:
+                self.queue.task_done()
+            if quit_after:
+                self.closing = True
+                self.writer.close()
+                return
+
+    def _execute(self, cmd) -> bytes | None:
+        backend = self.server.backend
+        stats = self.server.stats
+        try:
+            if isinstance(cmd, GetCommand):
+                if len(cmd.keys) == 1:
+                    # Mirror the in-process plane exactly: a single-key
+                    # get is `server.get`, a batch is `server.get_many`.
+                    key = cmd.keys[0]
+                    value = backend.get(key)
+                    found = {} if value is _MISSING else {key: value}
+                else:
+                    found = backend.get_many(list(cmd.keys))
+                values = []
+                for key in cmd.keys:
+                    if key in found:
+                        flags, payload = proto.dump_value(found[key])
+                        cas = 0 if cmd.cas else None
+                        values.append(Value(key, flags, payload, cas))
+                return Reply("END", values=tuple(values)).encode()
+            if isinstance(cmd, SetCommand):
+                backend.set(cmd.key, proto.load_value(cmd.flags, cmd.data))
+                return None if cmd.noreply else Reply("STORED").encode()
+            if isinstance(cmd, DeleteCommand):
+                existed = backend.delete(cmd.key)
+                if cmd.noreply:
+                    return None
+                return Reply("DELETED" if existed else "NOT_FOUND").encode()
+            if isinstance(cmd, TouchCommand):
+                # The backend has no per-entry TTL; touch degrades to a
+                # counter-neutral membership probe so the verb exists on
+                # the wire without perturbing decision equivalence.
+                present = cmd.key in backend
+                if cmd.noreply:
+                    return None
+                return Reply("TOUCHED" if present else "NOT_FOUND").encode()
+            if isinstance(cmd, VersionCommand):
+                return Reply("VERSION", SERVER_VERSION).encode()
+            if isinstance(cmd, QuitCommand):
+                return None
+            if isinstance(cmd, BadCommand):
+                stats.protocol_errors += 1
+                return Reply(cmd.kind, cmd.message).encode()
+        except ShardFailure as exc:
+            stats.fault_errors += 1
+            return proto.encode_failure(exc).encode()
+        stats.protocol_errors += 1
+        return Reply("ERROR").encode()
+
+
+class ShardServer:
+    """Serve one backend shard on a TCP port (ephemeral by default)."""
+
+    def __init__(
+        self,
+        backend: BackendCacheServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        inflight_limit: int = 256,
+        max_value_bytes: int = proto.MAX_VALUE_BYTES,
+    ) -> None:
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.inflight_limit = inflight_limit
+        self.max_value_bytes = max_value_bytes
+        self.stats = ShardServerStats()
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[_Connection] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    @property
+    def server_id(self) -> str:
+        return self.backend.server_id
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    async def start(self) -> "ShardServer":
+        self._server = await asyncio.start_server(
+            self._on_connect, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def _on_connect(self, reader, writer) -> None:
+        conn = _Connection(self, reader, writer)
+        self._connections.add(conn)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await conn.run()
+        finally:
+            self._connections.discard(conn)
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    def abort_connections(self) -> None:
+        """Hard-drop every live connection (simulates an instance crash).
+
+        Clients observe a ``ConnectionError`` mid-flight — the network
+        analogue of a killed shard — and reconnect lazily on next use.
+        """
+        for conn in list(self._connections):
+            conn.closing = True
+            transport = conn.writer.transport
+            if transport is not None:
+                transport.abort()
+
+    async def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop serving; with ``drain`` (default) finish inflight work first."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain:
+            pending = [c.queue.join() for c in list(self._connections)]
+            if pending:
+                try:
+                    await asyncio.wait_for(
+                        asyncio.gather(*pending), timeout=timeout
+                    )
+                except asyncio.TimeoutError:
+                    pass
+        self.abort_connections()
+        tasks = list(self._conn_tasks)
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass

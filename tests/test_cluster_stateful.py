@@ -105,6 +105,10 @@ TOPOLOGIES = (
         tight_guard=True,
     ),
     TopologyCase("ttl-2fe", num_front_ends=2, write_mode="ttl", ttl=6),
+    # Network axis: shards served over localhost sockets (smoke scale,
+    # 1 front end) so kill/revive also exercises real TCP teardown and
+    # the client pool's lazy reconnect.
+    TopologyCase("network-1fe", network=True),
 )
 
 #: Small key universe so random operations collide on keys constantly —
@@ -193,7 +197,9 @@ class ElasticClusterMachine(RuleBasedStateMachine):
         if not alive:
             return
         victim = data.draw(st.sampled_from(alive), label="victim")
-        self.harness.cluster.kill_server(victim)
+        # Through the harness: on the socket plane this also severs the
+        # victim's live TCP connections, not just its injected fault.
+        self.harness.kill_server(victim)
         self.down.add(victim)
 
     @precondition(lambda self: self.down)
@@ -270,6 +276,10 @@ class ElasticClusterMachine(RuleBasedStateMachine):
     @rule(key=keys_st)
     def demote_key(self, key) -> None:
         self.harness.router.demote(key)
+
+    def teardown(self) -> None:
+        if self.harness is not None:
+            self.harness.close()
 
     # ----------------------------------------------------------- invariants
 

@@ -422,6 +422,9 @@ def full_bus_snapshot():
         T.FAILED_INVALIDATIONS, T.INCORRECT_READS,
         T.DECAY_TRIGGERS, T.DECAY_EPOCH_DECAYS,
         T.ADAPTIVE_SWITCHES, T.ADAPTIVE_EPOCHS, T.ADAPTIVE_SHADOW_SAMPLES,
+        T.NET_CONNECTIONS, T.NET_RECONNECTS, T.NET_REQUESTS, T.NET_BATCHES,
+        T.NET_TIMEOUTS, T.NET_PROTOCOL_ERRORS, T.NET_FAULT_ERRORS,
+        T.NET_BYTES_IN, T.NET_BYTES_OUT,
     ]
     for i, name in enumerate(canonical):
         bus.inc(name, i + 1)
@@ -430,6 +433,9 @@ def full_bus_snapshot():
     bus.record_shard_loads({"cache-0": 100, "cache-1": 140})
     for i in range(500):
         bus.observe(T.REQUEST_LATENCY, 1e-4 + i * 1e-6)
+    for depth, count in {1: 40, 4: 25, 32: 10}.items():
+        for _ in range(count):
+            bus.observe(T.NET_BATCH_DEPTH, float(depth))
     return bus.snapshot(), canonical
 
 
@@ -468,6 +474,29 @@ class TestPrometheusExport:
             for labels, value in series["cot_shard_lookups_total"]
         }
         assert shards == {"cache-0": 100.0, "cache-1": 140.0}
+
+    def test_net_counters_round_trip(self):
+        snapshot, canonical = full_bus_snapshot()
+        series = parse_prometheus(render_prometheus(snapshot))
+        net_names = [raw for raw in canonical if raw.startswith("net.")]
+        assert len(net_names) == 9  # every wire counter is canonical
+        for raw in net_names:
+            name = "cot_" + raw.replace(".", "_") + "_total"
+            assert name in series, f"{name} missing from export"
+            assert series[name][0][1] == float(canonical.index(raw) + 1)
+
+    def test_net_batch_depth_histogram_round_trip(self):
+        snapshot, _ = full_bus_snapshot()
+        series = parse_prometheus(render_prometheus(snapshot))
+        buckets = series["cot_net_batch_depth_seconds_bucket"]
+        counts = [value for _labels, value in buckets]
+        assert counts == sorted(counts)
+        (_, count) = series["cot_net_batch_depth_seconds_count"][0]
+        (_, total) = series["cot_net_batch_depth_seconds_sum"][0]
+        assert count == 75  # 40 + 25 + 10 flushes
+        histogram = snapshot.histogram(T.NET_BATCH_DEPTH)
+        assert total == pytest.approx(histogram.total)
+        assert histogram.total == pytest.approx(40 * 1 + 25 * 4 + 10 * 32)
 
     def test_multiple_snapshots_get_run_labels(self):
         exporter = PrometheusExporter()
